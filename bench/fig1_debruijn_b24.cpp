@@ -1,0 +1,10 @@
+// FIG1: regenerates the paper's Figure 1 — the base-2 four-digit de Bruijn
+// graph B_{2,4} — as an adjacency listing plus Graphviz DOT.
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+
+int main() {
+  std::cout << ftdb::analysis::figure1_debruijn_b24();
+  return 0;
+}

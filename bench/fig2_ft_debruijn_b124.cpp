@@ -1,0 +1,10 @@
+// FIG2: regenerates the paper's Figure 2 — the fault-tolerant graph B^1_{2,4}
+// (17 nodes, degree at most 4k+4 = 8).
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+
+int main() {
+  std::cout << ftdb::analysis::figure2_ft_debruijn_b124();
+  return 0;
+}

@@ -1,0 +1,14 @@
+// FIG3: regenerates the paper's Figure 3 — the new labels of B^1_{2,4} after
+// one fault, with the post-reconfiguration edges marked solid.
+//
+//   usage: fig3_reconfiguration [faulty_node]
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint32_t fault = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
+  std::cout << ftdb::analysis::figure3_reconfiguration(fault);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// FIG4: regenerates the paper's Figure 4 — the bus implementation of
+// B^1_{2,3}: one bus per node covering a block of 2k+2 consecutive nodes.
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+
+int main() {
+  std::cout << ftdb::analysis::figure4_bus_implementation();
+  return 0;
+}

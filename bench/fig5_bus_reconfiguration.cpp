@@ -1,0 +1,15 @@
+// FIG5: regenerates the paper's Figure 5 — reconfiguration after one fault in
+// the bus implementation of B^1_{2,3}, listing the bus connection carrying
+// each embedded target edge.
+//
+//   usage: fig5_bus_reconfiguration [faulty_node]
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint32_t fault = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4;
+  std::cout << ftdb::analysis::figure5_bus_reconfiguration(fault);
+  return 0;
+}

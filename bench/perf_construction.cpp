@@ -1,0 +1,78 @@
+// PERF1: google-benchmark timings for building the fault-tolerant graphs and
+// running the reconfiguration algorithm. Construction is O((N+k) * k) edges;
+// reconfiguration is O(N + k) — both trivially fast, which is itself a claim
+// worth pinning (reconfiguration is a table scan, not a search).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "ft/ft_debruijn.hpp"
+#include "ft/reconfigure.hpp"
+#include "ft/tolerance.hpp"
+#include "topology/debruijn.hpp"
+
+namespace {
+
+void BM_BuildTargetDeBruijn(benchmark::State& state) {
+  const auto h = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftdb::debruijn_base2(h));
+  }
+  state.SetComplexityN(1 << h);
+}
+BENCHMARK(BM_BuildTargetDeBruijn)->Arg(6)->Arg(8)->Arg(10)->Arg(12)->Arg(14)->Complexity();
+
+void BM_BuildFtDeBruijn(benchmark::State& state) {
+  const auto h = static_cast<unsigned>(state.range(0));
+  const auto k = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftdb::ft_debruijn_base2(h, k));
+  }
+}
+BENCHMARK(BM_BuildFtDeBruijn)
+    ->Args({8, 1})
+    ->Args({8, 4})
+    ->Args({8, 8})
+    ->Args({10, 2})
+    ->Args({10, 8})
+    ->Args({12, 4});
+
+void BM_BuildFtDeBruijnBaseM(benchmark::State& state) {
+  const auto m = static_cast<std::uint64_t>(state.range(0));
+  const auto h = static_cast<unsigned>(state.range(1));
+  const auto k = static_cast<unsigned>(state.range(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ftdb::ft_debruijn_graph({.base = m, .digits = h, .spares = k}));
+  }
+}
+BENCHMARK(BM_BuildFtDeBruijnBaseM)->Args({3, 6, 2})->Args({4, 5, 2})->Args({5, 4, 3});
+
+void BM_Reconfiguration(benchmark::State& state) {
+  const auto h = static_cast<unsigned>(state.range(0));
+  const auto k = static_cast<unsigned>(state.range(1));
+  const std::size_t universe = (std::size_t{1} << h) + k;
+  std::mt19937_64 rng(1);
+  const ftdb::FaultSet faults = ftdb::FaultSet::random(universe, k, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftdb::monotone_embedding(faults));
+  }
+}
+BENCHMARK(BM_Reconfiguration)->Args({10, 4})->Args({14, 4})->Args({18, 8})->Args({20, 16});
+
+void BM_VerifyOneFaultSet(benchmark::State& state) {
+  const auto h = static_cast<unsigned>(state.range(0));
+  const auto k = static_cast<unsigned>(state.range(1));
+  const ftdb::Graph target = ftdb::debruijn_base2(h);
+  const ftdb::Graph ft = ftdb::ft_debruijn_base2(h, k);
+  std::mt19937_64 rng(2);
+  const ftdb::FaultSet faults = ftdb::FaultSet::random(ft.num_nodes(), k, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftdb::monotone_embedding_survives(target, ft, faults));
+  }
+}
+BENCHMARK(BM_VerifyOneFaultSet)->Args({8, 2})->Args({10, 4})->Args({12, 4});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// PERF5: machine lifetime (MTTF) with and without spares — what the paper's
+// k spares buy operationally. Empirical Monte Carlo vs the analytic model.
+//
+// Expected shape: MTTF scales roughly linearly with k+1 (each spare adds one
+// more expected failure-wait), and the simulation matches the analytic model
+// within Monte Carlo noise.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "sim/lifetime.hpp"
+
+int main() {
+  using namespace ftdb;
+  analysis::Table t({"N", "p (per step)", "k", "analytic MTTF", "empirical MTTF",
+                     "rel. error", "lifetime multiplier vs k=0"});
+  for (const std::uint64_t n : {64ull, 256ull}) {
+    for (const double p : {0.001, 0.0001}) {
+      for (const unsigned k : {0u, 1u, 2u, 4u, 8u}) {
+        const sim::LifetimeParams params{.target_nodes = n, .spares = k, .failure_prob = p};
+        const sim::LifetimeResult r = sim::simulate_lifetime(params, 3000, 99);
+        t.add_row({analysis::fmt_u64(n), analysis::fmt_double(p, 4), analysis::fmt_u64(k),
+                   analysis::fmt_double(r.analytic_mttf, 1),
+                   analysis::fmt_double(r.empirical_mttf, 1),
+                   analysis::fmt_double(
+                       100.0 * (r.empirical_mttf - r.analytic_mttf) / r.analytic_mttf, 2) + "%",
+                   analysis::fmt_ratio(sim::lifetime_multiplier(n, k, p))});
+      }
+    }
+  }
+  std::cout << "PERF5: machine lifetime vs spares (failure race until spares exhausted)\n\n";
+  std::cout << t.render();
+  std::cout << "\nshape check: MTTF multiplier ~ k+1; empirical matches analytic within\n"
+               "Monte Carlo noise (a few percent at 3000 trials).\n";
+  return 0;
+}

@@ -1,0 +1,12 @@
+// TAB2: the Section I comparison for base-m targets — ours (m^h + k nodes,
+// degree 4(m-1)k + 2m) versus Samatham–Pradhan (N^{log_m(mk+1)} nodes,
+// degree 2mk + 2).
+#include <iostream>
+
+#include "analysis/experiments.hpp"
+
+int main() {
+  std::cout << "Table 2: fault-tolerant base-m de Bruijn graphs, ours vs Samatham-Pradhan\n\n";
+  std::cout << ftdb::analysis::table2_comparison_basem(4, 4).render();
+  return 0;
+}

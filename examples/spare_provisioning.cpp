@@ -1,0 +1,49 @@
+// Spare-provisioning design study: pick the number of spares k for a target
+// machine reliability, then compare the hardware cost of the paper's
+// construction against the bus variant and the Samatham-Pradhan baseline.
+//
+//   $ ./spare_provisioning [h] [failure_prob] [target_reliability]
+#include <cstdlib>
+#include <iostream>
+
+#include "ft/ft_debruijn.hpp"
+#include "ft/samatham_pradhan.hpp"
+#include "ft/spares.hpp"
+#include "topology/labels.hpp"
+
+int main(int argc, char** argv) {
+  const unsigned h = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 8;
+  const long double p = argc > 2 ? std::strtold(argv[2], nullptr) : 0.001L;
+  const long double target = argc > 3 ? std::strtold(argv[3], nullptr) : 0.99999L;
+
+  using namespace ftdb;
+  const std::uint64_t n = labels::ipow_checked(2, h);
+
+  std::cout << "machine: B_{2," << h << "} with N = " << n << " processors\n";
+  std::cout << "per-node failure probability p = " << static_cast<double>(p) << "\n";
+  std::cout << "reliability target = " << static_cast<double>(target) << "\n\n";
+
+  const unsigned k = min_spares_for_reliability(n, p, target, 256);
+  if (k > 256) {
+    std::cout << "target unreachable within 256 spares\n";
+    return 1;
+  }
+  std::cout << "minimum spares: k = " << k << "  (survival probability "
+            << static_cast<double>(survival_probability(n, k, p)) << ")\n\n";
+
+  std::cout << "cost at that budget:\n";
+  std::cout << "  ours (point-to-point): " << n + k << " nodes, degree " << 4 * k + 4
+            << ", total ports " << ours_port_cost(2, n, k) << "\n";
+  std::cout << "  ours (bus, Section V): " << n + k << " nodes, bus degree " << 2 * k + 3
+            << ", total incidences " << bus_port_cost(n, k) << "\n";
+  std::cout << "  Samatham-Pradhan:      " << sp_num_nodes(2, h, k) << " nodes, degree "
+            << sp_degree(2, k) << ", total ports " << sp_num_nodes(2, h, k) * sp_degree(2, k)
+            << "\n\n";
+
+  std::cout << "survival probability vs spares:\n";
+  for (unsigned kk = 0; kk <= k + 2; ++kk) {
+    std::cout << "  k = " << kk << ": " << static_cast<double>(survival_probability(n, kk, p))
+              << (kk == k ? "   <- chosen" : "") << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "analysis/table.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace ftdb::analysis {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count does not match headers");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << std::setw(static_cast<int>(width[c])) << std::left << row[c] << " |";
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  out << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(width[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string fmt_ratio(double v, int precision) { return fmt_double(v, precision) + "x"; }
+
+std::string fmt_probability(long double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << static_cast<double>(v);
+  return out.str();
+}
+
+}  // namespace ftdb::analysis

@@ -1,0 +1,33 @@
+// Plain-text table rendering for the experiment binaries: aligned columns,
+// markdown-ish separators, deterministic formatting. Keeps the bench output
+// directly comparable to the tables in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftdb::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  std::string render() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt_u64(std::uint64_t v);
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_ratio(double v, int precision = 2);
+std::string fmt_probability(long double v, int precision = 6);
+
+}  // namespace ftdb::analysis

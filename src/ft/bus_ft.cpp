@@ -1,0 +1,68 @@
+#include "ft/bus_ft.hpp"
+
+#include <algorithm>
+
+#include "ft/modmath.hpp"
+#include "topology/labels.hpp"
+
+namespace ftdb {
+
+BusGraph bus_debruijn_base2(unsigned h) {
+  const std::uint64_t n = labels::ipow_checked(2, h);
+  std::vector<Bus> buses;
+  buses.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Bus b;
+    b.driver = static_cast<NodeId>(i);
+    b.members = {static_cast<NodeId>(2 * i % n), static_cast<NodeId>((2 * i + 1) % n)};
+    buses.push_back(std::move(b));
+  }
+  return BusGraph(n, std::move(buses));
+}
+
+BusGraph bus_ft_debruijn_base2(unsigned h, unsigned k) {
+  const std::uint64_t n = labels::ipow_checked(2, h) + k;
+  const auto s = static_cast<std::int64_t>(n);
+  std::vector<Bus> buses;
+  buses.reserve(n);
+  for (std::int64_t i = 0; i < s; ++i) {
+    Bus b;
+    b.driver = static_cast<NodeId>(i);
+    b.members.reserve(2 * k + 2);
+    // Block of 2k+2 consecutive nodes starting at (2i - k) mod (2^h + k).
+    for (std::int64_t c = -static_cast<std::int64_t>(k); c <= static_cast<std::int64_t>(k) + 1;
+         ++c) {
+      b.members.push_back(static_cast<NodeId>(ft::affine_mod(i, 2, c, s)));
+    }
+    buses.push_back(std::move(b));
+  }
+  return BusGraph(n, std::move(buses));
+}
+
+std::uint64_t bus_ft_degree_bound(unsigned k) { return 2ull * k + 3; }
+
+bool bus_monotone_embedding_survives(const Graph& target, const BusGraph& fabric,
+                                     const FaultSet& faults) {
+  const std::vector<NodeId> phi = monotone_embedding(faults);
+  if (phi.size() < target.num_nodes()) return false;
+  for (std::size_t x = 0; x < target.num_nodes(); ++x) {
+    for (NodeId y : target.neighbors(static_cast<NodeId>(x))) {
+      if (static_cast<NodeId>(x) >= y) continue;
+      if (!fabric.can_communicate(phi[x], phi[y])) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<FaultSet> resolve_bus_faults(const BusGraph& fabric, unsigned k,
+                                           const std::vector<NodeId>& node_faults,
+                                           const std::vector<std::uint32_t>& bus_faults) {
+  std::vector<NodeId> merged = fabric.bus_faults_to_node_faults(bus_faults);
+  merged.insert(merged.end(), node_faults.begin(), node_faults.end());
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  if (merged.size() > k) return std::nullopt;
+  return FaultSet(fabric.num_nodes(), std::move(merged));
+}
+
+}  // namespace ftdb

@@ -1,0 +1,44 @@
+// Bus implementations of Section V.
+//
+// In B_{2,h}, node i's two out-links (to 2i mod 2^h and 2i+1 mod 2^h) are
+// replaced by one bus {i} U {2i, 2i+1}. In B^k_{2,h}, node i's block of 2k+2
+// out-links is replaced by a single bus from i to the block of 2k+2
+// consecutive nodes starting at (2i - k) mod (2^h + k). The resulting bus
+// architecture has degree (bus incidences per node) 2k+3, and bus faults are
+// tolerated by treating the faulty bus's driver node as faulty.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/bus_graph.hpp"
+#include "graph/embedding.hpp"
+#include "ft/reconfigure.hpp"
+
+namespace ftdb {
+
+/// Bus implementation of the fault-free B_{2,h} (paper's opening example of
+/// Section V): one bus per node, 3 incidences per node.
+BusGraph bus_debruijn_base2(unsigned h);
+
+/// Bus implementation of B^k_{2,h} (Fig. 4 shows h = 3, k = 1).
+BusGraph bus_ft_debruijn_base2(unsigned h, unsigned k);
+
+/// Section V degree claim: 2k+3 incidences per node.
+std::uint64_t bus_ft_degree_bound(unsigned k);
+
+/// Checks that the reconfigured target survives on the bus architecture: for
+/// every edge (x, y) of B_{2,h}, phi(x) and phi(y) must share a bus in the
+/// restricted driver<->member discipline. This mirrors
+/// monotone_embedding_survives for the bus fabric.
+bool bus_monotone_embedding_survives(const Graph& target, const BusGraph& fabric,
+                                     const FaultSet& faults);
+
+/// Combined node + bus fault handling: converts bus faults to driver-node
+/// faults (Section V), merges with the node faults, and returns the resulting
+/// fault set, or nullopt when the combined count exceeds k.
+std::optional<FaultSet> resolve_bus_faults(const BusGraph& fabric, unsigned k,
+                                           const std::vector<NodeId>& node_faults,
+                                           const std::vector<std::uint32_t>& bus_faults);
+
+}  // namespace ftdb

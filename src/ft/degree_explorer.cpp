@@ -1,0 +1,117 @@
+#include "ft/degree_explorer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ft/ft_debruijn.hpp"
+#include "ft/modmath.hpp"
+#include "ft/reconfigure.hpp"
+#include "ft/tolerance.hpp"
+#include "topology/debruijn.hpp"
+#include "topology/labels.hpp"
+
+namespace ftdb {
+
+namespace {
+
+void validate(const ExplorerParams& params) {
+  if (params.spares < params.tolerate) {
+    throw std::invalid_argument("degree explorer: spares must be >= tolerate");
+  }
+  if (params.base < 2) throw std::invalid_argument("degree explorer: base must be >= 2");
+}
+
+}  // namespace
+
+Graph ft_debruijn_graph_offset_set(const ExplorerParams& params,
+                                   const std::vector<std::int64_t>& offsets) {
+  validate(params);
+  const std::uint64_t n = labels::ipow_checked(params.base, params.digits) + params.spares;
+  const auto s = static_cast<std::int64_t>(n);
+  GraphBuilder builder(n);
+  builder.reserve_edges(static_cast<std::size_t>(n) * offsets.size());
+  for (std::int64_t x = 0; x < s; ++x) {
+    for (std::int64_t r : offsets) {
+      builder.add_edge(static_cast<NodeId>(x),
+                       static_cast<NodeId>(ft::affine_mod(x, static_cast<std::int64_t>(params.base), r, s)));
+    }
+  }
+  return builder.build();
+}
+
+bool offset_set_is_tolerant(const ExplorerParams& params,
+                            const std::vector<std::int64_t>& offsets) {
+  validate(params);
+  const Graph target = debruijn_graph({.base = params.base, .digits = params.digits});
+  const Graph g = ft_debruijn_graph_offset_set(params, offsets);
+  return check_tolerance_exhaustive(target, g, params.tolerate).tolerant;
+}
+
+ExplorationResult minimize_offsets_greedy(const ExplorerParams& params) {
+  validate(params);
+  // Starting offset set. For c = k spares this is the paper's interval
+  // [(m-1)(-k), (m-1)(k+1)]. With c > k spares the wrap-around term in the
+  // Theorem 1/2 algebra becomes c instead of k (y wraps by m^h, phi(y) by
+  // m^h + c), so the no-wrap case needs [(m-1)(-k), (m-1)k + (m-1)] and the
+  // wrap case needs it shifted up by (c - k)t for wrap count t in [1, m-1]:
+  // the union over t of [(m-1)(-k) + (c-k)t, (m-1)(k+1) + (c-k)t].
+  const auto m = static_cast<std::int64_t>(params.base);
+  const auto k = static_cast<std::int64_t>(params.tolerate);
+  const auto c = static_cast<std::int64_t>(params.spares);
+  std::vector<std::int64_t> offsets;
+  for (std::int64_t t = 0; t <= m - 1; ++t) {
+    const std::int64_t shift = (c - k) * t;
+    for (std::int64_t r = (m - 1) * (-k) + shift; r <= (m - 1) * (k + 1) + shift; ++r) {
+      if (std::find(offsets.begin(), offsets.end(), r) == offsets.end()) offsets.push_back(r);
+    }
+  }
+  std::sort(offsets.begin(), offsets.end());
+
+  ExplorationResult result;
+  result.paper_degree = ft_debruijn_graph_offset_set(params, offsets).max_degree();
+  if (!offset_set_is_tolerant(params, offsets)) {
+    // The generalized interval must cover every case by the algebra above;
+    // reaching this indicates a regression, so surface it loudly.
+    throw std::logic_error("minimize_offsets_greedy: generalized interval not tolerant");
+  }
+
+  // Drop offsets one at a time, preferring the extremes (they contribute the
+  // rarest edges), until no single removal preserves tolerance.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Try candidates ordered by |r| descending so we shed extremes first.
+    std::vector<std::int64_t> candidates = offsets;
+    std::sort(candidates.begin(), candidates.end(), [](std::int64_t a, std::int64_t b) {
+      return std::abs(a) > std::abs(b);
+    });
+    for (std::int64_t r : candidates) {
+      std::vector<std::int64_t> trial;
+      trial.reserve(offsets.size() - 1);
+      for (std::int64_t o : offsets) {
+        if (o != r) trial.push_back(o);
+      }
+      if (offset_set_is_tolerant(params, trial)) {
+        offsets = std::move(trial);
+        changed = true;
+        result.paper_interval_minimal = false;
+        break;
+      }
+    }
+  }
+  result.max_degree = ft_debruijn_graph_offset_set(params, offsets).max_degree();
+  result.offsets = std::move(offsets);
+  return result;
+}
+
+std::vector<ExplorationResult> degree_vs_spares(std::uint64_t base, unsigned digits,
+                                                unsigned tolerate, unsigned max_spares) {
+  std::vector<ExplorationResult> out;
+  for (unsigned c = tolerate; c <= max_spares; ++c) {
+    out.push_back(minimize_offsets_greedy(
+        {.base = base, .digits = digits, .tolerate = tolerate, .spares = c}));
+  }
+  return out;
+}
+
+}  // namespace ftdb

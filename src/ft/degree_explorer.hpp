@@ -1,0 +1,70 @@
+// Empirical exploration of the paper's open problems (Section VI):
+//
+//  * "it has not been proven that the given constructions have the smallest
+//    possible degrees ... it would be interesting to prove lower bounds" —
+//    we search, for small instances, the minimal offset sets that keep the
+//    monotone-reconfiguration construction (k, B_{m,h})-tolerant, giving an
+//    empirical lower bound on the degree achievable within this construction
+//    family.
+//
+//  * "other techniques, such as adding more than k spare nodes, could be used
+//    to reduce the degrees still further" — the search is parameterized by
+//    the spare count c >= k so the spares-vs-degree tradeoff can be measured.
+//
+// Offset sets here generalize the paper's contiguous interval to arbitrary
+// subsets of offsets; the FT graph has an edge (x, y) iff y = X(x, m, r, s)
+// for some chosen r (or symmetrically), s = m^h + c.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftdb {
+
+struct ExplorerParams {
+  std::uint64_t base = 2;   // m
+  unsigned digits = 3;      // h
+  unsigned tolerate = 1;    // k — fault budget to verify against
+  unsigned spares = 1;      // c >= k — actual spare count of the graph
+};
+
+/// Builds the generalized FT de Bruijn graph from an arbitrary offset set.
+Graph ft_debruijn_graph_offset_set(const ExplorerParams& params,
+                                   const std::vector<std::int64_t>& offsets);
+
+/// True when the offset-set graph tolerates every fault set of size
+/// `tolerate` under monotone reconfiguration (exhaustive).
+bool offset_set_is_tolerant(const ExplorerParams& params,
+                            const std::vector<std::int64_t>& offsets);
+
+struct ExplorationResult {
+  std::vector<std::int64_t> offsets;  // a minimal tolerant offset set found
+  std::size_t max_degree = 0;         // degree of the resulting graph
+  /// Measured degree of the *starting* interval (for c = k spares this is the
+  /// paper's interval; for c > k it is the generalized interval, which is
+  /// provably wider — see minimize_offsets_greedy).
+  std::uint64_t paper_degree = 0;
+  bool paper_interval_minimal = true;  // no offset of the starting interval droppable
+};
+
+/// Greedy minimization: start from the (generalized) tolerant interval and
+/// repeatedly drop any offset whose removal preserves tolerance (checking
+/// exhaustively). The result is a locally minimal offset set — an upper bound
+/// on the best degree achievable in this family, and evidence about whether
+/// the paper's interval is tight. For c > k spares the wrap-around term of
+/// the Theorem 1/2 algebra grows from k to c, so the starting interval is the
+/// union over wrap counts t of the paper interval shifted by (c-k)t — extra
+/// spares *widen* the required offsets in this construction family, a
+/// negative empirical answer to the Section VI conjecture (within the
+/// monotone-reconfiguration family).
+ExplorationResult minimize_offsets_greedy(const ExplorerParams& params);
+
+/// The spares-vs-degree tradeoff: for c = k .. max_spares, greedily minimize
+/// and report the achieved degree. Answers (empirically, for small instances)
+/// the paper's conjecture that extra spares might reduce the degree.
+std::vector<ExplorationResult> degree_vs_spares(std::uint64_t base, unsigned digits,
+                                                unsigned tolerate, unsigned max_spares);
+
+}  // namespace ftdb

@@ -1,0 +1,53 @@
+#include "ft/ft_debruijn.hpp"
+
+#include <stdexcept>
+
+#include "ft/modmath.hpp"
+#include "topology/labels.hpp"
+
+namespace ftdb {
+
+std::uint64_t ft_debruijn_num_nodes(const FtDeBruijnParams& params) {
+  if (params.base < 2) throw std::invalid_argument("ft_debruijn: base must be >= 2");
+  if (params.digits < 1) throw std::invalid_argument("ft_debruijn: digits must be >= 1");
+  return labels::ipow_checked(params.base, params.digits) + params.spares;
+}
+
+OffsetRange ft_debruijn_offsets(const FtDeBruijnParams& params) {
+  const auto m = static_cast<std::int64_t>(params.base);
+  const auto k = static_cast<std::int64_t>(params.spares);
+  return OffsetRange{(m - 1) * (-k), (m - 1) * (k + 1)};
+}
+
+Graph ft_debruijn_graph_custom_offsets(std::uint64_t base, unsigned digits, unsigned spares,
+                                       OffsetRange offsets) {
+  if (base < 2) throw std::invalid_argument("ft_debruijn: base must be >= 2");
+  const std::uint64_t n = labels::ipow_checked(base, digits) + spares;
+  const auto s = static_cast<std::int64_t>(n);
+  GraphBuilder builder(n);
+  builder.reserve_edges(static_cast<std::size_t>(n) *
+                        static_cast<std::size_t>(offsets.hi - offsets.lo + 1));
+  for (std::int64_t x = 0; x < s; ++x) {
+    for (std::int64_t r = offsets.lo; r <= offsets.hi; ++r) {
+      const std::int64_t y = ft::affine_mod(x, static_cast<std::int64_t>(base), r, s);
+      builder.add_edge(static_cast<NodeId>(x), static_cast<NodeId>(y));
+    }
+  }
+  return builder.build();
+}
+
+Graph ft_debruijn_graph(const FtDeBruijnParams& params) {
+  return ft_debruijn_graph_custom_offsets(params.base, params.digits, params.spares,
+                                          ft_debruijn_offsets(params));
+}
+
+Graph ft_debruijn_base2(unsigned h, unsigned k) {
+  return ft_debruijn_graph({.base = 2, .digits = h, .spares = k});
+}
+
+std::uint64_t ft_debruijn_degree_bound(const FtDeBruijnParams& params) {
+  // Corollary 3: degree <= (m-1) * 4k + 2m; for m = 2 this is 4k + 4.
+  return (params.base - 1) * 4 * params.spares + 2 * params.base;
+}
+
+}  // namespace ftdb

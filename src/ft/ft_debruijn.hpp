@@ -1,0 +1,50 @@
+// The paper's fault-tolerant de Bruijn graphs (Sections III.B and IV.A).
+//
+// B^k_{m,h} has m^h + k nodes; (x, y) is an edge iff there is an offset
+// r in { (m-1)(-k), ..., (m-1)(k+1) } with y = X(x, m, r, m^h + k) or
+// x = X(y, m, r, m^h + k). Theorem 1/2: B^k_{m,h} is (k, B_{m,h})-tolerant.
+// Corollaries: degree <= 4k+4 (m = 2) and <= 4(m-1)k + 2m in general, with
+// exactly m^h + k nodes — the minimum possible for tolerating k faults.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "topology/debruijn.hpp"
+
+namespace ftdb {
+
+struct FtDeBruijnParams {
+  std::uint64_t base = 2;   // m >= 2
+  unsigned digits = 3;      // h (paper assumes h >= 3)
+  unsigned spares = 1;      // k >= 0 — the number of tolerated node faults
+};
+
+/// m^h + k.
+std::uint64_t ft_debruijn_num_nodes(const FtDeBruijnParams& params);
+
+/// Inclusive offset range of the construction:
+/// r in [ (m-1)(-k), (m-1)(k+1) ].
+struct OffsetRange {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+OffsetRange ft_debruijn_offsets(const FtDeBruijnParams& params);
+
+/// Builds B^k_{m,h}. With k = 0 this degenerates to B_{m,h} exactly
+/// (B^0_{m,h} == B_{m,h}, noted in the paper as B^k containing B).
+Graph ft_debruijn_graph(const FtDeBruijnParams& params);
+
+/// Convenience for the base-2 construction B^k_{2,h} of Section III.
+Graph ft_debruijn_base2(unsigned h, unsigned k);
+
+/// Paper degree bounds (Corollaries 1 and 3).
+std::uint64_t ft_debruijn_degree_bound(const FtDeBruijnParams& params);
+
+/// A *generalized* construction with an arbitrary offset interval, used by the
+/// offset-ablation experiment (shrinking the interval below the paper's range
+/// must break tolerance, demonstrating the edge set is not padded).
+Graph ft_debruijn_graph_custom_offsets(std::uint64_t base, unsigned digits, unsigned spares,
+                                       OffsetRange offsets);
+
+}  // namespace ftdb

@@ -1,0 +1,25 @@
+#include "ft/modmath.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ftdb::ft {
+
+std::int64_t affine_mod(std::int64_t z, std::int64_t m, std::int64_t r, std::int64_t s) {
+  if (s <= 0) throw std::invalid_argument("affine_mod: modulus must be positive");
+  const std::int64_t raw = (z * m + r) % s;
+  return raw < 0 ? raw + s : raw;
+}
+
+std::size_t rank_in_sorted(std::int64_t z, const std::vector<std::int64_t>& sorted_set) {
+  return static_cast<std::size_t>(
+      std::lower_bound(sorted_set.begin(), sorted_set.end(), z) - sorted_set.begin());
+}
+
+std::int64_t wrap_count(std::int64_t x, std::int64_t m, std::int64_t r, std::int64_t s) {
+  const std::int64_t y = affine_mod(x, m, r, s);
+  // y = m*x + r - t*s exactly.
+  return (m * x + r - y) / s;
+}
+
+}  // namespace ftdb::ft

@@ -1,0 +1,25 @@
+// The algebraic primitives of Section II:
+//   X(z, m, r, s) = (z*m + r) mod s        (with possibly negative r)
+//   Rank(z, S)    = |{ y in S : y < z }|
+// plus the exact wrap-count decomposition used by Lemmas 2 and 3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ftdb::ft {
+
+/// X(z, m, r, s) with a signed offset r. All arithmetic in 64 bits; the
+/// result is the canonical representative in [0, s).
+std::int64_t affine_mod(std::int64_t z, std::int64_t m, std::int64_t r, std::int64_t s);
+
+/// Rank of z in a *sorted* vector S (number of elements strictly smaller).
+std::size_t rank_in_sorted(std::int64_t z, const std::vector<std::int64_t>& sorted_set);
+
+/// Wrap count t such that y = m*x + r - t*s for y = affine_mod(x, m, r, s)
+/// with r in [0, m). Lemma 2 (base 2) / Lemma 3 (base m) constrain t:
+///   x < y  =>  t in {0, .., m-2}
+///   x > y  =>  t in {1, .., m-1}
+std::int64_t wrap_count(std::int64_t x, std::int64_t m, std::int64_t r, std::int64_t s);
+
+}  // namespace ftdb::ft

@@ -1,0 +1,84 @@
+#include "ft/online.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "ft/tolerance.hpp"
+
+namespace ftdb {
+
+OnlineReconfigurator::OnlineReconfigurator(Graph ft_graph, Graph target)
+    : ft_graph_(std::move(ft_graph)), target_(std::move(target)) {
+  if (ft_graph_.num_nodes() < target_.num_nodes()) {
+    throw std::invalid_argument("OnlineReconfigurator: FT graph smaller than target");
+  }
+  budget_ = ft_graph_.num_nodes() - target_.num_nodes();
+  recompute();
+}
+
+void OnlineReconfigurator::recompute() {
+  const FaultSet faults(ft_graph_.num_nodes(), retired_);
+  const auto survivors = monotone_embedding(faults);
+  phi_.assign(survivors.begin(),
+              survivors.begin() + static_cast<std::ptrdiff_t>(target_.num_nodes()));
+}
+
+EventStatus OnlineReconfigurator::apply(const FaultEvent& event) {
+  NodeId victim = kInvalidNode;
+  switch (event.kind) {
+    case FaultKind::kNode:
+    case FaultKind::kBus:
+      // A bus fault retires its driver (Section V).
+      victim = event.node;
+      break;
+    case FaultKind::kLink: {
+      // Retire one incident endpoint; if either is already retired the link
+      // is already out of service.
+      const bool node_retired =
+          std::binary_search(retired_.begin(), retired_.end(), event.node);
+      const bool other_retired =
+          std::binary_search(retired_.begin(), retired_.end(), event.other);
+      if (node_retired || other_retired) return EventStatus::kRedundant;
+      victim = event.node;
+      break;
+    }
+  }
+  if (victim >= ft_graph_.num_nodes()) {
+    throw std::out_of_range("OnlineReconfigurator::apply: node out of range");
+  }
+  if (std::binary_search(retired_.begin(), retired_.end(), victim)) {
+    return EventStatus::kRedundant;
+  }
+  if (retired_.size() >= budget_) return EventStatus::kBudgetExhausted;
+  retired_.insert(std::upper_bound(retired_.begin(), retired_.end(), victim), victim);
+  recompute();
+  return EventStatus::kAccepted;
+}
+
+bool OnlineReconfigurator::repair(NodeId node) {
+  const auto it = std::lower_bound(retired_.begin(), retired_.end(), node);
+  if (it == retired_.end() || *it != node) return false;
+  retired_.erase(it);
+  recompute();
+  return true;
+}
+
+std::vector<NodeId> OnlineReconfigurator::inverse_mapping() const {
+  return inverse_embedding(phi_, ft_graph_.num_nodes());
+}
+
+bool OnlineReconfigurator::invariant_holds() const {
+  const FaultSet faults(ft_graph_.num_nodes(), retired_);
+  return monotone_embedding_survives(target_, ft_graph_, faults);
+}
+
+std::string OnlineReconfigurator::status_line() const {
+  std::ostringstream out;
+  out << "machine: " << target_.num_nodes() << " logical on " << ft_graph_.num_nodes()
+      << " physical, " << retired_.size() << "/" << budget_ << " spares consumed, invariant "
+      << (invariant_holds() ? "OK" : "VIOLATED");
+  return out.str();
+}
+
+}  // namespace ftdb

@@ -1,0 +1,86 @@
+// Online reconfiguration manager — the operational wrapper a real machine
+// would run. Faults arrive one at a time (nodes, links, buses); the manager
+// normalizes each to node faults (links and buses by the paper's
+// incident-node / driver-node rules), maintains the current monotone
+// embedding incrementally, and refuses events that would exhaust the spare
+// budget. Repair events return a node to service and re-tighten the mapping.
+//
+// The invariant maintained after every accepted event is exactly Theorem 1/2:
+// every target edge is carried by a healthy physical link.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ft/reconfigure.hpp"
+
+namespace ftdb {
+
+enum class FaultKind : std::uint8_t {
+  kNode,  // processor failure
+  kLink,  // point-to-point link failure (u, v) — one incident node retired
+  kBus,   // bus failure — the driver node is retired (Section V rule)
+};
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kNode;
+  NodeId node = 0;    // kNode: the node; kBus: the bus driver
+  NodeId other = 0;   // kLink: the second endpoint
+};
+
+enum class EventStatus : std::uint8_t {
+  kAccepted,        // applied; machine reconfigured
+  kRedundant,       // the normalized node was already retired
+  kBudgetExhausted, // would exceed k retired nodes — machine must halt
+};
+
+/// Tracks the fault state of one fault-tolerant machine instance.
+class OnlineReconfigurator {
+ public:
+  /// `ft_graph` is the physical interconnect (N + k nodes), `target` the
+  /// logical topology (N nodes); k = ft_graph.nodes - target.nodes.
+  OnlineReconfigurator(Graph ft_graph, Graph target);
+
+  std::size_t spare_budget() const { return budget_; }
+  std::size_t faults_outstanding() const { return retired_.size(); }
+  std::size_t spares_remaining() const { return budget_ - retired_.size(); }
+
+  /// Applies one fault event. kLink events retire the incident endpoint that
+  /// is not yet retired (preferring the one covering more previously seen
+  /// faulty links is unnecessary — one endpoint suffices per the paper).
+  EventStatus apply(const FaultEvent& event);
+
+  /// Returns a retired node to service (hot repair). Returns false when the
+  /// node was not retired.
+  bool repair(NodeId node);
+
+  /// Current logical -> physical embedding (size = target nodes).
+  const std::vector<NodeId>& mapping() const { return phi_; }
+
+  /// Physical -> logical (kInvalidNode for retired nodes and idle spares).
+  std::vector<NodeId> inverse_mapping() const;
+
+  /// The currently retired physical nodes, sorted.
+  const std::vector<NodeId>& retired() const { return retired_; }
+
+  /// Verifies the Theorem 1/2 invariant right now (every target edge on a
+  /// healthy physical link). Cheap enough to assert after every event.
+  bool invariant_holds() const;
+
+  /// Human-readable one-line status for logs.
+  std::string status_line() const;
+
+ private:
+  void recompute();
+
+  Graph ft_graph_;
+  Graph target_;
+  std::size_t budget_ = 0;
+  std::vector<NodeId> retired_;  // sorted
+  std::vector<NodeId> phi_;
+};
+
+}  // namespace ftdb

@@ -1,0 +1,70 @@
+#include "ft/reconfigure.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ftdb {
+
+FaultSet::FaultSet(std::size_t universe, std::vector<NodeId> faulty)
+    : universe_(universe), faulty_(std::move(faulty)) {
+  std::sort(faulty_.begin(), faulty_.end());
+  faulty_.erase(std::unique(faulty_.begin(), faulty_.end()), faulty_.end());
+  if (!faulty_.empty() && faulty_.back() >= universe_) {
+    throw std::out_of_range("FaultSet: fault id out of range");
+  }
+}
+
+FaultSet FaultSet::random(std::size_t universe, std::size_t count, std::mt19937_64& rng) {
+  if (count > universe) throw std::invalid_argument("FaultSet::random: count > universe");
+  // Floyd's algorithm: uniform sample of `count` distinct values.
+  std::vector<NodeId> chosen;
+  chosen.reserve(count);
+  for (std::size_t j = universe - count; j < universe; ++j) {
+    std::uniform_int_distribution<std::size_t> dist(0, j);
+    const NodeId t = static_cast<NodeId>(dist(rng));
+    if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+      chosen.push_back(t);
+    } else {
+      chosen.push_back(static_cast<NodeId>(j));
+    }
+  }
+  return FaultSet(universe, std::move(chosen));
+}
+
+bool FaultSet::is_faulty(NodeId v) const {
+  return std::binary_search(faulty_.begin(), faulty_.end(), v);
+}
+
+std::vector<NodeId> FaultSet::survivors() const {
+  std::vector<NodeId> out;
+  out.reserve(universe_ - faulty_.size());
+  std::size_t fi = 0;
+  for (std::size_t v = 0; v < universe_; ++v) {
+    if (fi < faulty_.size() && faulty_[fi] == v) {
+      ++fi;
+    } else {
+      out.push_back(static_cast<NodeId>(v));
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> monotone_embedding(const FaultSet& faults) {
+  return faults.survivors();  // the (x+1)-st survivor, by construction
+}
+
+std::vector<std::uint32_t> embedding_offsets(const std::vector<NodeId>& phi) {
+  std::vector<std::uint32_t> delta(phi.size());
+  for (std::size_t x = 0; x < phi.size(); ++x) {
+    delta[x] = static_cast<std::uint32_t>(phi[x] - x);
+  }
+  return delta;
+}
+
+std::vector<NodeId> inverse_embedding(const std::vector<NodeId>& phi, std::size_t universe) {
+  std::vector<NodeId> inv(universe, kInvalidNode);
+  for (std::size_t x = 0; x < phi.size(); ++x) inv[phi[x]] = static_cast<NodeId>(x);
+  return inv;
+}
+
+}  // namespace ftdb

@@ -1,0 +1,66 @@
+#include "ft/samatham_pradhan.hpp"
+
+#include <stdexcept>
+
+#include "topology/debruijn.hpp"
+#include "topology/labels.hpp"
+
+namespace ftdb {
+
+std::uint64_t sp_num_nodes(std::uint64_t m, unsigned h, unsigned k) {
+  return labels::ipow_checked(m * k + 1, h);
+}
+
+std::uint64_t sp_degree(std::uint64_t m, unsigned k) { return 2 * m * k + 2; }
+
+std::uint64_t digit_copies_num_nodes(std::uint64_t m, unsigned h, unsigned k) {
+  return labels::ipow_checked(m * (k + 1), h);
+}
+
+Graph digit_copies_graph(std::uint64_t m, unsigned h, unsigned k) {
+  return debruijn_graph({.base = m * (k + 1), .digits = h});
+}
+
+std::uint64_t digit_copies_degree_bound(std::uint64_t m, unsigned k) {
+  return 2 * m * (k + 1);
+}
+
+Embedding digit_copies_embedding(std::uint64_t m, unsigned h, unsigned k, unsigned copy) {
+  if (copy > k) throw std::out_of_range("digit_copies_embedding: copy index exceeds k");
+  const std::uint64_t small = labels::ipow_checked(m, h);
+  const std::uint64_t big_base = m * (k + 1);
+  Embedding phi(small);
+  for (std::uint64_t x = 0; x < small; ++x) {
+    auto digits = labels::digits_of(x, m, h);
+    for (auto& d : digits) d += static_cast<std::uint32_t>(copy * m);
+    phi[x] = static_cast<NodeId>(labels::from_digits(digits, big_base));
+  }
+  return phi;
+}
+
+std::optional<Embedding> digit_copies_reconfigure(std::uint64_t m, unsigned h, unsigned k,
+                                                  const FaultSet& faults) {
+  // A fault at node z hits copy c iff every digit of z lies in
+  // [cm, cm+m-1]. Distinct copies have disjoint node sets, so with at most k
+  // faults at least one of the k+1 copies survives.
+  const std::uint64_t big_base = m * (k + 1);
+  std::vector<bool> copy_hit(k + 1, false);
+  for (NodeId z : faults.nodes()) {
+    auto digits = labels::digits_of(z, big_base, h);
+    const std::uint32_t c = digits[0] / static_cast<std::uint32_t>(m);
+    bool inside = true;
+    for (std::uint32_t d : digits) {
+      if (d / m != c) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside && c <= k) copy_hit[c] = true;
+  }
+  for (unsigned c = 0; c <= k; ++c) {
+    if (!copy_hit[c]) return digit_copies_embedding(m, h, k, c);
+  }
+  return std::nullopt;
+}
+
+}  // namespace ftdb

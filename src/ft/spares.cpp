@@ -1,0 +1,44 @@
+#include "ft/spares.hpp"
+
+#include <cmath>
+
+namespace ftdb {
+
+long double binomial_cdf(std::uint64_t n, std::uint64_t k, long double p) {
+  if (p <= 0.0L) return 1.0L;
+  if (p >= 1.0L) return k >= n ? 1.0L : 0.0L;
+  // Work in log space for the first term, then use the ratio recurrence
+  // P(i+1)/P(i) = (n-i)/(i+1) * p/(1-p).
+  const long double q = 1.0L - p;
+  long double log_term = static_cast<long double>(n) * std::log(q);
+  long double term = std::exp(log_term);
+  long double cdf = term;
+  const long double ratio_base = p / q;
+  for (std::uint64_t i = 0; i < k && i < n; ++i) {
+    term *= static_cast<long double>(n - i) / static_cast<long double>(i + 1) * ratio_base;
+    cdf += term;
+  }
+  return cdf > 1.0L ? 1.0L : cdf;
+}
+
+long double survival_probability(std::uint64_t target_nodes, unsigned spares, long double p) {
+  return binomial_cdf(target_nodes + spares, spares, p);
+}
+
+unsigned min_spares_for_reliability(std::uint64_t target_nodes, long double p,
+                                    long double target, unsigned max_spares) {
+  for (unsigned k = 0; k <= max_spares; ++k) {
+    if (survival_probability(target_nodes, k, p) >= target) return k;
+  }
+  return max_spares + 1;
+}
+
+std::uint64_t ours_port_cost(std::uint64_t m, std::uint64_t target_nodes, unsigned spares) {
+  return (target_nodes + spares) * ((m - 1) * 4 * spares + 2 * m);
+}
+
+std::uint64_t bus_port_cost(std::uint64_t target_nodes, unsigned spares) {
+  return (target_nodes + spares) * (2ull * spares + 3);
+}
+
+}  // namespace ftdb

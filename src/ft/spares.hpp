@@ -1,0 +1,32 @@
+// Spare-provisioning analytics: how many spares k are needed for a target
+// machine reliability, and what the constructions cost in links/ports. The
+// paper guarantees survival iff at most k of the N+k nodes fail; with iid
+// node-failure probability p this makes the machine-survival probability a
+// binomial tail, which drives the ablation bench ABL2.
+#pragma once
+
+#include <cstdint>
+
+namespace ftdb {
+
+/// P[Binomial(n, p) <= k] computed with long-double recurrence (stable for the
+/// n <= ~10^6 used here).
+long double binomial_cdf(std::uint64_t n, std::uint64_t k, long double p);
+
+/// Probability that an N-node target survives on the N+k construction when
+/// every node fails independently with probability p:
+/// P[at most k of N+k nodes fail].
+long double survival_probability(std::uint64_t target_nodes, unsigned spares, long double p);
+
+/// Smallest k with survival_probability(N, k, p) >= target (capped at
+/// max_spares; returns max_spares+1 when unreachable).
+unsigned min_spares_for_reliability(std::uint64_t target_nodes, long double p,
+                                    long double target, unsigned max_spares);
+
+/// Port cost of the point-to-point construction: (N+k) * (4(m-1)k + 2m).
+std::uint64_t ours_port_cost(std::uint64_t m, std::uint64_t target_nodes, unsigned spares);
+
+/// Port cost of the bus construction of Section V: (N+k) * (2k+3).
+std::uint64_t bus_port_cost(std::uint64_t target_nodes, unsigned spares);
+
+}  // namespace ftdb

@@ -1,0 +1,143 @@
+#include "ft/tolerance.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "graph/subgraph.hpp"
+
+namespace ftdb {
+
+bool monotone_embedding_survives(const Graph& target, const Graph& ft_graph,
+                                 const FaultSet& faults, Edge* violation) {
+  const std::vector<NodeId> phi = monotone_embedding(faults);
+  if (phi.size() < target.num_nodes()) {
+    if (violation != nullptr) *violation = Edge{kInvalidNode, kInvalidNode};
+    return false;  // not enough survivors to host the target
+  }
+  for (std::size_t x = 0; x < target.num_nodes(); ++x) {
+    for (NodeId y : target.neighbors(static_cast<NodeId>(x))) {
+      if (static_cast<NodeId>(x) >= y) continue;
+      if (!ft_graph.has_edge(phi[x], phi[y])) {
+        if (violation != nullptr) *violation = Edge{static_cast<NodeId>(x), y};
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void for_each_fault_set(std::size_t n, unsigned k,
+                        const std::function<bool(const std::vector<NodeId>&)>& visit) {
+  if (k > n) return;
+  std::vector<NodeId> subset(k);
+  for (unsigned i = 0; i < k; ++i) subset[i] = static_cast<NodeId>(i);
+  while (true) {
+    if (!visit(subset)) return;
+    // Advance to the next k-combination in lexicographic order.
+    int i = static_cast<int>(k) - 1;
+    while (i >= 0 && subset[static_cast<unsigned>(i)] ==
+                         static_cast<NodeId>(n - k + static_cast<unsigned>(i))) {
+      --i;
+    }
+    if (i < 0) return;
+    ++subset[static_cast<unsigned>(i)];
+    for (unsigned j = static_cast<unsigned>(i) + 1; j < k; ++j) {
+      subset[j] = subset[j - 1] + 1;
+    }
+  }
+}
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    const std::uint64_t num = n - k + i;
+    if (result > std::numeric_limits<std::uint64_t>::max() / num) {
+      throw std::overflow_error("binomial: overflow");
+    }
+    result = result * num / i;
+  }
+  return result;
+}
+
+namespace {
+
+ToleranceReport run_exhaustive(const Graph& target, const Graph& ft_graph, unsigned k,
+                               const std::function<bool(const FaultSet&, Edge*)>& survives) {
+  ToleranceReport report;
+  const std::size_t n = ft_graph.num_nodes();
+  for_each_fault_set(n, k, [&](const std::vector<NodeId>& subset) {
+    ++report.fault_sets_checked;
+    FaultSet faults(n, subset);
+    Edge violation{};
+    if (!survives(faults, &violation)) {
+      report.tolerant = false;
+      report.counterexample_faults = subset;
+      report.violated_edge = violation;
+      return false;
+    }
+    return true;
+  });
+  (void)target;
+  return report;
+}
+
+}  // namespace
+
+ToleranceReport check_tolerance_exhaustive(const Graph& target, const Graph& ft_graph,
+                                           unsigned k, bool check_all_sizes) {
+  ToleranceReport total;
+  const unsigned lo = check_all_sizes ? 0 : k;
+  for (unsigned kk = lo; kk <= k; ++kk) {
+    ToleranceReport r = run_exhaustive(
+        target, ft_graph, kk, [&](const FaultSet& faults, Edge* violation) {
+          return monotone_embedding_survives(target, ft_graph, faults, violation);
+        });
+    total.fault_sets_checked += r.fault_sets_checked;
+    if (!r.tolerant) {
+      total.tolerant = false;
+      total.counterexample_faults = std::move(r.counterexample_faults);
+      total.violated_edge = r.violated_edge;
+      return total;
+    }
+  }
+  return total;
+}
+
+ToleranceReport check_tolerance_monte_carlo(const Graph& target, const Graph& ft_graph,
+                                            unsigned k, std::uint64_t trials,
+                                            std::uint64_t seed) {
+  ToleranceReport report;
+  std::mt19937_64 rng(seed);
+  const std::size_t n = ft_graph.num_nodes();
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    FaultSet faults = FaultSet::random(n, k, rng);
+    ++report.fault_sets_checked;
+    Edge violation{};
+    if (!monotone_embedding_survives(target, ft_graph, faults, &violation)) {
+      report.tolerant = false;
+      report.counterexample_faults = faults.nodes();
+      report.violated_edge = violation;
+      return report;
+    }
+  }
+  return report;
+}
+
+ToleranceReport check_tolerance_exhaustive_vf2(const Graph& target, const Graph& ft_graph,
+                                               unsigned k,
+                                               const EmbeddingSearchOptions& options) {
+  return run_exhaustive(target, ft_graph, k, [&](const FaultSet& faults, Edge* violation) {
+    auto survivors = faults.survivors();
+    InducedSubgraph healthy = induced_subgraph(ft_graph, survivors);
+    auto embedding = find_subgraph_embedding(target, healthy.graph, options);
+    if (!embedding.has_value()) {
+      if (violation != nullptr) *violation = Edge{kInvalidNode, kInvalidNode};
+      return false;
+    }
+    return true;
+  });
+}
+
+}  // namespace ftdb

@@ -1,0 +1,70 @@
+// (k, G)-tolerance checking — the executable form of Theorems 1 and 2.
+//
+// A graph G' is (k, G)-tolerant when for *every* set W of |V(G')| - k
+// surviving nodes, the induced subgraph contains G. For the paper's
+// constructions the witness embedding is always the monotone rank embedding,
+// so the check is: for every fault set F (|F| <= k) and every edge (x, y) of
+// G, (phi(x), phi(y)) must be an edge of G'. We provide an exhaustive checker
+// (all C(N+k, k) fault sets) for small instances and a seeded Monte Carlo
+// checker for large ones, plus a general checker that uses VF2 search instead
+// of the monotone witness (for baselines with different reconfiguration).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "graph/embedding.hpp"
+#include "graph/graph.hpp"
+#include "ft/reconfigure.hpp"
+
+namespace ftdb {
+
+/// Verifies the monotone witness for one fault set. Returns true when every
+/// target edge survives; on failure optionally reports the first violated
+/// target edge through `violation`.
+bool monotone_embedding_survives(const Graph& target, const Graph& ft_graph,
+                                 const FaultSet& faults, Edge* violation = nullptr);
+
+struct ToleranceReport {
+  bool tolerant = true;
+  std::uint64_t fault_sets_checked = 0;
+  /// First failing fault set, if any.
+  std::vector<NodeId> counterexample_faults;
+  Edge violated_edge{};
+};
+
+/// Exhaustively enumerates every fault set of size exactly `k` (fault sets of
+/// smaller size are dominated: the paper's definition removes exactly k nodes,
+/// and tolerating k faults implies tolerating fewer because the monotone
+/// embedding of a sub-fault-set uses a subset of the offsets — we still expose
+/// `check_all_sizes` to test that claim directly).
+ToleranceReport check_tolerance_exhaustive(const Graph& target, const Graph& ft_graph,
+                                           unsigned k, bool check_all_sizes = false);
+
+/// Monte Carlo: `trials` random fault sets of size k (seeded, reproducible).
+ToleranceReport check_tolerance_monte_carlo(const Graph& target, const Graph& ft_graph,
+                                            unsigned k, std::uint64_t trials,
+                                            std::uint64_t seed);
+
+/// Generic tolerance check via subgraph-monomorphism search (no assumption on
+/// the reconfiguration strategy). Exponential in the worst case; used for the
+/// digit-copies baseline and for cross-validating the monotone witness on
+/// small instances.
+ToleranceReport check_tolerance_exhaustive_vf2(const Graph& target, const Graph& ft_graph,
+                                               unsigned k,
+                                               const EmbeddingSearchOptions& options = {});
+
+/// Enumerates k-subsets of {0..n-1} in lexicographic order, invoking
+/// `visit(subset)`; stops early when visit returns false. Exposed for tests
+/// and experiment harnesses.
+void for_each_fault_set(std::size_t n, unsigned k,
+                        const std::function<bool(const std::vector<NodeId>&)>& visit);
+
+/// C(n, k) in 64 bits (throws on overflow) — used to size exhaustive runs.
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
+
+}  // namespace ftdb

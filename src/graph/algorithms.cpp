@@ -1,0 +1,138 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace ftdb {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> bfs_parents(const Graph& g, NodeId source) {
+  std::vector<NodeId> parent(g.num_nodes(), kInvalidNode);
+  std::queue<NodeId> frontier;
+  parent[source] = source;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (parent[v] == kInvalidNode) {
+        parent[v] = u;
+        frontier.push(v);
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<NodeId> shortest_path(const Graph& g, NodeId source, NodeId target) {
+  auto parent = bfs_parents(g, source);
+  if (parent[target] == kInvalidNode) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = target;; v = parent[v]) {
+    path.push_back(v);
+    if (v == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  std::vector<std::uint32_t> label(g.num_nodes(), kUnreachable);
+  std::uint32_t next = 0;
+  std::queue<NodeId> frontier;
+  for (std::size_t s = 0; s < g.num_nodes(); ++s) {
+    if (label[s] != kUnreachable) continue;
+    label[s] = next;
+    frontier.push(static_cast<NodeId>(s));
+    while (!frontier.empty()) {
+      NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId v : g.neighbors(u)) {
+        if (label[v] == kUnreachable) {
+          label[v] = next;
+          frontier.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+std::size_t num_connected_components(const Graph& g) {
+  auto label = connected_components(g);
+  std::uint32_t best = 0;
+  for (std::uint32_t l : label) best = std::max(best, l + 1);
+  return g.num_nodes() == 0 ? 0 : best;
+}
+
+bool is_connected(const Graph& g) {
+  return g.num_nodes() <= 1 || num_connected_components(g) == 1;
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId source) {
+  auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  if (g.num_nodes() == 0) return 0;
+  if (!is_connected(g)) return kUnreachable;
+  std::uint32_t diam = 0;
+  for (std::size_t s = 0; s < g.num_nodes(); ++s) {
+    diam = std::max(diam, eccentricity(g, static_cast<NodeId>(s)));
+  }
+  return diam;
+}
+
+bool is_bipartite(const Graph& g) {
+  std::vector<std::int8_t> color(g.num_nodes(), -1);
+  std::queue<NodeId> frontier;
+  for (std::size_t s = 0; s < g.num_nodes(); ++s) {
+    if (color[s] != -1) continue;
+    color[s] = 0;
+    frontier.push(static_cast<NodeId>(s));
+    while (!frontier.empty()) {
+      NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId v : g.neighbors(u)) {
+        if (color[v] == -1) {
+          color[v] = static_cast<std::int8_t>(1 - color[u]);
+          frontier.push(v);
+        } else if (color[v] == color[u]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::size_t> degree_histogram(const Graph& g) {
+  std::vector<std::size_t> hist(g.max_degree() + 1, 0);
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) ++hist[g.degree(static_cast<NodeId>(v))];
+  return hist;
+}
+
+}  // namespace ftdb

@@ -1,0 +1,48 @@
+// Classical graph algorithms used throughout the library: BFS, connectivity,
+// diameter/eccentricity, and bipartiteness. All run on the immutable CSR
+// `Graph` and are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftdb {
+
+/// Distance value for unreachable nodes.
+inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+
+/// Single-source shortest-path distances (hop counts) via BFS.
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// BFS parent tree: parent[source] == source, parent[unreached] == kInvalidNode.
+std::vector<NodeId> bfs_parents(const Graph& g, NodeId source);
+
+/// Reconstructs a shortest path from `source` to `target`; empty if unreachable,
+/// [source] if source == target.
+std::vector<NodeId> shortest_path(const Graph& g, NodeId source, NodeId target);
+
+/// Component label per node (labels are 0-based, assigned in node order).
+std::vector<std::uint32_t> connected_components(const Graph& g);
+
+std::size_t num_connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Largest finite eccentricity from `source` (max BFS distance to a reachable node).
+std::uint32_t eccentricity(const Graph& g, NodeId source);
+
+/// Exact diameter via all-sources BFS. Returns kUnreachable when disconnected.
+/// Intended for the moderate sizes used in the experiments (N up to ~10^5 with
+/// constant degree).
+std::uint32_t diameter(const Graph& g);
+
+/// True when the graph admits a proper 2-coloring.
+bool is_bipartite(const Graph& g);
+
+/// Degree histogram: hist[d] = number of nodes of degree d.
+std::vector<std::size_t> degree_histogram(const Graph& g);
+
+}  // namespace ftdb

@@ -1,0 +1,65 @@
+#include "graph/bus_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ftdb {
+
+BusGraph::BusGraph(std::size_t num_nodes, std::vector<Bus> buses)
+    : num_nodes_(num_nodes), buses_(std::move(buses)), incidence_(num_nodes) {
+  for (std::size_t i = 0; i < buses_.size(); ++i) {
+    Bus& b = buses_[i];
+    if (b.driver >= num_nodes_) throw std::out_of_range("BusGraph: driver out of range");
+    std::sort(b.members.begin(), b.members.end());
+    b.members.erase(std::unique(b.members.begin(), b.members.end()), b.members.end());
+    // The driver is not a member of its own block.
+    b.members.erase(std::remove(b.members.begin(), b.members.end(), b.driver), b.members.end());
+    for (NodeId m : b.members) {
+      if (m >= num_nodes_) throw std::out_of_range("BusGraph: member out of range");
+      incidence_[m].push_back(static_cast<std::uint32_t>(i));
+    }
+    incidence_[b.driver].push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+std::size_t BusGraph::max_bus_degree() const {
+  std::size_t best = 0;
+  for (const auto& inc : incidence_) best = std::max(best, inc.size());
+  return best;
+}
+
+bool BusGraph::can_communicate(NodeId u, NodeId v) const {
+  if (u == v) return false;
+  for (std::uint32_t bi : incidence_[u]) {
+    const Bus& b = buses_[bi];
+    const bool u_is_driver = b.driver == u;
+    const bool v_is_driver = b.driver == v;
+    const bool v_is_member = std::binary_search(b.members.begin(), b.members.end(), v);
+    const bool u_is_member = std::binary_search(b.members.begin(), b.members.end(), u);
+    if ((u_is_driver && v_is_member) || (v_is_driver && u_is_member)) return true;
+  }
+  return false;
+}
+
+Graph BusGraph::realized_graph() const {
+  GraphBuilder builder(num_nodes_);
+  for (const Bus& b : buses_) {
+    for (NodeId m : b.members) builder.add_edge(b.driver, m);
+  }
+  return builder.build();
+}
+
+std::vector<NodeId> BusGraph::bus_faults_to_node_faults(
+    const std::vector<std::uint32_t>& faulty_buses) const {
+  std::vector<NodeId> faults;
+  faults.reserve(faulty_buses.size());
+  for (std::uint32_t bi : faulty_buses) {
+    if (bi >= buses_.size()) throw std::out_of_range("bus_faults_to_node_faults: bad bus index");
+    faults.push_back(buses_[bi].driver);
+  }
+  std::sort(faults.begin(), faults.end());
+  faults.erase(std::unique(faults.begin(), faults.end()), faults.end());
+  return faults;
+}
+
+}  // namespace ftdb

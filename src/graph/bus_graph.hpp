@@ -1,0 +1,57 @@
+// Bus architectures (Section V of the paper) modelled as hypergraphs.
+//
+// Each bus has a distinguished *driver* node i plus a set of member nodes (the
+// block of consecutive nodes the paper connects i to). The paper uses buses in
+// a restricted way: every communication on bus i involves node i itself, which
+// is what makes bus faults tolerable by declaring the driver faulty.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftdb {
+
+struct Bus {
+  NodeId driver = 0;
+  std::vector<NodeId> members;  // excludes the driver; sorted, deduped
+};
+
+class BusGraph {
+ public:
+  BusGraph(std::size_t num_nodes, std::vector<Bus> buses);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_buses() const { return buses_.size(); }
+  const Bus& bus(std::size_t i) const { return buses_[i]; }
+  const std::vector<Bus>& buses() const { return buses_; }
+
+  /// Bus indices node v participates in (as driver or member).
+  const std::vector<std::uint32_t>& buses_of(NodeId v) const { return incidence_[v]; }
+
+  /// Number of buses incident with v — the "degree" Section V bounds by 2k+3.
+  std::size_t bus_degree(NodeId v) const { return incidence_[v].size(); }
+
+  std::size_t max_bus_degree() const;
+
+  /// True when u and v can communicate in the paper's restricted discipline:
+  /// some bus has one of them as driver and the other as member.
+  bool can_communicate(NodeId u, NodeId v) const;
+
+  /// The point-to-point connectivity realized by the restricted bus
+  /// discipline: edge (driver, member) for every bus membership. Useful for
+  /// checking that a bus architecture still carries a target graph.
+  Graph realized_graph() const;
+
+  /// Bus-fault handling from Section V: a faulty bus is tolerated by treating
+  /// its driver as a faulty node. Translates bus faults into node faults.
+  std::vector<NodeId> bus_faults_to_node_faults(const std::vector<std::uint32_t>& faulty_buses) const;
+
+ private:
+  std::size_t num_nodes_;
+  std::vector<Bus> buses_;
+  std::vector<std::vector<std::uint32_t>> incidence_;
+};
+
+}  // namespace ftdb

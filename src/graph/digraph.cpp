@@ -1,0 +1,105 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ftdb {
+
+Digraph::Digraph(std::size_t num_nodes, std::vector<std::pair<NodeId, NodeId>> arcs) {
+  for (const auto& [u, v] : arcs) {
+    if (u >= num_nodes || v >= num_nodes) throw std::out_of_range("Digraph: arc out of range");
+  }
+  std::sort(arcs.begin(), arcs.end());
+  out_offsets_.assign(num_nodes + 1, 0);
+  in_offsets_.assign(num_nodes + 1, 0);
+  for (const auto& [u, v] : arcs) {
+    ++out_offsets_[u + 1];
+    ++in_offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i <= num_nodes; ++i) {
+    out_offsets_[i] += out_offsets_[i - 1];
+    in_offsets_[i] += in_offsets_[i - 1];
+  }
+  out_adj_.resize(arcs.size());
+  in_adj_.resize(arcs.size());
+  std::vector<std::size_t> out_cursor(out_offsets_.begin(), out_offsets_.end() - 1);
+  std::vector<std::size_t> in_cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (const auto& [u, v] : arcs) {
+    out_adj_[out_cursor[u]++] = v;
+    in_adj_[in_cursor[v]++] = u;
+  }
+}
+
+Graph Digraph::undirected_shadow() const {
+  GraphBuilder b(num_nodes());
+  for (std::size_t u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : out_neighbors(static_cast<NodeId>(u))) {
+      b.add_edge(static_cast<NodeId>(u), v);
+    }
+  }
+  return b.build();
+}
+
+bool Digraph::is_eulerian() const {
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    if (in_degree(static_cast<NodeId>(v)) != out_degree(static_cast<NodeId>(v))) return false;
+  }
+  // Weak connectivity over non-isolated nodes via the undirected shadow.
+  const Graph shadow = undirected_shadow();
+  NodeId start = kInvalidNode;
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    if (out_degree(static_cast<NodeId>(v)) > 0) {
+      start = static_cast<NodeId>(v);
+      break;
+    }
+  }
+  if (start == kInvalidNode) return num_arcs() == 0;
+  // BFS from start over the shadow; every node with arcs must be reached.
+  std::vector<bool> seen(num_nodes(), false);
+  std::vector<NodeId> stack{start};
+  seen[start] = true;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId v : shadow.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    if (out_degree(static_cast<NodeId>(v)) > 0 && !seen[v]) return false;
+  }
+  // Self-loop-only nodes are reachable via their own loop arc in the walk
+  // sense but the shadow drops self-loops; treat a node whose arcs are all
+  // self-loops as connected iff it is the only active node.
+  return true;
+}
+
+std::vector<NodeId> Digraph::euler_circuit() const {
+  if (num_arcs() == 0) return {};
+  if (!is_eulerian()) return {};
+  // Hierholzer with per-node arc cursors.
+  std::vector<std::size_t> cursor(num_nodes(), 0);
+  NodeId start = 0;
+  while (out_degree(start) == 0) ++start;
+  std::vector<NodeId> stack{start};
+  std::vector<NodeId> circuit;
+  circuit.reserve(num_arcs() + 1);
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    if (cursor[v] < out_degree(v)) {
+      const NodeId next = out_neighbors(v)[cursor[v]++];
+      stack.push_back(next);
+    } else {
+      circuit.push_back(v);
+      stack.pop_back();
+    }
+  }
+  std::reverse(circuit.begin(), circuit.end());
+  if (circuit.size() != num_arcs() + 1) return {};  // disconnected arc set
+  return circuit;
+}
+
+}  // namespace ftdb

@@ -1,0 +1,53 @@
+// Directed graph substrate. The de Bruijn networks of the paper are the
+// undirected shadows of the classical de Bruijn digraph (x -> mx + r); the
+// digraph view is needed for Euler-tour arguments (de Bruijn sequences), for
+// the directed shift-register routing, and for in/out degree analyses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftdb {
+
+/// Immutable directed multigraph in CSR layout (parallel arcs permitted —
+/// the de Bruijn digraph of order h=1 has them).
+class Digraph {
+ public:
+  Digraph() = default;
+  Digraph(std::size_t num_nodes, std::vector<std::pair<NodeId, NodeId>> arcs);
+
+  std::size_t num_nodes() const { return out_offsets_.empty() ? 0 : out_offsets_.size() - 1; }
+  std::size_t num_arcs() const { return out_adj_.size(); }
+
+  std::span<const NodeId> out_neighbors(NodeId v) const {
+    return {out_adj_.data() + out_offsets_[v], out_adj_.data() + out_offsets_[v + 1]};
+  }
+  std::span<const NodeId> in_neighbors(NodeId v) const {
+    return {in_adj_.data() + in_offsets_[v], in_adj_.data() + in_offsets_[v + 1]};
+  }
+  std::size_t out_degree(NodeId v) const { return out_offsets_[v + 1] - out_offsets_[v]; }
+  std::size_t in_degree(NodeId v) const { return in_offsets_[v + 1] - in_offsets_[v]; }
+
+  /// The undirected shadow: arcs become edges, self-loops dropped, dedup.
+  Graph undirected_shadow() const;
+
+  /// True when in-degree equals out-degree at every node and the arcs form a
+  /// single (weakly) connected component among non-isolated nodes — the
+  /// Eulerian-circuit condition for connected digraphs.
+  bool is_eulerian() const;
+
+  /// An Euler circuit as a sequence of nodes (first == last), or empty when
+  /// none exists. Hierholzer's algorithm, deterministic arc order.
+  std::vector<NodeId> euler_circuit() const;
+
+ private:
+  std::vector<std::size_t> out_offsets_;
+  std::vector<NodeId> out_adj_;
+  std::vector<std::size_t> in_offsets_;
+  std::vector<NodeId> in_adj_;
+};
+
+}  // namespace ftdb

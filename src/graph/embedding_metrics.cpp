@@ -1,0 +1,70 @@
+#include "graph/embedding_metrics.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace ftdb {
+
+EmbeddingMetrics measure_embedding(const Graph& pattern, const Graph& host,
+                                   const Embedding& phi) {
+  if (phi.size() != pattern.num_nodes()) {
+    throw std::invalid_argument("measure_embedding: phi size mismatch");
+  }
+  std::vector<bool> used(host.num_nodes(), false);
+  for (NodeId v : phi) {
+    if (v >= host.num_nodes() || used[v]) {
+      throw std::invalid_argument("measure_embedding: phi not injective/in-range");
+    }
+    used[v] = true;
+  }
+
+  EmbeddingMetrics metrics;
+  metrics.expansion = pattern.num_nodes() == 0
+                          ? 0.0
+                          : static_cast<double>(host.num_nodes()) /
+                                static_cast<double>(pattern.num_nodes());
+
+  std::map<std::pair<NodeId, NodeId>, std::uint32_t> host_edge_load;
+  std::uint64_t total_dilation = 0;
+  std::uint64_t routed = 0;
+  // Group pattern edges by source image to reuse BFS trees.
+  for (std::size_t u = 0; u < pattern.num_nodes(); ++u) {
+    bool any = false;
+    for (NodeId v : pattern.neighbors(static_cast<NodeId>(u))) {
+      if (static_cast<NodeId>(u) < v) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    const auto parents = bfs_parents(host, phi[u]);
+    for (NodeId v : pattern.neighbors(static_cast<NodeId>(u))) {
+      if (static_cast<NodeId>(u) >= v) continue;
+      if (parents[phi[v]] == kInvalidNode) {
+        ++metrics.broken_edges;
+        continue;
+      }
+      // Walk the BFS tree back from phi[v] to phi[u].
+      std::uint32_t length = 0;
+      for (NodeId cur = phi[v]; cur != phi[u]; cur = parents[cur]) {
+        const NodeId next = parents[cur];
+        const auto key = cur < next ? std::make_pair(cur, next) : std::make_pair(next, cur);
+        ++host_edge_load[key];
+        ++length;
+      }
+      metrics.dilation = std::max(metrics.dilation, length);
+      total_dilation += length;
+      ++routed;
+    }
+  }
+  metrics.average_dilation =
+      routed == 0 ? 0.0 : static_cast<double>(total_dilation) / static_cast<double>(routed);
+  for (const auto& [edge, load] : host_edge_load) {
+    metrics.congestion = std::max(metrics.congestion, load);
+  }
+  return metrics;
+}
+
+}  // namespace ftdb

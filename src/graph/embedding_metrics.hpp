@@ -1,0 +1,34 @@
+// Embedding quality metrics — the standard vocabulary for comparing network
+// embeddings (dilation, congestion, expansion). The paper's reconfiguration
+// embedding is dilation-1 by construction; these metrics make that claim
+// measurable and let us quantify how much worse a *non*-spare strategy is
+// (routing the target's edges through a degraded machine stretches them).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/embedding.hpp"
+#include "graph/graph.hpp"
+
+namespace ftdb {
+
+struct EmbeddingMetrics {
+  /// Max over pattern edges of the host-path length carrying it.
+  std::uint32_t dilation = 0;
+  double average_dilation = 0.0;
+  /// Max over host edges of the number of pattern-edge paths crossing it.
+  std::uint32_t congestion = 0;
+  /// |V(host)| / |V(pattern)|.
+  double expansion = 0.0;
+  /// Number of pattern edges with no host path (infinite dilation).
+  std::uint64_t broken_edges = 0;
+};
+
+/// Routes every pattern edge over a shortest host path between the images
+/// and aggregates the metrics. phi must be injective and in-range.
+/// Dilation-1 embeddings report dilation == 1 and congestion == 1.
+EmbeddingMetrics measure_embedding(const Graph& pattern, const Graph& host,
+                                   const Embedding& phi);
+
+}  // namespace ftdb

@@ -1,0 +1,103 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ftdb {
+
+GraphBuilder::GraphBuilder(std::size_t num_nodes) : num_nodes_(num_nodes) {}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    throw std::out_of_range("GraphBuilder::add_edge: endpoint out of range");
+  }
+  raw_edges_.push_back(Edge{u, v});
+}
+
+Graph GraphBuilder::build() const {
+  // Canonicalize: order endpoints, drop self-loops, dedup.
+  std::vector<Edge> edges;
+  edges.reserve(raw_edges_.size());
+  for (const Edge& e : raw_edges_) {
+    if (e.u == e.v) continue;  // self-loops are ignored per the paper
+    edges.push_back(e.u < e.v ? e : Edge{e.v, e.u});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Graph g;
+  g.offsets_.assign(num_nodes_ + 1, 0);
+  for (const Edge& e : edges) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= num_nodes_; ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adjacency_.resize(edges.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    g.adjacency_[cursor[e.u]++] = e.v;
+    g.adjacency_[cursor[e.v]++] = e.u;
+  }
+  // Adjacency lists are sorted by construction: edges are sorted by (u, v),
+  // so entries appended under a fixed u are increasing; entries appended
+  // under a fixed v (as the larger endpoint) are increasing in u as well,
+  // but the two interleave, so sort each list to be safe.
+  for (std::size_t v = 0; v < num_nodes_; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (std::size_t v = 0; v < num_nodes(); ++v) best = std::max(best, degree(static_cast<NodeId>(v)));
+  return best;
+}
+
+std::size_t Graph::min_degree() const {
+  if (num_nodes() == 0) return 0;
+  std::size_t best = degree(0);
+  for (std::size_t v = 1; v < num_nodes(); ++v) best = std::min(best, degree(static_cast<NodeId>(v)));
+  return best;
+}
+
+double Graph::average_degree() const {
+  if (num_nodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) / static_cast<double>(num_nodes());
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes()) return false;
+  auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (std::size_t u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : neighbors(static_cast<NodeId>(u))) {
+      if (static_cast<NodeId>(u) < v) out.push_back(Edge{static_cast<NodeId>(u), v});
+    }
+  }
+  return out;
+}
+
+bool Graph::same_structure(const Graph& other) const {
+  return offsets_ == other.offsets_ && adjacency_ == other.adjacency_;
+}
+
+Graph make_graph(std::size_t num_nodes, const std::vector<Edge>& edges) {
+  GraphBuilder b(num_nodes);
+  b.reserve_edges(edges.size());
+  for (const Edge& e : edges) b.add_edge(e.u, e.v);
+  return b.build();
+}
+
+}  // namespace ftdb

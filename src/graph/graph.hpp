@@ -1,0 +1,111 @@
+// Core immutable graph type (CSR layout) and its builder.
+//
+// All graphs in this library follow the conventions of Section II of
+// Bruck/Cypher/Ho: undirected simple graphs, no self-loops (constructions
+// that would naturally produce self-loops simply drop them), nodes labelled
+// 0 .. num_nodes()-1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ftdb {
+
+/// Node identifier. Every graph uses a dense range [0, num_nodes).
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (used by search algorithms and routing tables).
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// An undirected edge, stored with endpoints in construction order.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph;
+
+/// Accumulates edges and produces an immutable CSR `Graph`.
+///
+/// The builder tolerates duplicate edges, self-loops and edges given in either
+/// endpoint order; `build()` canonicalizes (dedup, drop self-loops, sort
+/// adjacency lists). This mirrors the paper's convention that self-loops
+/// arising from the algebraic edge definitions "should be ignored".
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t num_nodes);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+
+  /// Records an undirected edge {u, v}. Self-loops are silently dropped at
+  /// build time. Endpoints must be < num_nodes().
+  void add_edge(NodeId u, NodeId v);
+
+  /// Hint for the expected number of add_edge calls.
+  void reserve_edges(std::size_t n) { raw_edges_.reserve(n); }
+
+  /// Finalizes into an immutable Graph. The builder may be reused afterwards
+  /// (it retains its edges); call `clear()` to start over.
+  Graph build() const;
+
+  void clear() { raw_edges_.clear(); }
+
+ private:
+  std::size_t num_nodes_;
+  std::vector<Edge> raw_edges_;
+};
+
+/// Immutable undirected simple graph in compressed sparse row layout.
+///
+/// Adjacency lists are sorted, enabling O(log d) `has_edge` and deterministic
+/// iteration order everywhere (important for reproducible experiments).
+class Graph {
+ public:
+  Graph() = default;
+
+  std::size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+  /// Number of undirected edges (each counted once).
+  std::size_t num_edges() const { return adjacency_.size() / 2; }
+
+  /// Sorted neighbors of `v`.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+  }
+
+  std::size_t degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// Maximum node degree; 0 for an empty graph. This is the quantity the
+  /// paper's corollaries bound (e.g. deg(B^k_{2,h}) <= 4k+4).
+  std::size_t max_degree() const;
+  std::size_t min_degree() const;
+  double average_degree() const;
+
+  /// Binary search in the sorted adjacency list.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// All edges with u < v, in lexicographic order.
+  std::vector<Edge> edges() const;
+
+  /// Structural equality (same node count and identical edge sets).
+  bool same_structure(const Graph& other) const;
+
+  friend class GraphBuilder;
+
+ private:
+  // offsets_ has num_nodes()+1 entries; adjacency_ stores each undirected
+  // edge twice (once per endpoint).
+  std::vector<std::size_t> offsets_;
+  std::vector<NodeId> adjacency_;
+};
+
+/// Convenience: builds a graph directly from an edge list.
+Graph make_graph(std::size_t num_nodes, const std::vector<Edge>& edges);
+
+}  // namespace ftdb

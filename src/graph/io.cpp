@@ -1,0 +1,79 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ftdb {
+
+std::string to_dot(const Graph& g, const DotOptions& options) {
+  std::ostringstream out;
+  out << "graph " << options.graph_name << " {\n";
+  out << "  layout=circo;\n  node [shape=circle];\n";
+  std::vector<bool> highlighted(g.num_nodes(), false);
+  for (NodeId v : options.highlighted_nodes) {
+    if (v < g.num_nodes()) highlighted[v] = true;
+  }
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    out << "  n" << v;
+    out << " [label=\"";
+    if (v < options.node_labels.size() && !options.node_labels[v].empty()) {
+      out << options.node_labels[v];
+    } else {
+      out << v;
+    }
+    out << "\"";
+    if (highlighted[v]) out << ", style=filled, fillcolor=gray";
+    out << "];\n";
+  }
+  const bool style_edges = !options.solid_edges.empty();
+  auto is_solid = [&](NodeId u, NodeId v) {
+    return std::any_of(options.solid_edges.begin(), options.solid_edges.end(), [&](const Edge& e) {
+      return (e.u == u && e.v == v) || (e.u == v && e.v == u);
+    });
+  };
+  for (const Edge& e : g.edges()) {
+    out << "  n" << e.u << " -- n" << e.v;
+    if (style_edges) {
+      out << (is_solid(e.u, e.v) ? " [style=solid]" : " [style=dashed]");
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream out;
+  out << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) out << e.u << ' ' << e.v << '\n';
+  return out.str();
+}
+
+Graph from_edge_list(std::istream& in) {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  if (!(in >> nodes >> edges)) throw std::runtime_error("from_edge_list: bad header");
+  GraphBuilder b(nodes);
+  b.reserve_edges(edges);
+  for (std::size_t i = 0; i < edges; ++i) {
+    NodeId u = 0;
+    NodeId v = 0;
+    if (!(in >> u >> v)) throw std::runtime_error("from_edge_list: truncated edge list");
+    b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+std::string format_adjacency(const Graph& g) {
+  std::ostringstream out;
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    out << v << ":";
+    for (NodeId w : g.neighbors(static_cast<NodeId>(v))) out << ' ' << w;
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ftdb

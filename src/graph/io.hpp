@@ -1,0 +1,36 @@
+// Serialization of graphs for the figure-reproduction benches: DOT output
+// (matching the style of the paper's Figures 1-5), adjacency listings, and a
+// plain edge-list format for interchange.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ftdb {
+
+struct DotOptions {
+  std::string graph_name = "G";
+  /// Optional per-node label override; empty = numeric labels.
+  std::vector<std::string> node_labels;
+  /// Nodes rendered with a distinct style (e.g. faulty nodes in Fig. 3/5).
+  std::vector<NodeId> highlighted_nodes;
+  /// Edges rendered solid (the "used after reconfiguration" edges of Fig. 3);
+  /// all others are rendered dashed when this list is non-empty.
+  std::vector<Edge> solid_edges;
+};
+
+/// Graphviz DOT rendering of an undirected graph.
+std::string to_dot(const Graph& g, const DotOptions& options = {});
+
+/// "u v" per line, lexicographic, preceded by a "nodes edges" header line.
+std::string to_edge_list(const Graph& g);
+
+/// Parses the format produced by to_edge_list.
+Graph from_edge_list(std::istream& in);
+
+/// Human-readable adjacency table: one line per node, sorted neighbors.
+std::string format_adjacency(const Graph& g);
+
+}  // namespace ftdb

@@ -1,0 +1,47 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+
+namespace ftdb {
+
+InducedSubgraph induced_subgraph(const Graph& g, const std::vector<NodeId>& nodes) {
+  std::vector<NodeId> keep = nodes;
+  std::sort(keep.begin(), keep.end());
+  keep.erase(std::unique(keep.begin(), keep.end()), keep.end());
+
+  std::vector<NodeId> new_label(g.num_nodes(), kInvalidNode);
+  for (std::size_t i = 0; i < keep.size(); ++i) new_label[keep[i]] = static_cast<NodeId>(i);
+
+  GraphBuilder b(keep.size());
+  for (NodeId u : keep) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v && new_label[v] != kInvalidNode) {
+        b.add_edge(new_label[u], new_label[v]);
+      }
+    }
+  }
+  return InducedSubgraph{b.build(), std::move(keep)};
+}
+
+InducedSubgraph induced_subgraph_excluding(const Graph& g, const std::vector<NodeId>& removed) {
+  std::vector<bool> dead(g.num_nodes(), false);
+  for (NodeId v : removed) dead[v] = true;
+  std::vector<NodeId> keep;
+  keep.reserve(g.num_nodes() - removed.size());
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    if (!dead[v]) keep.push_back(static_cast<NodeId>(v));
+  }
+  return induced_subgraph(g, keep);
+}
+
+bool is_identity_subgraph(const Graph& h, const Graph& g) {
+  if (h.num_nodes() > g.num_nodes()) return false;
+  for (std::size_t u = 0; u < h.num_nodes(); ++u) {
+    for (NodeId v : h.neighbors(static_cast<NodeId>(u))) {
+      if (static_cast<NodeId>(u) < v && !g.has_edge(static_cast<NodeId>(u), v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ftdb

@@ -1,0 +1,33 @@
+// Induced subgraphs and subgraph relations — the vocabulary of Hayes's fault
+// model: a fault set F kills |F| nodes of the fault-tolerant graph G', and the
+// question is whether the subgraph induced by the survivors contains the
+// target graph.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftdb {
+
+/// Result of inducing a subgraph: the new graph plus the mapping from new
+/// (dense) labels back to the labels in the original graph.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<NodeId> to_original;  // new label -> original label (sorted)
+};
+
+/// Subgraph of `g` induced by `nodes` (duplicates ignored; order irrelevant).
+/// New labels are assigned in increasing order of original label, matching the
+/// paper's rank-based relabeling.
+InducedSubgraph induced_subgraph(const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Subgraph of `g` induced by all nodes *except* `removed` — the "survivor"
+/// graph after a fault set.
+InducedSubgraph induced_subgraph_excluding(const Graph& g, const std::vector<NodeId>& removed);
+
+/// True when H is a subgraph of G under the *identity* mapping:
+/// V(H) ⊆ V(G) (by count) and E(H) ⊆ E(G).
+bool is_identity_subgraph(const Graph& h, const Graph& g);
+
+}  // namespace ftdb

@@ -1,0 +1,116 @@
+#include "sim/ascend_descend.hpp"
+
+#include <stdexcept>
+
+#include "topology/labels.hpp"
+
+namespace ftdb::sim {
+
+namespace {
+
+void check_size(unsigned h, const std::vector<std::int64_t>& values) {
+  if (values.size() != labels::ipow_checked(2, h)) {
+    throw std::invalid_argument("ascend/descend: value vector must have 2^h entries");
+  }
+}
+
+bool verify_link(const Machine* machine, NodeId u, NodeId v) {
+  return machine == nullptr || u == v || machine->logical_link_up(u, v);
+}
+
+}  // namespace
+
+AscendResult ascend_hypercube(unsigned h, std::vector<std::int64_t> values,
+                              const CombineFn& combine) {
+  check_size(h, values);
+  AscendResult result;
+  const std::size_t n = values.size();
+  std::vector<std::int64_t> next(n);
+  for (unsigned i = 0; i < h; ++i) {
+    const std::size_t bit = std::size_t{1} << i;
+    for (std::size_t x = 0; x < n; ++x) next[x] = combine(values[x], values[x ^ bit]);
+    values.swap(next);
+    ++result.communication_steps;
+  }
+  result.values = std::move(values);
+  return result;
+}
+
+AscendResult descend_hypercube(unsigned h, std::vector<std::int64_t> values,
+                               const CombineFn& combine) {
+  check_size(h, values);
+  AscendResult result;
+  const std::size_t n = values.size();
+  std::vector<std::int64_t> next(n);
+  for (unsigned i = h; i-- > 0;) {
+    const std::size_t bit = std::size_t{1} << i;
+    for (std::size_t x = 0; x < n; ++x) next[x] = combine(values[x], values[x ^ bit]);
+    values.swap(next);
+    ++result.communication_steps;
+  }
+  result.values = std::move(values);
+  return result;
+}
+
+AscendResult ascend_shuffle_exchange(unsigned h, std::vector<std::int64_t> values,
+                                     const CombineFn& combine, const Machine* machine) {
+  check_size(h, values);
+  AscendResult result;
+  result.links_verified = machine != nullptr;
+  const std::size_t n = values.size();
+  std::vector<std::int64_t> next(n);
+  for (unsigned round = 0; round < h; ++round) {
+    // Exchange step: combine across bit 0 of the current position labels.
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::size_t q = p ^ 1u;
+      if (!verify_link(machine, static_cast<NodeId>(p), static_cast<NodeId>(q))) {
+        throw std::runtime_error("ascend_shuffle_exchange: exchange link down");
+      }
+      next[p] = combine(values[p], values[q]);
+    }
+    values.swap(next);
+    ++result.communication_steps;
+    // Shuffle step: the item at p moves to rotate_left(p).
+    for (std::size_t p = 0; p < n; ++p) {
+      const auto q = static_cast<std::size_t>(labels::rotate_left(p, 2, h));
+      if (!verify_link(machine, static_cast<NodeId>(p), static_cast<NodeId>(q))) {
+        throw std::runtime_error("ascend_shuffle_exchange: shuffle link down");
+      }
+      next[q] = values[p];
+    }
+    values.swap(next);
+    ++result.communication_steps;
+  }
+  result.values = std::move(values);
+  return result;
+}
+
+AscendResult ascend_debruijn(unsigned h, std::vector<std::int64_t> values,
+                             const CombineFn& combine, unsigned ports, const Machine* machine) {
+  check_size(h, values);
+  if (ports != 1 && ports != 2) throw std::invalid_argument("ascend_debruijn: ports must be 1 or 2");
+  AscendResult result;
+  result.links_verified = machine != nullptr;
+  const std::size_t n = values.size();
+  const std::size_t high_bit = n >> 1;
+  std::vector<std::int64_t> next(n);
+  for (unsigned round = 0; round < h; ++round) {
+    for (std::size_t q = 0; q < n; ++q) {
+      const std::size_t pred0 = q >> 1;
+      const std::size_t pred1 = pred0 | high_bit;
+      if (!verify_link(machine, static_cast<NodeId>(q), static_cast<NodeId>(pred0)) ||
+          !verify_link(machine, static_cast<NodeId>(q), static_cast<NodeId>(pred1))) {
+        throw std::runtime_error("ascend_debruijn: shift link down");
+      }
+      next[q] = combine(values[pred0], values[pred1]);
+    }
+    values.swap(next);
+    // One step when a node can receive on both shift links at once, two when
+    // it must serialize (the paper's single-send/dual-send distinction).
+    result.communication_steps += ports == 2 ? 1 : 2;
+  }
+  result.values = std::move(values);
+  return result;
+}
+
+}  // namespace ftdb::sim

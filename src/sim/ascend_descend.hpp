@@ -1,0 +1,59 @@
+// Ascend/Descend algorithm emulation (Preparata/Vuillemin classes, cited in
+// the paper's introduction as the workloads the constant-degree networks
+// support with small constant slowdown relative to the hypercube).
+//
+// The concrete Ascend computation here is an all-reduce: in phase i every
+// pair of nodes whose labels differ in bit i combines values; after h phases
+// every node holds the reduction of all 2^h inputs. We emulate it natively on
+// the hypercube (1 communication step per phase), on the shuffle-exchange
+// (exchange + shuffle = 2 steps per phase), and on the de Bruijn graph (one
+// shift step per phase combining along the just-rotated-out bit). Each
+// emulation reports the number of communication steps, which materializes the
+// introduction's "small constant factor slowdown" claim; running them on a
+// reconfigured FT machine gives identical step counts because every logical
+// edge is a healthy physical link.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+
+namespace ftdb::sim {
+
+using CombineFn = std::function<std::int64_t(std::int64_t, std::int64_t)>;
+
+struct AscendResult {
+  std::vector<std::int64_t> values;     // final value at each logical node
+  std::uint64_t communication_steps = 0;
+  /// Set when every logical edge the run used was verified against the
+  /// machine's physical links (only when a machine was supplied).
+  bool links_verified = false;
+};
+
+/// Native hypercube execution: h phases, one step each.
+AscendResult ascend_hypercube(unsigned h, std::vector<std::int64_t> values,
+                              const CombineFn& combine);
+
+/// Shuffle-exchange emulation: h rounds of (exchange, shuffle) = 2h steps.
+/// When `machine` is non-null, every edge used is checked to be a live
+/// physical link of the machine (the reconfiguration guarantee).
+AscendResult ascend_shuffle_exchange(unsigned h, std::vector<std::int64_t> values,
+                                     const CombineFn& combine,
+                                     const Machine* machine = nullptr);
+
+/// de Bruijn emulation: h shift rounds; in each round node q combines the
+/// values of its two shift-predecessors (which differ in the high bit),
+/// costing 1 step with dual receive ports or 2 with a single port.
+AscendResult ascend_debruijn(unsigned h, std::vector<std::int64_t> values,
+                             const CombineFn& combine, unsigned ports = 2,
+                             const Machine* machine = nullptr);
+
+/// Descend = Ascend with the phase order reversed; provided for completeness
+/// of the Preparata/Vuillemin pair. Same step counts.
+AscendResult descend_hypercube(unsigned h, std::vector<std::int64_t> values,
+                               const CombineFn& combine);
+
+}  // namespace ftdb::sim

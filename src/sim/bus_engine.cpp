@@ -1,0 +1,104 @@
+#include "sim/bus_engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "topology/labels.hpp"
+
+namespace ftdb::sim {
+
+namespace {
+
+/// Earliest cycle >= `from` at which both resource and sender have capacity.
+std::uint64_t earliest_fit(std::vector<std::uint64_t>& resource_busy_until,
+                           std::size_t resource, std::map<std::uint64_t, unsigned>& sender_load,
+                           unsigned ports) {
+  std::uint64_t t = resource_busy_until[resource];
+  while (sender_load[t] >= ports) ++t;
+  return t;
+}
+
+}  // namespace
+
+ScheduleResult schedule_point_to_point(const Graph& g, const std::vector<Transfer>& transfers,
+                                       unsigned ports) {
+  if (ports == 0) throw std::invalid_argument("schedule_point_to_point: ports must be >= 1");
+  ScheduleResult result;
+  result.transfers = transfers.size();
+  // Directed link occupancy: next free cycle per (src, neighbor-index).
+  std::vector<std::size_t> link_base(g.num_nodes() + 1, 0);
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    link_base[v + 1] = link_base[v] + g.degree(static_cast<NodeId>(v));
+  }
+  std::vector<std::uint64_t> link_free(link_base[g.num_nodes()], 0);
+  std::vector<std::map<std::uint64_t, unsigned>> sender_load(g.num_nodes());
+
+  for (const Transfer& tr : transfers) {
+    if (!g.has_edge(tr.src, tr.dst)) {
+      result.feasible = false;
+      continue;
+    }
+    auto nb = g.neighbors(tr.src);
+    const auto it = std::lower_bound(nb.begin(), nb.end(), tr.dst);
+    const std::size_t link = link_base[tr.src] + static_cast<std::size_t>(it - nb.begin());
+    const std::uint64_t t = earliest_fit(link_free, link, sender_load[tr.src], ports);
+    link_free[link] = t + 1;
+    ++sender_load[tr.src][t];
+    result.makespan = std::max(result.makespan, t + 1);
+  }
+  return result;
+}
+
+ScheduleResult schedule_bus(const BusGraph& fabric, const std::vector<Transfer>& transfers,
+                            unsigned ports) {
+  if (ports == 0) throw std::invalid_argument("schedule_bus: ports must be >= 1");
+  ScheduleResult result;
+  result.transfers = transfers.size();
+  std::vector<std::uint64_t> bus_free(fabric.num_buses(), 0);
+  std::vector<std::map<std::uint64_t, unsigned>> sender_load(fabric.num_nodes());
+
+  for (const Transfer& tr : transfers) {
+    // Candidate buses: any bus where {src, dst} is a driver-member pair.
+    std::size_t best_bus = fabric.num_buses();
+    std::uint64_t best_t = 0;
+    for (std::uint32_t bi : fabric.buses_of(tr.src)) {
+      const Bus& b = fabric.bus(bi);
+      const bool src_drives = b.driver == tr.src &&
+                              std::binary_search(b.members.begin(), b.members.end(), tr.dst);
+      const bool dst_drives = b.driver == tr.dst &&
+                              std::binary_search(b.members.begin(), b.members.end(), tr.src);
+      if (!src_drives && !dst_drives) continue;
+      const std::uint64_t t = earliest_fit(bus_free, bi, sender_load[tr.src], ports);
+      if (best_bus == fabric.num_buses() || t < best_t) {
+        best_bus = bi;
+        best_t = t;
+      }
+    }
+    if (best_bus == fabric.num_buses()) {
+      result.feasible = false;
+      continue;
+    }
+    bus_free[best_bus] = best_t + 1;
+    ++sender_load[tr.src][best_t];
+    result.makespan = std::max(result.makespan, best_t + 1);
+  }
+  return result;
+}
+
+std::vector<Transfer> debruijn_round_transfers(unsigned h) {
+  const std::uint64_t n = labels::ipow_checked(2, h);
+  std::vector<Transfer> transfers;
+  transfers.reserve(2 * n);
+  for (std::uint64_t x = 0; x < n; ++x) {
+    for (std::uint64_t r = 0; r < 2; ++r) {
+      const std::uint64_t y = (2 * x + r) % n;
+      if (y != x) {
+        transfers.push_back(Transfer{static_cast<NodeId>(x), static_cast<NodeId>(y)});
+      }
+    }
+  }
+  return transfers;
+}
+
+}  // namespace ftdb::sim

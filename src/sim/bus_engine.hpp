@@ -1,0 +1,49 @@
+// Bus arbitration model for Section V.
+//
+// A transfer set (who sends what to whom in one "round") is scheduled onto
+// shared resources: in a point-to-point machine every directed link carries
+// one value per cycle and every processor can drive `ports` links per cycle;
+// in a bus machine every bus carries one value per cycle (and a processor can
+// drive `ports` buses per cycle). The resulting makespans reproduce the
+// paper's claims: buses cost ~2x when processors could send two values at
+// once, and ~1x when processors are single-ported anyway.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bus_graph.hpp"
+#include "graph/graph.hpp"
+
+namespace ftdb::sim {
+
+struct Transfer {
+  NodeId src = 0;
+  NodeId dst = 0;
+};
+
+struct ScheduleResult {
+  std::uint64_t makespan = 0;        // cycles to complete all transfers
+  std::uint64_t transfers = 0;
+  bool feasible = true;              // false if some transfer has no resource
+};
+
+/// Greedy earliest-fit scheduling of transfers on a point-to-point machine:
+/// each directed link (src -> dst) is busy one cycle per transfer; each
+/// processor issues at most `ports` sends per cycle.
+ScheduleResult schedule_point_to_point(const Graph& g, const std::vector<Transfer>& transfers,
+                                       unsigned ports);
+
+/// Greedy earliest-fit scheduling on a bus machine with the paper's
+/// restricted discipline: a transfer src -> dst rides a bus where one endpoint
+/// is the driver and the other a member (preferring the src-driven bus); each
+/// bus carries one value per cycle; each processor issues at most `ports`
+/// sends per cycle.
+ScheduleResult schedule_bus(const BusGraph& fabric, const std::vector<Transfer>& transfers,
+                            unsigned ports);
+
+/// The canonical "de Bruijn round": every node sends one value to each of its
+/// two shift successors (the communication pattern of one Ascend step).
+std::vector<Transfer> debruijn_round_transfers(unsigned h);
+
+}  // namespace ftdb::sim

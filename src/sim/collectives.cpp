@@ -1,0 +1,146 @@
+#include "sim/collectives.hpp"
+
+#include <stdexcept>
+
+#include "topology/labels.hpp"
+
+namespace ftdb::sim {
+
+namespace {
+
+void check_size(unsigned h, const std::vector<std::int64_t>& values) {
+  if (values.size() != labels::ipow_checked(2, h)) {
+    throw std::invalid_argument("collective: value vector must have 2^h entries");
+  }
+}
+
+void verify_or_throw(const Machine* machine, std::size_t u, std::size_t v, const char* what) {
+  if (machine != nullptr && u != v &&
+      !machine->logical_link_up(static_cast<NodeId>(u), static_cast<NodeId>(v))) {
+    throw std::runtime_error(std::string("collective: required link down during ") + what);
+  }
+}
+
+}  // namespace
+
+CollectiveResult broadcast_hypercube(unsigned h, std::vector<std::int64_t> values, NodeId root) {
+  check_size(h, values);
+  if (root >= values.size()) throw std::out_of_range("broadcast: root out of range");
+  CollectiveResult result;
+  const std::size_t n = values.size();
+  std::vector<bool> has(n, false);
+  has[root] = true;
+  // Recursive doubling: after step i, the set of holders is root XOR any
+  // subset of dimensions 0..i.
+  for (unsigned i = 0; i < h; ++i) {
+    const std::size_t bit = std::size_t{1} << i;
+    for (std::size_t x = 0; x < n; ++x) {
+      if (has[x] && !has[x ^ bit]) {
+        values[x ^ bit] = values[x];
+        has[x ^ bit] = true;
+      }
+    }
+    ++result.communication_steps;
+  }
+  result.values = std::move(values);
+  return result;
+}
+
+CollectiveResult prefix_sum_hypercube(unsigned h, std::vector<std::int64_t> values) {
+  check_size(h, values);
+  CollectiveResult result;
+  const std::size_t n = values.size();
+  std::vector<std::int64_t> prefix = values;  // running inclusive prefix
+  std::vector<std::int64_t> total = values;   // block total
+  std::vector<std::int64_t> next_total(n);
+  for (unsigned i = 0; i < h; ++i) {
+    const std::size_t bit = std::size_t{1} << i;
+    for (std::size_t x = 0; x < n; ++x) {
+      const std::size_t partner = x ^ bit;
+      next_total[x] = total[x] + total[partner];
+      if (x & bit) prefix[x] += total[partner];  // partner holds the lower block
+    }
+    total.swap(next_total);
+    ++result.communication_steps;
+  }
+  result.values = std::move(prefix);
+  return result;
+}
+
+CollectiveResult bitonic_sort_hypercube(unsigned h, std::vector<std::int64_t> values) {
+  check_size(h, values);
+  CollectiveResult result;
+  const std::size_t n = values.size();
+  for (std::size_t block = 2; block <= n; block <<= 1) {
+    for (std::size_t stride = block >> 1; stride >= 1; stride >>= 1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t l = i ^ stride;
+        if (l <= i) continue;
+        const bool ascending = (i & block) == 0;
+        if ((values[i] > values[l]) == ascending) std::swap(values[i], values[l]);
+      }
+      ++result.communication_steps;  // one compare-exchange across a dimension
+    }
+  }
+  result.values = std::move(values);
+  return result;
+}
+
+CollectiveResult bitonic_sort_shuffle_exchange(unsigned h, std::vector<std::int64_t> values,
+                                               const Machine* machine) {
+  check_size(h, values);
+  CollectiveResult result;
+  const std::size_t n = values.size();
+  // Items live at rotated positions: position p holds the item of original
+  // index rotr^rho(p). The exchange edge operates on bit (h - rho) mod h of
+  // the original index; shuffles adjust rho one step per cycle.
+  unsigned rho = 0;
+  auto original_index = [&](std::size_t p) {
+    std::uint64_t x = p;
+    for (unsigned r = 0; r < rho; ++r) x = labels::rotate_right(x, 2, h);
+    return static_cast<std::size_t>(x);
+  };
+  auto rotate_items = [&](std::vector<std::int64_t>& v) {
+    std::vector<std::int64_t> next(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      const auto q = static_cast<std::size_t>(labels::rotate_left(p, 2, h));
+      verify_or_throw(machine, p, q, "shuffle");
+      next[q] = v[p];
+    }
+    v.swap(next);
+    rho = (rho + 1) % h;
+    ++result.communication_steps;
+  };
+
+  for (std::size_t block = 2; block <= n; block <<= 1) {
+    for (std::size_t stride = block >> 1; stride >= 1; stride >>= 1) {
+      // The phase compares across original-index dimension d = log2(stride);
+      // rotate until the exchange edge (position bit 0) exposes dimension d:
+      // bit d of x sits at position bit (d + rho) mod h, so we need
+      // (d + rho) mod h == 0.
+      unsigned d = 0;
+      while ((std::size_t{1} << d) != stride) ++d;
+      while ((d + rho) % h != 0) rotate_items(values);
+      // Compare-exchange along the exchange edges.
+      for (std::size_t p = 0; p < n; ++p) {
+        const std::size_t q = p ^ 1u;
+        if (q < p) continue;
+        verify_or_throw(machine, p, q, "exchange");
+        const std::size_t i = original_index(p);
+        const std::size_t l = original_index(q);
+        // p has bit0 = 0 => original bit d of i is 0 => i < l in dimension d.
+        const bool ascending = (i & block) == 0;
+        const std::size_t lo = std::min(i, l) == i ? p : q;
+        const std::size_t hi = lo == p ? q : p;
+        if ((values[lo] > values[hi]) == ascending) std::swap(values[lo], values[hi]);
+      }
+      ++result.communication_steps;
+    }
+  }
+  // Realign items to their home positions.
+  while (rho != 0) rotate_items(values);
+  result.values = std::move(values);
+  return result;
+}
+
+}  // namespace ftdb::sim

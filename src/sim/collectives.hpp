@@ -1,0 +1,42 @@
+// Collective operations in the Ascend/Descend style (Preparata/Vuillemin):
+// one-to-all broadcast, parallel prefix (scan), and bitonic sort — the
+// workloads the introduction cites as running on hypercubes and their
+// constant-degree emulators with constant slowdown. Each collective runs on
+// the hypercube dimension pattern and, via the emulation layers of
+// ascend_descend.hpp, on the de Bruijn / shuffle-exchange machines; the
+// reconfiguration guarantee makes them fault-oblivious.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace ftdb::sim {
+
+struct CollectiveResult {
+  std::vector<std::int64_t> values;
+  std::uint64_t communication_steps = 0;
+};
+
+/// One-to-all broadcast of values[root] over the hypercube dimensions
+/// (recursive doubling): h steps.
+CollectiveResult broadcast_hypercube(unsigned h, std::vector<std::int64_t> values, NodeId root);
+
+/// Inclusive parallel prefix sum over node labels 0..2^h-1 (the classic
+/// Ascend-class scan): h steps, each combining across one dimension.
+CollectiveResult prefix_sum_hypercube(unsigned h, std::vector<std::int64_t> values);
+
+/// Bitonic sort (Batcher) expressed as compare-exchange phases over hypercube
+/// dimensions: h(h+1)/2 compare steps. The canonical Ascend/Descend workload.
+CollectiveResult bitonic_sort_hypercube(unsigned h, std::vector<std::int64_t> values);
+
+/// Bitonic sort run through the shuffle-exchange emulation: every
+/// compare-exchange phase costs one exchange step plus the shuffles that
+/// realign dimensions, 2h steps per phase block — the constant-factor
+/// slowdown the paper's introduction quotes. When `machine` is supplied the
+/// exchange/shuffle links are verified live (reconfigured-machine execution).
+CollectiveResult bitonic_sort_shuffle_exchange(unsigned h, std::vector<std::int64_t> values,
+                                               const Machine* machine = nullptr);
+
+}  // namespace ftdb::sim

@@ -1,0 +1,65 @@
+// Synchronous store-and-forward network engine.
+//
+// Time advances in cycles; each directed link moves at most one packet per
+// cycle; packets queue FIFO at their next output link. This is the standard
+// abstract machine for constant-degree network papers of the era, and it is
+// what the PERF2/PERF3 experiments run on: a degraded bare target vs a
+// reconfigured fault-tolerant machine under identical traffic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+#include "sim/routing.hpp"
+
+namespace ftdb::sim {
+
+struct Packet {
+  std::uint64_t id = 0;
+  NodeId src = 0;   // logical
+  NodeId dst = 0;   // logical
+  std::uint64_t inject_cycle = 0;
+};
+
+struct SimStats {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t undeliverable = 0;  // no live route existed at injection time
+  std::uint64_t cycles = 0;
+  std::uint64_t total_latency = 0;   // sum over delivered packets
+  std::uint64_t max_latency = 0;
+  std::uint64_t total_hops = 0;
+  std::size_t max_queue_depth = 0;
+
+  double average_latency() const {
+    return delivered == 0 ? 0.0 : static_cast<double>(total_latency) / static_cast<double>(delivered);
+  }
+  double average_hops() const {
+    return delivered == 0 ? 0.0 : static_cast<double>(total_hops) / static_cast<double>(delivered);
+  }
+  double delivered_fraction() const {
+    return injected == 0 ? 1.0 : static_cast<double>(delivered) / static_cast<double>(injected);
+  }
+  double throughput() const {
+    return cycles == 0 ? 0.0 : static_cast<double>(delivered) / static_cast<double>(cycles);
+  }
+};
+
+struct EngineOptions {
+  /// Stop after this many cycles even if packets remain (0 = run to drain).
+  std::uint64_t max_cycles = 0;
+};
+
+/// Runs a batch of logical packets over the machine's *live* logical topology
+/// (physical links between live nodes, viewed logically). Routes are shortest
+/// paths on that live graph, computed at injection. Packets whose endpoints
+/// are dead or disconnected count as undeliverable — this is how the fragility
+/// of the bare target materializes, while a reconfigured FT machine always
+/// presents the full target graph.
+SimStats run_packets(const Machine& machine, const Graph& target,
+                     const std::vector<Packet>& packets, const EngineOptions& options = {});
+
+}  // namespace ftdb::sim

@@ -1,0 +1,78 @@
+#include "sim/reconfigured_routing.hpp"
+
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "graph/subgraph.hpp"
+
+namespace ftdb::sim {
+
+std::vector<NodeId> physical_route(const Machine& machine, const std::vector<NodeId>& logical) {
+  std::vector<NodeId> out;
+  out.reserve(logical.size());
+  for (NodeId v : logical) {
+    if (v >= machine.num_logical()) {
+      throw std::out_of_range("physical_route: logical node out of range");
+    }
+    out.push_back(machine.to_physical[v]);
+  }
+  return out;
+}
+
+bool physical_route_is_live(const Machine& machine, const std::vector<NodeId>& physical) {
+  if (physical.empty()) return false;
+  for (NodeId v : physical) {
+    if (v >= machine.physical.num_nodes() || machine.dead[v]) return false;
+  }
+  for (std::size_t i = 0; i + 1 < physical.size(); ++i) {
+    if (physical[i] != physical[i + 1] &&
+        !machine.physical.has_edge(physical[i], physical[i + 1])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<NodeId> debruijn_route_on_machine(const Machine& machine, std::uint64_t m,
+                                              unsigned h, NodeId logical_src,
+                                              NodeId logical_dst) {
+  return physical_route(machine, debruijn_shift_route(m, h, logical_src, logical_dst));
+}
+
+std::vector<NodeId> se_route_on_machine(const Machine& machine, unsigned h,
+                                        NodeId logical_src, NodeId logical_dst) {
+  return physical_route(machine, shuffle_exchange_route(h, logical_src, logical_dst));
+}
+
+double max_route_stretch(const Machine& machine, std::uint64_t m, unsigned h) {
+  // Shortest paths in the survivor-induced physical graph.
+  std::vector<NodeId> live_nodes;
+  for (std::size_t v = 0; v < machine.physical.num_nodes(); ++v) {
+    if (!machine.dead[v]) live_nodes.push_back(static_cast<NodeId>(v));
+  }
+  const InducedSubgraph survivors = induced_subgraph(machine.physical, live_nodes);
+  std::vector<NodeId> physical_to_survivor(machine.physical.num_nodes(), kInvalidNode);
+  for (std::size_t i = 0; i < survivors.to_original.size(); ++i) {
+    physical_to_survivor[survivors.to_original[i]] = static_cast<NodeId>(i);
+  }
+
+  double worst = 1.0;
+  const std::size_t n = machine.num_logical();
+  for (NodeId src = 0; src < n; ++src) {
+    const NodeId p_src = physical_to_survivor[machine.to_physical[src]];
+    const auto dist = bfs_distances(survivors.graph, p_src);
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      const auto route = debruijn_route_on_machine(machine, m, h, src, dst);
+      const NodeId p_dst = physical_to_survivor[machine.to_physical[dst]];
+      const std::uint32_t shortest = dist[p_dst];
+      if (shortest == 0 || shortest == kUnreachable) continue;
+      const double stretch =
+          static_cast<double>(route.size() - 1) / static_cast<double>(shortest);
+      worst = std::max(worst, stretch);
+    }
+  }
+  return worst;
+}
+
+}  // namespace ftdb::sim

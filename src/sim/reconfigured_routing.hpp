@@ -1,0 +1,46 @@
+// Routing on a reconfigured machine: the paper's embeddings are dilation-1
+// (every logical edge maps to one physical link), so any logical routing
+// algorithm — BFS tables, de Bruijn shift routing, SE routing — runs on the
+// reconfigured machine by translating its hops through the embedding, with
+// zero stretch. These helpers perform that translation and validate it
+// against the physical fabric.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+#include "sim/routing.hpp"
+
+namespace ftdb::sim {
+
+/// Maps a logical route to the physical nodes hosting it. Throws
+/// std::out_of_range if the route mentions nodes outside the machine.
+std::vector<NodeId> physical_route(const Machine& machine, const std::vector<NodeId>& logical);
+
+/// True when every consecutive pair of the *physical* route is a healthy
+/// physical link (both endpoints alive, edge present).
+bool physical_route_is_live(const Machine& machine, const std::vector<NodeId>& physical);
+
+/// de Bruijn shift routing executed on a reconfigured machine: computes the
+/// logical route in B_{m,h} label space and returns the physical node
+/// sequence. The returned route is guaranteed live on a correctly
+/// reconfigured FT machine (Theorem 1/2).
+std::vector<NodeId> debruijn_route_on_machine(const Machine& machine, std::uint64_t m,
+                                              unsigned h, NodeId logical_src,
+                                              NodeId logical_dst);
+
+/// Shuffle-exchange routing executed on a reconfigured machine.
+std::vector<NodeId> se_route_on_machine(const Machine& machine, unsigned h,
+                                        NodeId logical_src, NodeId logical_dst);
+
+/// Route-stretch audit: for every (src, dst) pair, compares the algorithmic
+/// logical route length against the shortest path in the *physical* survivor
+/// graph. On a dilation-1 embedding the algorithmic route is never shorter
+/// than the physical shortest path; the maximum ratio quantifies the price of
+/// running the unmodified logical algorithm. Returns the maximum over all
+/// pairs (1.0 means the logical algorithm is physically optimal everywhere it
+/// was logically optimal).
+double max_route_stretch(const Machine& machine, std::uint64_t m, unsigned h);
+
+}  // namespace ftdb::sim

@@ -1,0 +1,63 @@
+// Routing on the simulated machine.
+//
+//  * Table routing: per-destination BFS next-hop tables over any graph — the
+//    general mechanism, used on degraded (faulty, non-reconfigured) machines.
+//  * de Bruijn shift routing: the classic shift-register route that appends
+//    the destination's digits; shortened by the longest overlap between the
+//    source's suffix and the destination's prefix. Works on B_{m,h} without
+//    tables and survives reconfiguration unchanged (it runs in logical space).
+//  * Shuffle-exchange routing: alternate exchange (fix bit) / shuffle
+//    (rotate) steps, at most 2h hops.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftdb::sim {
+
+/// Dense next-hop tables: next_hop(dest, node) = neighbor of `node` one step
+/// closer to `dest`, or kInvalidNode when unreachable. Memory is N^2; intended
+/// for the simulator's N <= a few thousand.
+class RoutingTable {
+ public:
+  explicit RoutingTable(const Graph& g);
+
+  NodeId next_hop(NodeId dest, NodeId node) const { return table_[index(dest, node)]; }
+
+  std::uint32_t distance(NodeId dest, NodeId node) const { return dist_[index(dest, node)]; }
+
+  bool reachable(NodeId dest, NodeId node) const {
+    return dist_[index(dest, node)] != static_cast<std::uint32_t>(-1);
+  }
+
+  std::size_t num_nodes() const { return n_; }
+
+  /// Full path node -> dest (inclusive); empty when unreachable.
+  std::vector<NodeId> path(NodeId from, NodeId dest) const;
+
+ private:
+  std::size_t index(NodeId dest, NodeId node) const {
+    return static_cast<std::size_t>(dest) * n_ + node;
+  }
+  std::size_t n_;
+  std::vector<NodeId> table_;
+  std::vector<std::uint32_t> dist_;
+};
+
+/// Shift-register route in B_{m,h} from src to dst, as a node sequence
+/// (src ... dst). Uses the longest-overlap shortening, so its length is
+/// h - (longest suffix of src that is a prefix of dst); never exceeds h hops.
+std::vector<NodeId> debruijn_shift_route(std::uint64_t m, unsigned h, NodeId src, NodeId dst);
+
+/// Shuffle-exchange route: at most 2h hops (exchange to fix the current low
+/// bit, shuffle to expose the next one). Returns the node sequence.
+std::vector<NodeId> shuffle_exchange_route(unsigned h, NodeId src, NodeId dst);
+
+/// Validates that consecutive nodes of `route` are adjacent in `g` and that
+/// the route starts/ends as claimed.
+bool route_is_walk(const Graph& g, const std::vector<NodeId>& route, NodeId src, NodeId dst);
+
+}  // namespace ftdb::sim

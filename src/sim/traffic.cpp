@@ -1,0 +1,85 @@
+#include "sim/traffic.hpp"
+
+#include <stdexcept>
+
+#include "topology/labels.hpp"
+
+namespace ftdb::sim {
+
+std::vector<Packet> uniform_traffic(std::size_t logical_nodes, std::size_t count,
+                                    std::uint64_t packets_per_cycle, std::uint64_t seed) {
+  if (logical_nodes == 0) throw std::invalid_argument("uniform_traffic: empty machine");
+  if (packets_per_cycle == 0) packets_per_cycle = 1;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<NodeId> pick(0, static_cast<NodeId>(logical_nodes - 1));
+  std::vector<Packet> packets(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    packets[i].id = i;
+    packets[i].src = pick(rng);
+    packets[i].dst = pick(rng);
+    packets[i].inject_cycle = i / packets_per_cycle;
+  }
+  return packets;
+}
+
+std::vector<Packet> permutation_traffic(const std::vector<NodeId>& perm) {
+  std::vector<Packet> packets(perm.size());
+  for (std::size_t x = 0; x < perm.size(); ++x) {
+    packets[x] = Packet{x, static_cast<NodeId>(x), perm[x], 0};
+  }
+  return packets;
+}
+
+std::vector<NodeId> bit_reversal_permutation(unsigned h) {
+  const std::uint64_t n = labels::ipow_checked(2, h);
+  std::vector<NodeId> perm(n);
+  for (std::uint64_t x = 0; x < n; ++x) {
+    std::uint64_t rev = 0;
+    for (unsigned i = 0; i < h; ++i) {
+      rev |= ((x >> i) & 1u) << (h - 1 - i);
+    }
+    perm[x] = static_cast<NodeId>(rev);
+  }
+  return perm;
+}
+
+std::vector<NodeId> transpose_permutation(unsigned h) {
+  if (h % 2 != 0) throw std::invalid_argument("transpose_permutation: h must be even");
+  const std::uint64_t n = labels::ipow_checked(2, h);
+  const unsigned half = h / 2;
+  const std::uint64_t mask = (std::uint64_t{1} << half) - 1;
+  std::vector<NodeId> perm(n);
+  for (std::uint64_t x = 0; x < n; ++x) {
+    const std::uint64_t lo = x & mask;
+    const std::uint64_t hi = x >> half;
+    perm[x] = static_cast<NodeId>((lo << half) | hi);
+  }
+  return perm;
+}
+
+std::vector<NodeId> shuffle_permutation(unsigned h) {
+  const std::uint64_t n = labels::ipow_checked(2, h);
+  std::vector<NodeId> perm(n);
+  for (std::uint64_t x = 0; x < n; ++x) {
+    perm[x] = static_cast<NodeId>(labels::rotate_left(x, 2, h));
+  }
+  return perm;
+}
+
+std::vector<Packet> hotspot_traffic(std::size_t logical_nodes, std::size_t count,
+                                    NodeId hot_node, double fraction_hot, std::uint64_t seed) {
+  if (hot_node >= logical_nodes) throw std::out_of_range("hotspot_traffic: hot node out of range");
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<NodeId> pick(0, static_cast<NodeId>(logical_nodes - 1));
+  std::bernoulli_distribution hot(fraction_hot);
+  std::vector<Packet> packets(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    packets[i].id = i;
+    packets[i].src = pick(rng);
+    packets[i].dst = hot(rng) ? hot_node : pick(rng);
+    packets[i].inject_cycle = i / std::max<std::size_t>(logical_nodes / 4, 1);
+  }
+  return packets;
+}
+
+}  // namespace ftdb::sim

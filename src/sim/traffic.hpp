@@ -1,0 +1,36 @@
+// Traffic workloads for the routing experiments: uniform random traffic,
+// the classic adversarial permutations (bit reversal, transpose, perfect
+// shuffle), and hotspot traffic. All generators are seeded and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace ftdb::sim {
+
+/// `count` packets, uniformly random (src, dst) pairs among live logical
+/// nodes, injected `rate` packets per cycle (rate = packets injected each
+/// cycle, round-robin over the batch).
+std::vector<Packet> uniform_traffic(std::size_t logical_nodes, std::size_t count,
+                                    std::uint64_t packets_per_cycle, std::uint64_t seed);
+
+/// One packet per node x -> perm(x), all injected at cycle 0.
+std::vector<Packet> permutation_traffic(const std::vector<NodeId>& perm);
+
+/// Bit-reversal permutation on h-bit labels.
+std::vector<NodeId> bit_reversal_permutation(unsigned h);
+
+/// Transpose permutation (swap label halves); h must be even.
+std::vector<NodeId> transpose_permutation(unsigned h);
+
+/// Perfect-shuffle permutation (rotate left one bit).
+std::vector<NodeId> shuffle_permutation(unsigned h);
+
+/// Uniform traffic where `fraction_hot` of packets target a single hot node.
+std::vector<Packet> hotspot_traffic(std::size_t logical_nodes, std::size_t count,
+                                    NodeId hot_node, double fraction_hot, std::uint64_t seed);
+
+}  // namespace ftdb::sim

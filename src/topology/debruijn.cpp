@@ -1,0 +1,75 @@
+#include "topology/debruijn.hpp"
+
+#include <stdexcept>
+
+#include "topology/labels.hpp"
+
+namespace ftdb {
+
+namespace {
+void validate(const DeBruijnParams& params) {
+  if (params.base < 2) throw std::invalid_argument("de Bruijn base must be >= 2");
+  if (params.digits < 1) throw std::invalid_argument("de Bruijn digit count must be >= 1");
+}
+}  // namespace
+
+std::uint64_t debruijn_num_nodes(const DeBruijnParams& params) {
+  validate(params);
+  return labels::ipow_checked(params.base, params.digits);
+}
+
+Graph debruijn_graph_digit_definition(const DeBruijnParams& params) {
+  const std::uint64_t n = debruijn_num_nodes(params);
+  GraphBuilder builder(n);
+  builder.reserve_edges(static_cast<std::size_t>(n) * params.base);
+  for (std::uint64_t x = 0; x < n; ++x) {
+    for (std::uint32_t r = 0; r < params.base; ++r) {
+      // Forward shift [x_{h-2},...,x_0,r]; the reverse shifts are the same
+      // edge set viewed from the other endpoint, so adding forward edges from
+      // every node covers both directions.
+      const std::uint64_t y = labels::shift_in_low(x, params.base, params.digits, r);
+      builder.add_edge(static_cast<NodeId>(x), static_cast<NodeId>(y));
+    }
+  }
+  return builder.build();
+}
+
+Graph debruijn_graph(const DeBruijnParams& params) {
+  const std::uint64_t n = debruijn_num_nodes(params);
+  GraphBuilder builder(n);
+  builder.reserve_edges(static_cast<std::size_t>(n) * params.base);
+  for (std::uint64_t x = 0; x < n; ++x) {
+    for (std::uint64_t r = 0; r < params.base; ++r) {
+      const std::uint64_t y = (x * params.base + r) % n;  // X(x, m, r, m^h)
+      builder.add_edge(static_cast<NodeId>(x), static_cast<NodeId>(y));
+    }
+  }
+  return builder.build();
+}
+
+Graph debruijn_base2(unsigned h) { return debruijn_graph({.base = 2, .digits = h}); }
+
+Digraph debruijn_digraph(std::uint64_t m, unsigned h) {
+  if (m < 2 || h < 1) throw std::invalid_argument("debruijn_digraph: need m >= 2, h >= 1");
+  const std::uint64_t n = labels::ipow_checked(m, h);
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  arcs.reserve(static_cast<std::size_t>(n) * m);
+  for (std::uint64_t x = 0; x < n; ++x) {
+    for (std::uint64_t r = 0; r < m; ++r) {
+      arcs.emplace_back(static_cast<NodeId>(x), static_cast<NodeId>((x * m + r) % n));
+    }
+  }
+  return Digraph(n, std::move(arcs));
+}
+
+std::vector<NodeId> debruijn_out_neighbors(const DeBruijnParams& params, NodeId x) {
+  const std::uint64_t n = debruijn_num_nodes(params);
+  std::vector<NodeId> out;
+  out.reserve(params.base);
+  for (std::uint64_t r = 0; r < params.base; ++r) {
+    out.push_back(static_cast<NodeId>((static_cast<std::uint64_t>(x) * params.base + r) % n));
+  }
+  return out;
+}
+
+}  // namespace ftdb

@@ -1,0 +1,43 @@
+// The de Bruijn target graphs of Sections III and IV.
+//
+// B_{m,h} has m^h nodes labelled with h-digit base-m strings; (x, y) is an
+// edge iff the digit strings overlap in h-1 positions (digit-shift
+// definition), equivalently iff y = X(x, m, r, m^h) or x = X(y, m, r, m^h)
+// for some r in {0..m-1} (algebraic definition, the one the fault-tolerant
+// construction generalizes). Both generators are provided; tests assert they
+// produce identical graphs.
+#pragma once
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+
+namespace ftdb {
+
+struct DeBruijnParams {
+  std::uint64_t base = 2;  // m >= 2
+  unsigned digits = 3;     // h >= 1 (the paper assumes h >= 3; smaller h is
+                           // permitted here and exercised in tests)
+};
+
+/// Number of nodes m^h (throws on overflow / invalid parameters).
+std::uint64_t debruijn_num_nodes(const DeBruijnParams& params);
+
+/// Digit-shift definition: x ~ [x_{h-2},...,x_0,r] and x ~ [r,x_{h-1},...,x_1].
+Graph debruijn_graph_digit_definition(const DeBruijnParams& params);
+
+/// Algebraic definition via X(z,m,r,s) = (z*m + r) mod s with s = m^h.
+Graph debruijn_graph(const DeBruijnParams& params);
+
+/// The base-2 shorthand B_{2,h} used throughout Section III.
+Graph debruijn_base2(unsigned h);
+
+/// Out-neighbors under the *directed* interpretation (x -> (x*m + r) mod m^h),
+/// used by the shift-register routing algorithm in the simulator.
+std::vector<NodeId> debruijn_out_neighbors(const DeBruijnParams& params, NodeId x);
+
+/// The classical de Bruijn digraph: m^h nodes, arc x -> (x*m + r) mod m^h for
+/// every digit r (self-loops included — they are real shift transitions, and
+/// they make the digraph Eulerian, which is what de Bruijn sequences need).
+Digraph debruijn_digraph(std::uint64_t m, unsigned h);
+
+}  // namespace ftdb

@@ -1,0 +1,54 @@
+#include "topology/debruijn_sequence.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "topology/debruijn.hpp"
+#include "topology/labels.hpp"
+
+namespace ftdb {
+
+std::vector<std::uint32_t> debruijn_sequence(std::uint64_t m, unsigned n) {
+  if (m < 2 || n < 1) throw std::invalid_argument("debruijn_sequence: need m >= 2, n >= 1");
+  if (n == 1) {
+    std::vector<std::uint32_t> seq(m);
+    for (std::uint64_t r = 0; r < m; ++r) seq[r] = static_cast<std::uint32_t>(r);
+    return seq;
+  }
+  // Euler circuit of the order-(n-1) digraph; each step x -> (x*m + r) emits
+  // the appended symbol r.
+  const Digraph dg = debruijn_digraph(m, n - 1);
+  const auto circuit = dg.euler_circuit();
+  if (circuit.empty()) throw std::logic_error("debruijn_sequence: digraph not Eulerian");
+  const std::uint64_t nodes = labels::ipow_checked(m, n - 1);
+  std::vector<std::uint32_t> seq;
+  seq.reserve(circuit.size() - 1);
+  for (std::size_t i = 0; i + 1 < circuit.size(); ++i) {
+    // Arc from -> to with to = (from*m + r) mod m^{n-1}; since m divides
+    // m^{n-1} for n >= 2, the appended symbol is r = to mod m.
+    seq.push_back(static_cast<std::uint32_t>(circuit[i + 1] % m));
+  }
+  (void)nodes;
+  return seq;
+}
+
+bool is_debruijn_sequence(const std::vector<std::uint32_t>& seq, std::uint64_t m, unsigned n) {
+  const std::uint64_t expected = labels::ipow_checked(m, n);
+  if (seq.size() != expected) return false;
+  for (std::uint32_t s : seq) {
+    if (s >= m) return false;
+  }
+  std::vector<bool> seen(expected, false);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    std::uint64_t word = 0;
+    for (unsigned j = 0; j < n; ++j) {
+      word = word * m + seq[(i + j) % seq.size()];
+    }
+    if (seen[word]) return false;
+    seen[word] = true;
+  }
+  return true;
+}
+
+}  // namespace ftdb

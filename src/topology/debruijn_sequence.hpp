@@ -1,0 +1,22 @@
+// de Bruijn sequences — the combinatorial object the networks are named
+// after. A de Bruijn sequence B(m, n) is a cyclic string over an m-ary
+// alphabet of length m^n containing every length-n word exactly once; it is
+// precisely an Euler circuit of the de Bruijn digraph of order n-1 (each arc
+// appends one symbol). Generating and verifying sequences end-to-end
+// validates the digraph substrate the networks are built on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ftdb {
+
+/// B(m, n) via an Euler circuit of the order-(n-1) de Bruijn digraph.
+/// Returns the m^n symbols of the cyclic sequence. n >= 1, m >= 2.
+std::vector<std::uint32_t> debruijn_sequence(std::uint64_t m, unsigned n);
+
+/// Checks the defining property: every length-n window of the cyclic
+/// sequence is distinct (and therefore all m^n words appear).
+bool is_debruijn_sequence(const std::vector<std::uint32_t>& seq, std::uint64_t m, unsigned n);
+
+}  // namespace ftdb

@@ -1,0 +1,110 @@
+#include "topology/hypercube.hpp"
+
+#include <stdexcept>
+
+#include "topology/labels.hpp"
+
+namespace ftdb {
+
+std::uint64_t hypercube_num_nodes(unsigned h) { return labels::ipow_checked(2, h); }
+
+Graph hypercube_graph(unsigned h) {
+  const std::uint64_t n = hypercube_num_nodes(h);
+  GraphBuilder builder(n);
+  builder.reserve_edges(static_cast<std::size_t>(n) * h / 2);
+  for (std::uint64_t x = 0; x < n; ++x) {
+    for (unsigned i = 0; i < h; ++i) {
+      const std::uint64_t y = x ^ (std::uint64_t{1} << i);
+      if (x < y) builder.add_edge(static_cast<NodeId>(x), static_cast<NodeId>(y));
+    }
+  }
+  return builder.build();
+}
+
+std::uint64_t ccc_num_nodes(unsigned h) {
+  if (h < 3) throw std::invalid_argument("CCC requires h >= 3");
+  return h * labels::ipow_checked(2, h);
+}
+
+Graph cube_connected_cycles_graph(unsigned h) {
+  const std::uint64_t cube = labels::ipow_checked(2, h);
+  const std::uint64_t n = ccc_num_nodes(h);
+  auto id = [&](unsigned pos, std::uint64_t label) {
+    return static_cast<NodeId>(label * h + pos);
+  };
+  GraphBuilder builder(n);
+  builder.reserve_edges(static_cast<std::size_t>(n) * 3 / 2);
+  for (std::uint64_t x = 0; x < cube; ++x) {
+    for (unsigned p = 0; p < h; ++p) {
+      builder.add_edge(id(p, x), id((p + 1) % h, x));       // cycle edge
+      builder.add_edge(id(p, x), id(p, x ^ (std::uint64_t{1} << p)));  // cube edge
+    }
+  }
+  return builder.build();
+}
+
+std::uint64_t kautz_num_nodes(std::uint64_t m, unsigned h) {
+  if (m < 2 || h < 1) throw std::invalid_argument("Kautz requires m >= 2, h >= 1");
+  return labels::ipow_checked(m, h) + labels::ipow_checked(m, h - 1);
+}
+
+Graph kautz_graph(std::uint64_t m, unsigned h) {
+  // Nodes are h-digit base-(m+1) strings with no two consecutive equal digits;
+  // there are (m+1) * m^{h-1} = m^h + m^{h-1} of them. Edges shift in a digit
+  // different from the (new) last digit's neighbor.
+  const std::uint64_t base = m + 1;
+  const std::uint64_t space = labels::ipow_checked(base, h);
+  std::vector<NodeId> dense(space, kInvalidNode);
+  std::vector<std::uint64_t> labels_list;
+  for (std::uint64_t x = 0; x < space; ++x) {
+    auto digits = labels::digits_of(x, base, h);
+    bool ok = true;
+    for (unsigned i = 0; i + 1 < h; ++i) {
+      if (digits[i] == digits[i + 1]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      dense[x] = static_cast<NodeId>(labels_list.size());
+      labels_list.push_back(x);
+    }
+  }
+  GraphBuilder builder(labels_list.size());
+  for (std::uint64_t x : labels_list) {
+    const std::uint64_t low = x % base;
+    for (std::uint64_t r = 0; r < base; ++r) {
+      if (r == low) continue;  // consecutive digits must differ
+      const std::uint64_t y = (x * base + r) % space;
+      if (dense[y] == kInvalidNode) continue;  // shifted string re-checked below
+      // The shift keeps digits x_{h-2}..x_0 adjacent, so y is valid iff the
+      // new pair (x_0, r) differs, which the loop guard ensures; the dense
+      // lookup guards the remaining pairs (always valid for valid x).
+      builder.add_edge(dense[x], dense[y]);
+    }
+  }
+  return builder.build();
+}
+
+std::uint64_t butterfly_num_nodes(unsigned h) {
+  if (h < 2) throw std::invalid_argument("butterfly requires h >= 2");
+  return h * labels::ipow_checked(2, h);
+}
+
+Graph butterfly_graph(unsigned h) {
+  const std::uint64_t cube = labels::ipow_checked(2, h);
+  auto id = [&](unsigned level, std::uint64_t label) {
+    return static_cast<NodeId>(label * h + level);
+  };
+  GraphBuilder builder(butterfly_num_nodes(h));
+  for (std::uint64_t x = 0; x < cube; ++x) {
+    for (unsigned l = 0; l < h; ++l) {
+      const unsigned next = (l + 1) % h;
+      builder.add_edge(id(l, x), id(next, x));                              // straight
+      builder.add_edge(id(l, x), id(next, x ^ (std::uint64_t{1} << l)));    // cross
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace ftdb

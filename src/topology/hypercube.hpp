@@ -1,0 +1,35 @@
+// The hypercube Q_h and other comparison topologies motivating the paper's
+// introduction: constant-degree alternatives (cube-connected cycles,
+// butterfly) and the degree-matched Kautz graph. These serve the comparison
+// and Ascend/Descend experiments; the paper's contribution targets de Bruijn
+// and shuffle-exchange.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace ftdb {
+
+/// Q_h: 2^h nodes, x ~ x XOR 2^i. Degree h (grows with size — the scalability
+/// problem the constant-degree networks solve).
+Graph hypercube_graph(unsigned h);
+
+/// Cube-connected cycles CCC_h (Preparata/Vuillemin [11]): h * 2^h nodes
+/// (cycle position p, cube label x); cycle edges plus one cube edge per node.
+/// Degree 3.
+Graph cube_connected_cycles_graph(unsigned h);
+
+/// Kautz graph K(m, h): m^h + m^{h-1} nodes; the densest degree-2m relative of
+/// the de Bruijn graph. Included because it shares the shift-register edge
+/// structure exploited by the paper's constructions.
+Graph kautz_graph(std::uint64_t m, unsigned h);
+
+/// Wrapped butterfly BF_h: h * 2^h nodes, degree 4; the fixed-degree relative
+/// of the hypercube used by Feldmann/Unger-style containment results.
+Graph butterfly_graph(unsigned h);
+
+std::uint64_t hypercube_num_nodes(unsigned h);
+std::uint64_t ccc_num_nodes(unsigned h);
+std::uint64_t kautz_num_nodes(std::uint64_t m, unsigned h);
+std::uint64_t butterfly_num_nodes(unsigned h);
+
+}  // namespace ftdb

@@ -1,0 +1,75 @@
+#include "topology/labels.hpp"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace ftdb::labels {
+
+std::uint64_t ipow_checked(std::uint64_t m, unsigned h) {
+  std::uint64_t result = 1;
+  for (unsigned i = 0; i < h; ++i) {
+    if (m != 0 && result > std::numeric_limits<std::uint64_t>::max() / 2 / m) {
+      throw std::overflow_error("ipow_checked: m^h overflows");
+    }
+    result *= m;
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> digits_of(std::uint64_t x, std::uint64_t m, unsigned h) {
+  std::vector<std::uint32_t> digits(h);
+  for (unsigned i = 0; i < h; ++i) {
+    digits[i] = static_cast<std::uint32_t>(x % m);
+    x /= m;
+  }
+  if (x != 0) throw std::invalid_argument("digits_of: x does not fit in h base-m digits");
+  return digits;
+}
+
+std::uint64_t from_digits(const std::vector<std::uint32_t>& digits, std::uint64_t m) {
+  std::uint64_t x = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (*it >= m) throw std::invalid_argument("from_digits: digit out of range");
+    x = x * m + *it;
+  }
+  return x;
+}
+
+std::uint64_t shift_in_low(std::uint64_t x, std::uint64_t m, unsigned h, std::uint32_t r) {
+  if (r >= m) throw std::invalid_argument("shift_in_low: digit out of range");
+  return (x * m + r) % ipow_checked(m, h);
+}
+
+std::uint64_t shift_in_high(std::uint64_t x, std::uint64_t m, unsigned h, std::uint32_t r) {
+  if (r >= m) throw std::invalid_argument("shift_in_high: digit out of range");
+  return x / m + static_cast<std::uint64_t>(r) * ipow_checked(m, h - 1);
+}
+
+std::uint64_t rotate_left(std::uint64_t x, std::uint64_t m, unsigned h) {
+  return shift_in_low(x, m, h, high_digit(x, m, h));
+}
+
+std::uint64_t rotate_right(std::uint64_t x, std::uint64_t m, unsigned h) {
+  return shift_in_high(x, m, h, static_cast<std::uint32_t>(x % m));
+}
+
+std::uint32_t high_digit(std::uint64_t x, std::uint64_t m, unsigned h) {
+  return static_cast<std::uint32_t>(x / ipow_checked(m, h - 1) % m);
+}
+
+std::string to_digit_string(std::uint64_t x, std::uint64_t m, unsigned h) {
+  auto digits = digits_of(x, m, h);
+  std::ostringstream out;
+  out << '[';
+  for (unsigned i = h; i-- > 0;) {
+    out << digits[i];
+    if (i != 0) out << ',';
+  }
+  out << ']';
+  return out.str();
+}
+
+std::uint64_t exchange_bit0(std::uint64_t x) { return x ^ 1u; }
+
+}  // namespace ftdb::labels

@@ -1,0 +1,45 @@
+// Base-m digit-string utilities (Section II notation): the h-digit base-m
+// representation [x_{h-1}, ..., x_0]_m of a node label, digit shifts and
+// rotations. These implement the paper's first (digit-based) definitions of
+// the de Bruijn and shuffle-exchange graphs, which the tests prove equivalent
+// to the algebraic X-based definitions used for the fault-tolerant versions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftdb::labels {
+
+/// m^h with overflow checking (throws std::overflow_error past 2^63).
+std::uint64_t ipow_checked(std::uint64_t m, unsigned h);
+
+/// Digits of x in base m, least-significant first: result[i] = x_i.
+std::vector<std::uint32_t> digits_of(std::uint64_t x, std::uint64_t m, unsigned h);
+
+/// Inverse of digits_of.
+std::uint64_t from_digits(const std::vector<std::uint32_t>& digits, std::uint64_t m);
+
+/// Left shift-in: [x_{h-2},...,x_0,r]_m, i.e. (x*m + r) mod m^h.
+std::uint64_t shift_in_low(std::uint64_t x, std::uint64_t m, unsigned h, std::uint32_t r);
+
+/// Right shift-in: [r,x_{h-1},...,x_1]_m.
+std::uint64_t shift_in_high(std::uint64_t x, std::uint64_t m, unsigned h, std::uint32_t r);
+
+/// Cyclic left rotation of the digit string (the "shuffle" permutation):
+/// [x_{h-2},...,x_0,x_{h-1}]_m.
+std::uint64_t rotate_left(std::uint64_t x, std::uint64_t m, unsigned h);
+
+/// Cyclic right rotation (the "unshuffle" permutation).
+std::uint64_t rotate_right(std::uint64_t x, std::uint64_t m, unsigned h);
+
+/// Most significant digit x_{h-1}.
+std::uint32_t high_digit(std::uint64_t x, std::uint64_t m, unsigned h);
+
+/// "[x_{h-1},...,x_0]_m" rendering used by the figure benches.
+std::string to_digit_string(std::uint64_t x, std::uint64_t m, unsigned h);
+
+/// Binary-specific helpers (base 2).
+std::uint64_t exchange_bit0(std::uint64_t x);  // flip the least significant bit
+
+}  // namespace ftdb::labels

@@ -1,0 +1,36 @@
+#include "topology/shuffle_exchange.hpp"
+
+#include <stdexcept>
+
+#include "topology/labels.hpp"
+
+namespace ftdb {
+
+std::uint64_t shuffle_exchange_num_nodes(unsigned h) {
+  if (h < 1) throw std::invalid_argument("shuffle-exchange requires h >= 1");
+  return labels::ipow_checked(2, h);
+}
+
+Graph shuffle_exchange_graph(unsigned h) {
+  const std::uint64_t n = shuffle_exchange_num_nodes(h);
+  GraphBuilder builder(n);
+  builder.reserve_edges(static_cast<std::size_t>(n) * 2);
+  for (std::uint64_t x = 0; x < n; ++x) {
+    builder.add_edge(static_cast<NodeId>(x),
+                     static_cast<NodeId>(labels::rotate_left(x, 2, h)));
+    builder.add_edge(static_cast<NodeId>(x), static_cast<NodeId>(labels::exchange_bit0(x)));
+  }
+  return builder.build();
+}
+
+NodeId se_shuffle(NodeId x, unsigned h) {
+  return static_cast<NodeId>(labels::rotate_left(x, 2, h));
+}
+
+NodeId se_unshuffle(NodeId x, unsigned h) {
+  return static_cast<NodeId>(labels::rotate_right(x, 2, h));
+}
+
+NodeId se_exchange(NodeId x) { return static_cast<NodeId>(labels::exchange_bit0(x)); }
+
+}  // namespace ftdb

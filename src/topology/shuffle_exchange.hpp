@@ -1,0 +1,25 @@
+// The point-to-point shuffle-exchange network SE_h (Stone [13]).
+//
+// 2^h nodes labelled with h-bit strings. Edges:
+//   shuffle   — x ~ rotate_left(x)   (cyclic rotation of the bit string)
+//   exchange  — x ~ x XOR 1          (flip the least significant bit)
+// The undirected shuffle edge also provides the unshuffle (rotate-right)
+// connection, so SE_h has degree <= 3.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace ftdb {
+
+std::uint64_t shuffle_exchange_num_nodes(unsigned h);
+
+Graph shuffle_exchange_graph(unsigned h);
+
+/// Neighbor along the shuffle edge.
+NodeId se_shuffle(NodeId x, unsigned h);
+/// Neighbor along the unshuffle direction (inverse rotation).
+NodeId se_unshuffle(NodeId x, unsigned h);
+/// Neighbor along the exchange edge.
+NodeId se_exchange(NodeId x);
+
+}  // namespace ftdb

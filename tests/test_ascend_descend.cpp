@@ -1,0 +1,138 @@
+// Tests for the Ascend/Descend emulations: correctness of the all-reduce on
+// every topology, the constant-factor slowdown, and invariance under
+// reconfiguration (links verified against the physical machine).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ft/ft_debruijn.hpp"
+#include "ft/ft_shuffle_exchange.hpp"
+#include "sim/ascend_descend.hpp"
+#include "topology/debruijn.hpp"
+#include "topology/shuffle_exchange.hpp"
+
+namespace ftdb::sim {
+namespace {
+
+std::vector<std::int64_t> iota_values(unsigned h) {
+  std::vector<std::int64_t> v(std::size_t{1} << h);
+  std::iota(v.begin(), v.end(), 1);
+  return v;
+}
+
+std::int64_t sum(const std::vector<std::int64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::int64_t{0});
+}
+
+const CombineFn kAdd = [](std::int64_t a, std::int64_t b) { return a + b; };
+const CombineFn kMax = [](std::int64_t a, std::int64_t b) { return std::max(a, b); };
+
+class AscendAllTopologies : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AscendAllTopologies, HypercubeAllReduceSum) {
+  const unsigned h = GetParam();
+  const auto in = iota_values(h);
+  const auto total = sum(in);
+  const auto result = ascend_hypercube(h, in, kAdd);
+  EXPECT_EQ(result.communication_steps, h);
+  for (auto v : result.values) EXPECT_EQ(v, total);
+}
+
+TEST_P(AscendAllTopologies, ShuffleExchangeAllReduceSum) {
+  const unsigned h = GetParam();
+  const auto in = iota_values(h);
+  const auto total = sum(in);
+  const auto result = ascend_shuffle_exchange(h, in, kAdd);
+  EXPECT_EQ(result.communication_steps, 2u * h);  // factor-2 slowdown
+  for (auto v : result.values) EXPECT_EQ(v, total);
+}
+
+TEST_P(AscendAllTopologies, DeBruijnAllReduceSum) {
+  const unsigned h = GetParam();
+  const auto in = iota_values(h);
+  const auto total = sum(in);
+  const auto dual = ascend_debruijn(h, in, kAdd, 2);
+  EXPECT_EQ(dual.communication_steps, h);  // no slowdown with dual ports
+  for (auto v : dual.values) EXPECT_EQ(v, total);
+  const auto single = ascend_debruijn(h, in, kAdd, 1);
+  EXPECT_EQ(single.communication_steps, 2u * h);  // serialized receive
+  for (auto v : single.values) EXPECT_EQ(v, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AscendAllTopologies, ::testing::Values(2, 3, 4, 6, 8));
+
+TEST(Ascend, MaxReduction) {
+  const unsigned h = 4;
+  std::vector<std::int64_t> in(16, 0);
+  in[11] = 42;
+  for (auto v : ascend_hypercube(h, in, kMax).values) EXPECT_EQ(v, 42);
+  for (auto v : ascend_shuffle_exchange(h, in, kMax).values) EXPECT_EQ(v, 42);
+  for (auto v : ascend_debruijn(h, in, kMax).values) EXPECT_EQ(v, 42);
+}
+
+TEST(Descend, SameResultForCommutativeCombine) {
+  const unsigned h = 4;
+  const auto in = iota_values(h);
+  const auto a = ascend_hypercube(h, in, kAdd);
+  const auto d = descend_hypercube(h, in, kAdd);
+  EXPECT_EQ(a.values, d.values);
+  EXPECT_EQ(d.communication_steps, h);
+}
+
+TEST(Ascend, WrongSizeThrows) {
+  EXPECT_THROW(ascend_hypercube(3, std::vector<std::int64_t>(7), kAdd), std::invalid_argument);
+  EXPECT_THROW(ascend_debruijn(3, iota_values(3), kAdd, 3), std::invalid_argument);
+}
+
+TEST(Ascend, SlowdownConstantsMatchIntroductionClaim) {
+  // The introduction: constant-degree networks run Ascend/Descend with "only
+  // a small constant factor slowdown relative to the hypercube".
+  const unsigned h = 6;
+  const auto in = iota_values(h);
+  const auto cube = ascend_hypercube(h, in, kAdd).communication_steps;
+  const auto se = ascend_shuffle_exchange(h, in, kAdd).communication_steps;
+  const auto db = ascend_debruijn(h, in, kAdd, 2).communication_steps;
+  EXPECT_EQ(se, 2 * cube);
+  EXPECT_EQ(db, cube);
+}
+
+TEST(Ascend, RunsUnchangedOnReconfiguredDeBruijnMachine) {
+  // PERF4 content: after k faults + reconfiguration, the de Bruijn Ascend uses
+  // only live physical links and the step count is identical.
+  const unsigned h = 5;
+  const unsigned k = 2;
+  const Graph ft = ft_debruijn_base2(h, k);
+  const FaultSet faults(ft.num_nodes(), {4, 20});
+  const Machine machine = Machine::reconfigured(ft, faults, std::size_t{1} << h);
+  const auto in = iota_values(h);
+  const auto result = ascend_debruijn(h, in, kAdd, 2, &machine);
+  EXPECT_TRUE(result.links_verified);
+  EXPECT_EQ(result.communication_steps, h);
+  for (auto v : result.values) EXPECT_EQ(v, sum(in));
+}
+
+TEST(Ascend, RunsUnchangedOnReconfiguredNaturalSeMachine) {
+  const unsigned h = 4;
+  const unsigned k = 2;
+  const auto se_machine = ft_shuffle_exchange_natural(h, k);
+  const FaultSet faults(se_machine.ft_graph.num_nodes(), {1, 9});
+  const Machine machine =
+      Machine::reconfigured(se_machine.ft_graph, faults, std::size_t{1} << h);
+  const auto in = iota_values(h);
+  const auto result = ascend_shuffle_exchange(h, in, kAdd, &machine);
+  EXPECT_TRUE(result.links_verified);
+  EXPECT_EQ(result.communication_steps, 2u * h);
+  for (auto v : result.values) EXPECT_EQ(v, sum(in));
+}
+
+TEST(Ascend, BareFaultyMachineBreaksTheAlgorithm) {
+  // Without spares the algorithm cannot run: some required link is down.
+  const unsigned h = 4;
+  const Graph target = debruijn_base2(h);
+  const FaultSet faults(16, {5});
+  const Machine machine = Machine::direct_with_faults(target, faults);
+  EXPECT_THROW(ascend_debruijn(h, iota_values(h), kAdd, 2, &machine), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ftdb::sim

@@ -1,0 +1,112 @@
+// Tests for the bus arbitration model and the Section V slowdown claims.
+#include <gtest/gtest.h>
+
+#include "ft/bus_ft.hpp"
+#include "sim/bus_engine.hpp"
+#include "topology/debruijn.hpp"
+
+namespace ftdb::sim {
+namespace {
+
+TEST(DebruijnRoundTransfers, TwoPerNodeMinusSelfLoops) {
+  const auto transfers = debruijn_round_transfers(3);
+  // 8 nodes * 2 sends, minus the self-sends of nodes 0 and 7.
+  EXPECT_EQ(transfers.size(), 14u);
+}
+
+TEST(SchedulePointToPoint, DualPortOneCycle) {
+  // Every node sends its (at most) two values on distinct links: 1 cycle.
+  const Graph g = debruijn_base2(4);
+  const auto transfers = debruijn_round_transfers(4);
+  const auto result = schedule_point_to_point(g, transfers, 2);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.makespan, 1u);
+}
+
+TEST(SchedulePointToPoint, SinglePortTwoCycles) {
+  const Graph g = debruijn_base2(4);
+  const auto transfers = debruijn_round_transfers(4);
+  const auto result = schedule_point_to_point(g, transfers, 1);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.makespan, 2u);
+}
+
+TEST(ScheduleBus, SerializesOnTheSharedBus) {
+  // On the bus fabric a node's two sends share its single driven bus: 2 cycles.
+  const BusGraph fabric = bus_debruijn_base2(4);
+  const auto transfers = debruijn_round_transfers(4);
+  const auto result = schedule_bus(fabric, transfers, 2);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.makespan, 2u);
+}
+
+TEST(SectionV, SlowdownClaims) {
+  // "approximately a factor of 2 slower ... if two different values [can] be
+  // sent in unit time" and "little or no slowdown if only one value".
+  const unsigned h = 5;
+  const Graph g = debruijn_base2(h);
+  const BusGraph fabric = bus_debruijn_base2(h);
+  const auto transfers = debruijn_round_transfers(h);
+
+  const auto p2p_dual = schedule_point_to_point(g, transfers, 2);
+  const auto p2p_single = schedule_point_to_point(g, transfers, 1);
+  const auto bus_dual = schedule_bus(fabric, transfers, 2);
+  const auto bus_single = schedule_bus(fabric, transfers, 1);
+
+  // Dual-send processors: bus is ~2x slower.
+  EXPECT_EQ(bus_dual.makespan, 2 * p2p_dual.makespan);
+  // Single-send processors: no slowdown at all.
+  EXPECT_EQ(bus_single.makespan, p2p_single.makespan);
+}
+
+TEST(ScheduleBus, FtFabricCarriesReconfiguredRound) {
+  // Transfers between reconfigured images ride the FT buses.
+  const unsigned h = 3;
+  const unsigned k = 1;
+  const BusGraph fabric = bus_ft_debruijn_base2(h, k);
+  const FaultSet faults(fabric.num_nodes(), {2});
+  const auto phi = monotone_embedding(faults);
+  std::vector<Transfer> transfers;
+  for (const Transfer& t : debruijn_round_transfers(h)) {
+    transfers.push_back(Transfer{phi[t.src], phi[t.dst]});
+  }
+  const auto result = schedule_bus(fabric, transfers, 1);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_GE(result.makespan, 2u);
+}
+
+TEST(SchedulePointToPoint, InfeasibleTransferFlagged) {
+  const Graph g = debruijn_base2(3);
+  const auto result = schedule_point_to_point(g, {{0, 5}}, 1);  // 0-5 not an edge
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(ScheduleBus, MemberToMemberForbidden) {
+  // The restricted discipline: members of the same bus cannot talk directly.
+  const BusGraph fabric(3, {Bus{0, {1, 2}}});
+  const auto result = schedule_bus(fabric, {{1, 2}}, 1);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(ScheduleBus, MemberCanAnswerDriver) {
+  const BusGraph fabric(3, {Bus{0, {1, 2}}});
+  const auto result = schedule_bus(fabric, {{1, 0}, {0, 1}, {2, 0}}, 1);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.makespan, 3u);  // all three share the one bus
+}
+
+TEST(Schedulers, ZeroPortsThrows) {
+  const Graph g = debruijn_base2(3);
+  const BusGraph fabric = bus_debruijn_base2(3);
+  EXPECT_THROW(schedule_point_to_point(g, {}, 0), std::invalid_argument);
+  EXPECT_THROW(schedule_bus(fabric, {}, 0), std::invalid_argument);
+}
+
+TEST(Schedulers, EmptyTransfersZeroMakespan) {
+  const Graph g = debruijn_base2(3);
+  EXPECT_EQ(schedule_point_to_point(g, {}, 1).makespan, 0u);
+  EXPECT_EQ(schedule_bus(bus_debruijn_base2(3), {}, 1).makespan, 0u);
+}
+
+}  // namespace
+}  // namespace ftdb::sim

@@ -1,0 +1,71 @@
+// Unit tests for the bus hypergraph substrate (Section V machinery).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/bus_graph.hpp"
+
+namespace ftdb {
+namespace {
+
+TEST(BusGraph, BasicIncidence) {
+  BusGraph bg(4, {Bus{0, {1, 2}}, Bus{3, {0}}});
+  EXPECT_EQ(bg.num_nodes(), 4u);
+  EXPECT_EQ(bg.num_buses(), 2u);
+  EXPECT_EQ(bg.bus_degree(0), 2u);  // drives bus 0, member of bus 1
+  EXPECT_EQ(bg.bus_degree(1), 1u);
+  EXPECT_EQ(bg.bus_degree(3), 1u);
+  EXPECT_EQ(bg.max_bus_degree(), 2u);
+}
+
+TEST(BusGraph, DriverRemovedFromMembers) {
+  BusGraph bg(3, {Bus{1, {1, 0, 2, 2}}});
+  const Bus& b = bg.bus(0);
+  EXPECT_EQ(b.members, (std::vector<NodeId>{0, 2}));
+}
+
+TEST(BusGraph, OutOfRangeThrows) {
+  EXPECT_THROW(BusGraph(2, {Bus{2, {0}}}), std::out_of_range);
+  EXPECT_THROW(BusGraph(2, {Bus{0, {5}}}), std::out_of_range);
+}
+
+TEST(BusGraph, RestrictedCommunication) {
+  // Driver 0 with members {1, 2}: 0<->1 and 0<->2 allowed; 1<->2 is NOT,
+  // because the paper restricts buses to driver<->member use.
+  BusGraph bg(3, {Bus{0, {1, 2}}});
+  EXPECT_TRUE(bg.can_communicate(0, 1));
+  EXPECT_TRUE(bg.can_communicate(1, 0));
+  EXPECT_TRUE(bg.can_communicate(0, 2));
+  EXPECT_FALSE(bg.can_communicate(1, 2));
+  EXPECT_FALSE(bg.can_communicate(0, 0));
+}
+
+TEST(BusGraph, RealizedGraphIsDriverMemberStar) {
+  BusGraph bg(4, {Bus{0, {1, 2}}, Bus{3, {2}}});
+  Graph g = bg.realized_graph();
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(BusGraph, BusFaultsBecomeDriverFaults) {
+  BusGraph bg(4, {Bus{0, {1}}, Bus{2, {3}}, Bus{3, {0}}});
+  auto faults = bg.bus_faults_to_node_faults({1, 2});
+  EXPECT_EQ(faults, (std::vector<NodeId>{2, 3}));
+}
+
+TEST(BusGraph, BusFaultsDedupDrivers) {
+  BusGraph bg(2, {Bus{0, {1}}, Bus{0, {1}}});
+  auto faults = bg.bus_faults_to_node_faults({0, 1});
+  EXPECT_EQ(faults, (std::vector<NodeId>{0}));
+}
+
+TEST(BusGraph, BadBusIndexThrows) {
+  BusGraph bg(2, {Bus{0, {1}}});
+  EXPECT_THROW(bg.bus_faults_to_node_faults({7}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ftdb

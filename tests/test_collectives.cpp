@@ -1,0 +1,112 @@
+// Tests for the collective operations (broadcast, prefix sum, bitonic sort)
+// on the hypercube pattern and the shuffle-exchange emulation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "ft/ft_shuffle_exchange.hpp"
+#include "sim/collectives.hpp"
+
+namespace ftdb::sim {
+namespace {
+
+TEST(Broadcast, AllNodesReceiveRootValue) {
+  for (unsigned h : {2u, 4u, 6u}) {
+    std::vector<std::int64_t> v(std::size_t{1} << h, -1);
+    const NodeId root = static_cast<NodeId>((1u << h) / 3);
+    v[root] = 42;
+    const auto result = broadcast_hypercube(h, v, root);
+    EXPECT_EQ(result.communication_steps, h);
+    for (auto x : result.values) EXPECT_EQ(x, 42);
+  }
+}
+
+TEST(Broadcast, RootOutOfRangeThrows) {
+  EXPECT_THROW(broadcast_hypercube(3, std::vector<std::int64_t>(8), 8), std::out_of_range);
+}
+
+TEST(PrefixSum, MatchesPartialSum) {
+  for (unsigned h : {2u, 3u, 5u, 7u}) {
+    const std::size_t n = std::size_t{1} << h;
+    std::mt19937_64 rng(h);
+    std::vector<std::int64_t> v(n);
+    for (auto& x : v) x = static_cast<std::int64_t>(rng() % 1000) - 500;
+    std::vector<std::int64_t> expected(n);
+    std::partial_sum(v.begin(), v.end(), expected.begin());
+    const auto result = prefix_sum_hypercube(h, v);
+    EXPECT_EQ(result.communication_steps, h);
+    EXPECT_EQ(result.values, expected) << "h=" << h;
+  }
+}
+
+TEST(BitonicSortHypercube, SortsRandomInputs) {
+  for (unsigned h : {2u, 4u, 6u, 8u}) {
+    const std::size_t n = std::size_t{1} << h;
+    std::mt19937_64 rng(h * 7);
+    std::vector<std::int64_t> v(n);
+    for (auto& x : v) x = static_cast<std::int64_t>(rng() % 10000);
+    std::vector<std::int64_t> expected = v;
+    std::sort(expected.begin(), expected.end());
+    const auto result = bitonic_sort_hypercube(h, v);
+    EXPECT_EQ(result.values, expected) << "h=" << h;
+    EXPECT_EQ(result.communication_steps, h * (h + 1) / 2);
+  }
+}
+
+TEST(BitonicSortHypercube, SortsAdversarialInputs) {
+  const unsigned h = 5;
+  const std::size_t n = 32;
+  // Reverse-sorted, all-equal, and single-swap inputs.
+  std::vector<std::int64_t> rev(n);
+  for (std::size_t i = 0; i < n; ++i) rev[i] = static_cast<std::int64_t>(n - i);
+  auto sorted_rev = rev;
+  std::sort(sorted_rev.begin(), sorted_rev.end());
+  EXPECT_EQ(bitonic_sort_hypercube(h, rev).values, sorted_rev);
+
+  std::vector<std::int64_t> flat(n, 7);
+  EXPECT_EQ(bitonic_sort_hypercube(h, flat).values, flat);
+}
+
+TEST(BitonicSortShuffleExchange, MatchesHypercubeResult) {
+  for (unsigned h : {2u, 3u, 4u, 5u, 6u}) {
+    const std::size_t n = std::size_t{1} << h;
+    std::mt19937_64 rng(h * 13);
+    std::vector<std::int64_t> v(n);
+    for (auto& x : v) x = static_cast<std::int64_t>(rng() % 997);
+    std::vector<std::int64_t> expected = v;
+    std::sort(expected.begin(), expected.end());
+    const auto result = bitonic_sort_shuffle_exchange(h, v);
+    EXPECT_EQ(result.values, expected) << "h=" << h;
+    // The SE schedule pays shuffle steps on top of the compare steps, but
+    // stays within a small factor of the hypercube count.
+    EXPECT_GE(result.communication_steps, h * (h + 1) / 2);
+    EXPECT_LE(result.communication_steps, 3 * h * h + 2 * h) << "h=" << h;
+  }
+}
+
+TEST(BitonicSortShuffleExchange, RunsOnReconfiguredMachine) {
+  // The full claim: sorting runs unchanged on the natural FT-SE machine
+  // after k faults (every shuffle/exchange hop verified live).
+  const unsigned h = 4;
+  const unsigned k = 2;
+  const auto se = ftdb::ft_shuffle_exchange_natural(h, k);
+  const FaultSet faults(se.ft_graph.num_nodes(), {2, 11});
+  const Machine machine = Machine::reconfigured(se.ft_graph, faults, std::size_t{1} << h);
+
+  std::vector<std::int64_t> v{9, 1, 8, 2, 7, 3, 6, 4, 5, 0, 15, 14, 13, 12, 11, 10};
+  std::vector<std::int64_t> expected = v;
+  std::sort(expected.begin(), expected.end());
+  const auto result = bitonic_sort_shuffle_exchange(h, v, &machine);
+  EXPECT_EQ(result.values, expected);
+}
+
+TEST(Collectives, WrongSizeThrows) {
+  EXPECT_THROW(broadcast_hypercube(3, std::vector<std::int64_t>(7), 0), std::invalid_argument);
+  EXPECT_THROW(prefix_sum_hypercube(3, std::vector<std::int64_t>(9)), std::invalid_argument);
+  EXPECT_THROW(bitonic_sort_hypercube(3, std::vector<std::int64_t>(5)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftdb::sim

@@ -1,0 +1,100 @@
+// Tests for the comparison topologies from the paper's introduction:
+// hypercube, cube-connected cycles, Kautz and butterfly.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "topology/hypercube.hpp"
+
+namespace ftdb {
+namespace {
+
+TEST(Hypercube, Structure) {
+  Graph g = hypercube_graph(4);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);  // h * 2^{h-1}
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_EQ(g.min_degree(), 4u);
+}
+
+TEST(Hypercube, DegreeGrowsWithSize) {
+  // The paper's motivation: hypercube degree grows with node count.
+  for (unsigned h = 2; h <= 8; ++h) {
+    EXPECT_EQ(hypercube_graph(h).max_degree(), h);
+  }
+}
+
+TEST(Hypercube, Connected) {
+  for (unsigned h = 1; h <= 6; ++h) EXPECT_TRUE(is_connected(hypercube_graph(h)));
+}
+
+TEST(CubeConnectedCycles, Structure) {
+  Graph g = cube_connected_cycles_graph(3);
+  EXPECT_EQ(g.num_nodes(), 24u);
+  EXPECT_EQ(g.max_degree(), 3u);  // constant degree, unlike the hypercube
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(CubeConnectedCycles, ConstantDegreeAcrossSizes) {
+  for (unsigned h = 3; h <= 6; ++h) {
+    Graph g = cube_connected_cycles_graph(h);
+    EXPECT_EQ(g.num_nodes(), h * (1ull << h));
+    EXPECT_EQ(g.max_degree(), 3u) << "h=" << h;
+  }
+}
+
+TEST(CubeConnectedCycles, RequiresH3) {
+  EXPECT_THROW(ccc_num_nodes(2), std::invalid_argument);
+}
+
+TEST(Kautz, NodeCount) {
+  EXPECT_EQ(kautz_num_nodes(2, 3), 12u);  // 2^3 + 2^2
+  Graph g = kautz_graph(2, 3);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Kautz, DegreeAtMost2m) {
+  for (std::uint64_t m : {2ull, 3ull}) {
+    for (unsigned h : {2u, 3u, 4u}) {
+      Graph g = kautz_graph(m, h);
+      EXPECT_EQ(g.num_nodes(), kautz_num_nodes(m, h));
+      EXPECT_LE(g.max_degree(), 2 * m) << "m=" << m << " h=" << h;
+    }
+  }
+}
+
+TEST(Kautz, NoSelfLoopsByConstruction) {
+  // Kautz forbids equal consecutive digits, so no shift maps a node to itself;
+  // degree is exactly 2m except where forward/backward shifts coincide.
+  Graph g = kautz_graph(2, 4);
+  EXPECT_GE(g.min_degree(), 2u);
+}
+
+TEST(Butterfly, Structure) {
+  Graph g = butterfly_graph(3);
+  EXPECT_EQ(g.num_nodes(), 24u);
+  EXPECT_EQ(g.max_degree(), 4u);  // constant degree 4
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Butterfly, ConstantDegreeAcrossSizes) {
+  for (unsigned h = 3; h <= 6; ++h) {
+    EXPECT_LE(butterfly_graph(h).max_degree(), 4u) << "h=" << h;
+  }
+}
+
+TEST(Butterfly, RequiresH2) { EXPECT_THROW(butterfly_num_nodes(1), std::invalid_argument); }
+
+TEST(ComparisonTopologies, ConstantDegreeFamiliesStayBounded) {
+  // The paper's framing: de Bruijn/SE/CCC keep degree O(1) while the
+  // hypercube does not. This test pins the cross-family comparison.
+  for (unsigned h = 3; h <= 6; ++h) {
+    EXPECT_GT(hypercube_graph(h).max_degree(), 2u);
+    EXPECT_LE(cube_connected_cycles_graph(h).max_degree(), 3u);
+    EXPECT_LE(butterfly_graph(h).max_degree(), 4u);
+  }
+  EXPECT_EQ(hypercube_graph(8).max_degree(), 8u);
+}
+
+}  // namespace
+}  // namespace ftdb

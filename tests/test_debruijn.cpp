@@ -1,0 +1,124 @@
+// Tests for the de Bruijn target graphs, including the paper's claim (Sections
+// III and IV) that the digit-shift definition and the algebraic X-based
+// definition coincide.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "topology/debruijn.hpp"
+#include "topology/labels.hpp"
+
+namespace ftdb {
+namespace {
+
+TEST(DeBruijn, NodeCount) {
+  EXPECT_EQ(debruijn_num_nodes({.base = 2, .digits = 4}), 16u);
+  EXPECT_EQ(debruijn_num_nodes({.base = 3, .digits = 3}), 27u);
+  EXPECT_EQ(debruijn_num_nodes({.base = 5, .digits = 2}), 25u);
+}
+
+TEST(DeBruijn, InvalidParamsThrow) {
+  EXPECT_THROW(debruijn_num_nodes({.base = 1, .digits = 3}), std::invalid_argument);
+  EXPECT_THROW(debruijn_num_nodes({.base = 2, .digits = 0}), std::invalid_argument);
+}
+
+TEST(DeBruijn, Fig1_B24Structure) {
+  // Paper Fig. 1: B_{2,4} has 16 nodes, degree <= 4.
+  Graph g = debruijn_base2(4);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_EQ(g.max_degree(), 4u);
+  // Spot-check the binary definition: node 0110 (=6) connects to 1100 (=12),
+  // 1101 (=13), 0011 (=3), 1011 (=11).
+  EXPECT_TRUE(g.has_edge(6, 12));
+  EXPECT_TRUE(g.has_edge(6, 13));
+  EXPECT_TRUE(g.has_edge(6, 3));
+  EXPECT_TRUE(g.has_edge(6, 11));
+  EXPECT_EQ(g.degree(6), 4u);
+}
+
+TEST(DeBruijn, SelfLoopNodesHaveSmallerDegree) {
+  // Nodes 0...0 and 1...1 lose their self-loops; 0 connects to 1 and 2^{h-1}.
+  Graph g = debruijn_base2(4);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 8));
+  EXPECT_EQ(g.degree(15), 2u);
+}
+
+class DeBruijnDefinitionEquivalence
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, unsigned>> {};
+
+TEST_P(DeBruijnDefinitionEquivalence, DigitAndAlgebraicDefinitionsMatch) {
+  const auto [m, h] = GetParam();
+  const DeBruijnParams params{.base = m, .digits = h};
+  Graph digit = debruijn_graph_digit_definition(params);
+  Graph algebraic = debruijn_graph(params);
+  EXPECT_TRUE(digit.same_structure(algebraic)) << "m=" << m << " h=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DeBruijnDefinitionEquivalence,
+                         ::testing::Values(std::pair<std::uint64_t, unsigned>{2, 3},
+                                           std::pair<std::uint64_t, unsigned>{2, 4},
+                                           std::pair<std::uint64_t, unsigned>{2, 6},
+                                           std::pair<std::uint64_t, unsigned>{3, 3},
+                                           std::pair<std::uint64_t, unsigned>{3, 4},
+                                           std::pair<std::uint64_t, unsigned>{4, 3},
+                                           std::pair<std::uint64_t, unsigned>{5, 2},
+                                           std::pair<std::uint64_t, unsigned>{5, 3}));
+
+class DeBruijnProperties : public ::testing::TestWithParam<std::pair<std::uint64_t, unsigned>> {};
+
+TEST_P(DeBruijnProperties, DegreeAtMost2m) {
+  const auto [m, h] = GetParam();
+  Graph g = debruijn_graph({.base = m, .digits = h});
+  EXPECT_LE(g.max_degree(), 2 * m);
+}
+
+TEST_P(DeBruijnProperties, Connected) {
+  const auto [m, h] = GetParam();
+  EXPECT_TRUE(is_connected(debruijn_graph({.base = m, .digits = h})));
+}
+
+TEST_P(DeBruijnProperties, DiameterAtMostH) {
+  const auto [m, h] = GetParam();
+  EXPECT_LE(diameter(debruijn_graph({.base = m, .digits = h})), h);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DeBruijnProperties,
+                         ::testing::Values(std::pair<std::uint64_t, unsigned>{2, 3},
+                                           std::pair<std::uint64_t, unsigned>{2, 5},
+                                           std::pair<std::uint64_t, unsigned>{2, 8},
+                                           std::pair<std::uint64_t, unsigned>{3, 3},
+                                           std::pair<std::uint64_t, unsigned>{4, 3},
+                                           std::pair<std::uint64_t, unsigned>{5, 2}));
+
+TEST(DeBruijn, OutNeighborsAreGraphEdgesOrSelfLoops) {
+  const DeBruijnParams params{.base = 3, .digits = 3};
+  Graph g = debruijn_graph(params);
+  for (std::size_t x = 0; x < g.num_nodes(); ++x) {
+    for (NodeId y : debruijn_out_neighbors(params, static_cast<NodeId>(x))) {
+      if (y != static_cast<NodeId>(x)) {
+        EXPECT_TRUE(g.has_edge(static_cast<NodeId>(x), y)) << "x=" << x << " y=" << y;
+      }
+    }
+  }
+}
+
+TEST(DeBruijn, EdgeIffShiftRelation) {
+  // Exhaustive cross-check of the edge predicate against first principles.
+  const unsigned h = 4;
+  const std::uint64_t n = 16;
+  Graph g = debruijn_base2(h);
+  for (std::uint64_t x = 0; x < n; ++x) {
+    for (std::uint64_t y = x + 1; y < n; ++y) {
+      bool expected = false;
+      for (std::uint64_t r = 0; r < 2; ++r) {
+        if ((2 * x + r) % n == y || (2 * y + r) % n == x) expected = true;
+      }
+      EXPECT_EQ(g.has_edge(static_cast<NodeId>(x), static_cast<NodeId>(y)), expected)
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftdb

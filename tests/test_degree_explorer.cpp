@@ -1,0 +1,96 @@
+// Tests for the minimal-offset-set explorer (the Section VI open problems,
+// empirically).
+#include <gtest/gtest.h>
+
+#include "ft/degree_explorer.hpp"
+#include "ft/ft_debruijn.hpp"
+#include "ft/tolerance.hpp"
+#include "topology/debruijn.hpp"
+
+namespace ftdb {
+namespace {
+
+TEST(OffsetSetGraph, IntervalReproducesPaperConstruction) {
+  const ExplorerParams params{.base = 2, .digits = 4, .tolerate = 2, .spares = 2};
+  const auto interval = ft_debruijn_offsets({.base = 2, .digits = 4, .spares = 2});
+  std::vector<std::int64_t> offsets;
+  for (std::int64_t r = interval.lo; r <= interval.hi; ++r) offsets.push_back(r);
+  const Graph a = ft_debruijn_graph_offset_set(params, offsets);
+  const Graph b = ft_debruijn_base2(4, 2);
+  EXPECT_TRUE(a.same_structure(b));
+}
+
+TEST(OffsetSetGraph, SparesBelowToleranceThrows) {
+  const ExplorerParams params{.base = 2, .digits = 3, .tolerate = 2, .spares = 1};
+  EXPECT_THROW(ft_debruijn_graph_offset_set(params, {0, 1}), std::invalid_argument);
+}
+
+TEST(OffsetSetTolerance, PaperIntervalPasses) {
+  for (unsigned k = 1; k <= 2; ++k) {
+    const ExplorerParams params{.base = 2, .digits = 4, .tolerate = k, .spares = k};
+    const auto interval = ft_debruijn_offsets({.base = 2, .digits = 4, .spares = k});
+    std::vector<std::int64_t> offsets;
+    for (std::int64_t r = interval.lo; r <= interval.hi; ++r) offsets.push_back(r);
+    EXPECT_TRUE(offset_set_is_tolerant(params, offsets)) << "k=" << k;
+  }
+}
+
+TEST(OffsetSetTolerance, EmptySetFails) {
+  const ExplorerParams params{.base = 2, .digits = 3, .tolerate = 1, .spares = 1};
+  EXPECT_FALSE(offset_set_is_tolerant(params, {}));
+}
+
+TEST(MinimizeOffsets, ResultIsTolerantAndNoSmallerThanNecessary) {
+  const ExplorerParams params{.base = 2, .digits = 4, .tolerate = 1, .spares = 1};
+  const ExplorationResult result = minimize_offsets_greedy(params);
+  // Whatever the search found must itself be tolerant.
+  EXPECT_TRUE(offset_set_is_tolerant(params, result.offsets));
+  // And locally minimal: removing any single offset breaks tolerance.
+  for (std::int64_t r : result.offsets) {
+    std::vector<std::int64_t> smaller;
+    for (std::int64_t o : result.offsets) {
+      if (o != r) smaller.push_back(o);
+    }
+    EXPECT_FALSE(offset_set_is_tolerant(params, smaller)) << "offset " << r << " droppable";
+  }
+  EXPECT_LE(result.max_degree, result.paper_degree);
+}
+
+TEST(MinimizeOffsets, PaperIntervalIsMinimalForBase2SmallCases) {
+  // Empirical support for the construction's tightness: for these instances
+  // the greedy search cannot drop any offset from the paper's interval.
+  for (auto [h, k] : {std::pair<unsigned, unsigned>{4, 1}, {5, 1}, {4, 2}}) {
+    const ExplorerParams params{.base = 2, .digits = h, .tolerate = k, .spares = k};
+    const ExplorationResult result = minimize_offsets_greedy(params);
+    EXPECT_TRUE(result.paper_interval_minimal) << "h=" << h << " k=" << k;
+    EXPECT_EQ(result.offsets.size(), 2u * k + 2) << "h=" << h << " k=" << k;
+  }
+}
+
+TEST(DegreeVsSpares, ExtraSparesDoNotReduceDegree) {
+  // The Section VI conjecture probed (negatively, for this family): with
+  // c > k spares the wrap-around offsets widen, so the minimized degree is
+  // never better than at c = k.
+  const auto results = degree_vs_spares(2, 4, 1, 4);
+  ASSERT_EQ(results.size(), 4u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ExplorerParams params{
+        .base = 2, .digits = 4, .tolerate = 1, .spares = static_cast<unsigned>(1 + i)};
+    EXPECT_TRUE(offset_set_is_tolerant(params, results[i].offsets)) << "c=" << 1 + i;
+    EXPECT_GE(results[i].max_degree, results[0].max_degree)
+        << "extra spares unexpectedly reduced the degree — a new result!";
+  }
+}
+
+TEST(DegreeVsSpares, GeneralizedIntervalTolerantForExtraSpares) {
+  // The c > k generalization must pass tolerance before minimization begins
+  // (minimize_offsets_greedy throws otherwise).
+  for (unsigned c = 2; c <= 4; ++c) {
+    EXPECT_NO_THROW(minimize_offsets_greedy(
+        {.base = 2, .digits = 4, .tolerate = 1, .spares = c}))
+        << "c=" << c;
+  }
+}
+
+}  // namespace
+}  // namespace ftdb

@@ -1,0 +1,103 @@
+// Tests for the directed-graph substrate and Euler circuits.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/digraph.hpp"
+#include "topology/debruijn.hpp"
+
+namespace ftdb {
+namespace {
+
+TEST(Digraph, DegreesAndNeighbors) {
+  Digraph d(3, {{0, 1}, {0, 2}, {1, 2}, {2, 0}});
+  EXPECT_EQ(d.num_nodes(), 3u);
+  EXPECT_EQ(d.num_arcs(), 4u);
+  EXPECT_EQ(d.out_degree(0), 2u);
+  EXPECT_EQ(d.in_degree(0), 1u);
+  EXPECT_EQ(d.in_degree(2), 2u);
+  auto out0 = d.out_neighbors(0);
+  EXPECT_EQ(std::vector<NodeId>(out0.begin(), out0.end()), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Digraph, ParallelArcsAllowed) {
+  Digraph d(2, {{0, 1}, {0, 1}});
+  EXPECT_EQ(d.num_arcs(), 2u);
+  EXPECT_EQ(d.out_degree(0), 2u);
+}
+
+TEST(Digraph, OutOfRangeThrows) {
+  EXPECT_THROW(Digraph(2, {{0, 2}}), std::out_of_range);
+}
+
+TEST(Digraph, UndirectedShadow) {
+  Digraph d(3, {{0, 1}, {1, 0}, {1, 2}, {2, 2}});
+  Graph shadow = d.undirected_shadow();
+  EXPECT_EQ(shadow.num_edges(), 2u);  // 0-1 deduped, self-loop dropped
+}
+
+TEST(Digraph, EulerianDirectedCycle) {
+  Digraph cycle(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_TRUE(cycle.is_eulerian());
+  auto circuit = cycle.euler_circuit();
+  ASSERT_EQ(circuit.size(), 5u);
+  EXPECT_EQ(circuit.front(), circuit.back());
+}
+
+TEST(Digraph, NotEulerianWhenDegreesUnbalanced) {
+  Digraph d(3, {{0, 1}, {0, 2}, {1, 0}});
+  EXPECT_FALSE(d.is_eulerian());
+  EXPECT_TRUE(d.euler_circuit().empty());
+}
+
+TEST(Digraph, NotEulerianWhenDisconnected) {
+  Digraph d(4, {{0, 1}, {1, 0}, {2, 3}, {3, 2}});
+  EXPECT_FALSE(d.is_eulerian());
+}
+
+TEST(Digraph, EulerCircuitUsesEveryArcOnce) {
+  // Two directed triangles sharing node 0.
+  Digraph d(5, {{0, 1}, {1, 2}, {2, 0}, {0, 3}, {3, 4}, {4, 0}});
+  ASSERT_TRUE(d.is_eulerian());
+  auto circuit = d.euler_circuit();
+  ASSERT_EQ(circuit.size(), d.num_arcs() + 1);
+  std::multiset<std::pair<NodeId, NodeId>> walked;
+  for (std::size_t i = 0; i + 1 < circuit.size(); ++i) {
+    walked.insert({circuit[i], circuit[i + 1]});
+  }
+  EXPECT_EQ(walked.count({0, 1}), 1u);
+  EXPECT_EQ(walked.count({3, 4}), 1u);
+  EXPECT_EQ(walked.size(), d.num_arcs());
+}
+
+class DeBruijnDigraphTest
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, unsigned>> {};
+
+TEST_P(DeBruijnDigraphTest, RegularAndEulerian) {
+  const auto [m, h] = GetParam();
+  const Digraph d = debruijn_digraph(m, h);
+  for (std::size_t v = 0; v < d.num_nodes(); ++v) {
+    EXPECT_EQ(d.out_degree(static_cast<NodeId>(v)), m);
+    EXPECT_EQ(d.in_degree(static_cast<NodeId>(v)), m);
+  }
+  EXPECT_TRUE(d.is_eulerian());
+  const auto circuit = d.euler_circuit();
+  EXPECT_EQ(circuit.size(), d.num_arcs() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DeBruijnDigraphTest,
+                         ::testing::Values(std::pair<std::uint64_t, unsigned>{2, 2},
+                                           std::pair<std::uint64_t, unsigned>{2, 4},
+                                           std::pair<std::uint64_t, unsigned>{3, 3},
+                                           std::pair<std::uint64_t, unsigned>{4, 2}));
+
+TEST(DeBruijnDigraph, ShadowMatchesUndirectedGenerator) {
+  for (auto [m, h] : {std::pair<std::uint64_t, unsigned>{2, 4}, {3, 3}}) {
+    const Graph shadow = debruijn_digraph(m, h).undirected_shadow();
+    const Graph direct = debruijn_graph({.base = m, .digits = h});
+    EXPECT_TRUE(shadow.same_structure(direct)) << "m=" << m << " h=" << h;
+  }
+}
+
+}  // namespace
+}  // namespace ftdb

@@ -1,0 +1,129 @@
+// Unit tests for the core Graph / GraphBuilder substrate.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/graph.hpp"
+
+namespace ftdb {
+namespace {
+
+TEST(GraphBuilder, EmptyGraph) {
+  GraphBuilder b(0);
+  Graph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(GraphBuilder, SingleEdge) {
+  GraphBuilder b(3);
+  b.add_edge(0, 2);
+  Graph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 0u);
+}
+
+TEST(GraphBuilder, SelfLoopsDropped) {
+  GraphBuilder b(2);
+  b.add_edge(0, 0);
+  b.add_edge(1, 1);
+  b.add_edge(0, 1);
+  Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(GraphBuilder, DuplicatesAndOrientationDeduped) {
+  GraphBuilder b(4);
+  b.add_edge(1, 3);
+  b.add_edge(3, 1);
+  b.add_edge(1, 3);
+  Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(GraphBuilder, OutOfRangeThrows) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW(b.add_edge(5, 0), std::out_of_range);
+}
+
+TEST(GraphBuilder, ClearResets) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.clear();
+  Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, NeighborsSorted) {
+  GraphBuilder b(5);
+  b.add_edge(2, 4);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  b.add_edge(2, 1);
+  Graph g = b.build();
+  auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 4u);
+  for (std::size_t i = 0; i + 1 < nb.size(); ++i) EXPECT_LT(nb[i], nb[i + 1]);
+}
+
+TEST(Graph, EdgesLexicographic) {
+  Graph g = make_graph(4, {{3, 2}, {0, 1}, {1, 3}});
+  auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[1], (Edge{1, 3}));
+  EXPECT_EQ(edges[2], (Edge{2, 3}));
+}
+
+TEST(Graph, DegreeStatistics) {
+  // Star on 5 nodes: center degree 4, leaves degree 1.
+  Graph g = make_graph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 8.0 / 5.0);
+}
+
+TEST(Graph, SameStructure) {
+  Graph a = make_graph(3, {{0, 1}, {1, 2}});
+  Graph b = make_graph(3, {{1, 2}, {0, 1}});
+  Graph c = make_graph(3, {{0, 1}, {0, 2}});
+  EXPECT_TRUE(a.same_structure(b));
+  EXPECT_FALSE(a.same_structure(c));
+}
+
+TEST(Graph, HasEdgeOutOfRangeIsFalse) {
+  Graph g = make_graph(2, {{0, 1}});
+  EXPECT_FALSE(g.has_edge(0, 7));
+  EXPECT_FALSE(g.has_edge(7, 0));
+}
+
+class CompleteGraphTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CompleteGraphTest, CompleteGraphInvariants) {
+  const std::size_t n = GetParam();
+  GraphBuilder b(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      b.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    }
+  }
+  Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), n * (n - 1) / 2);
+  EXPECT_EQ(g.max_degree(), n - 1);
+  EXPECT_EQ(g.min_degree(), n - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CompleteGraphTest, ::testing::Values(2, 3, 5, 8, 16, 33));
+
+}  // namespace
+}  // namespace ftdb

@@ -1,0 +1,137 @@
+// Unit tests for BFS, connectivity, diameter and bipartiteness.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "topology/debruijn.hpp"
+#include "topology/hypercube.hpp"
+
+namespace ftdb {
+namespace {
+
+Graph path_graph(std::size_t n) {
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  return b.build();
+}
+
+Graph cycle_graph(std::size_t n) {
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+  }
+  return b.build();
+}
+
+TEST(BfsDistances, PathGraph) {
+  Graph g = path_graph(5);
+  auto dist = bfs_distances(g, 0);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(BfsDistances, DisconnectedUnreachable) {
+  Graph g = make_graph(4, {{0, 1}, {2, 3}});
+  auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(ShortestPath, ReconstructsPath) {
+  Graph g = cycle_graph(6);
+  auto path = shortest_path(g, 0, 3);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 3u);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+}
+
+TEST(ShortestPath, SourceEqualsTarget) {
+  Graph g = path_graph(3);
+  auto path = shortest_path(g, 1, 1);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 1u);
+}
+
+TEST(ShortestPath, UnreachableEmpty) {
+  Graph g = make_graph(3, {{0, 1}});
+  EXPECT_TRUE(shortest_path(g, 0, 2).empty());
+}
+
+TEST(ConnectedComponents, CountsComponents) {
+  Graph g = make_graph(6, {{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_EQ(num_connected_components(g), 3u);
+  auto label = connected_components(g);
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_EQ(label[1], label[2]);
+  EXPECT_EQ(label[3], label[4]);
+  EXPECT_NE(label[0], label[3]);
+  EXPECT_NE(label[3], label[5]);
+}
+
+TEST(IsConnected, TrivialCases) {
+  EXPECT_TRUE(is_connected(make_graph(0, {})));
+  EXPECT_TRUE(is_connected(make_graph(1, {})));
+  EXPECT_FALSE(is_connected(make_graph(2, {})));
+}
+
+TEST(Diameter, CycleGraph) {
+  EXPECT_EQ(diameter(cycle_graph(8)), 4u);
+  EXPECT_EQ(diameter(cycle_graph(9)), 4u);
+}
+
+TEST(Diameter, DisconnectedIsUnreachable) {
+  EXPECT_EQ(diameter(make_graph(3, {{0, 1}})), kUnreachable);
+}
+
+TEST(Diameter, HypercubeIsH) {
+  for (unsigned h = 2; h <= 5; ++h) {
+    EXPECT_EQ(diameter(hypercube_graph(h)), h) << "h=" << h;
+  }
+}
+
+TEST(Diameter, DeBruijnAtMostH) {
+  // The de Bruijn graph's diameter is exactly h for h >= 2 (shift routing).
+  for (unsigned h = 2; h <= 6; ++h) {
+    EXPECT_EQ(diameter(debruijn_base2(h)), h) << "h=" << h;
+  }
+}
+
+TEST(Bipartite, EvenCycleYesOddCycleNo) {
+  EXPECT_TRUE(is_bipartite(cycle_graph(8)));
+  EXPECT_FALSE(is_bipartite(cycle_graph(7)));
+}
+
+TEST(Bipartite, HypercubeIsBipartite) { EXPECT_TRUE(is_bipartite(hypercube_graph(4))); }
+
+TEST(DegreeHistogram, StarGraph) {
+  Graph g = make_graph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  auto hist = degree_histogram(g);
+  ASSERT_EQ(hist.size(), 5u);
+  EXPECT_EQ(hist[1], 4u);
+  EXPECT_EQ(hist[4], 1u);
+}
+
+TEST(Eccentricity, PathEndpoints) {
+  Graph g = path_graph(7);
+  EXPECT_EQ(eccentricity(g, 0), 6u);
+  EXPECT_EQ(eccentricity(g, 3), 3u);
+}
+
+class BfsVsDiameterTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BfsVsDiameterTest, EccentricityNeverExceedsDiameter) {
+  const unsigned h = GetParam();
+  Graph g = debruijn_base2(h);
+  const std::uint32_t diam = diameter(g);
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(eccentricity(g, static_cast<NodeId>(v)), diam);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DeBruijn, BfsVsDiameterTest, ::testing::Values(3, 4, 5));
+
+}  // namespace
+}  // namespace ftdb

@@ -1,0 +1,76 @@
+// Unit tests for graph serialization (DOT / edge list / adjacency).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/io.hpp"
+#include "topology/debruijn.hpp"
+
+namespace ftdb {
+namespace {
+
+TEST(ToDot, ContainsNodesAndEdges) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("graph G {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2"), std::string::npos);
+}
+
+TEST(ToDot, CustomLabelsAndHighlights) {
+  Graph g = make_graph(2, {{0, 1}});
+  DotOptions opts;
+  opts.graph_name = "Fig";
+  opts.node_labels = {"alpha", "beta"};
+  opts.highlighted_nodes = {1};
+  std::string dot = to_dot(g, opts);
+  EXPECT_NE(dot.find("graph Fig {"), std::string::npos);
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=gray"), std::string::npos);
+}
+
+TEST(ToDot, SolidVsDashedEdges) {
+  Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  DotOptions opts;
+  opts.solid_edges = {Edge{1, 0}};  // orientation-insensitive
+  std::string dot = to_dot(g, opts);
+  EXPECT_NE(dot.find("[style=solid]"), std::string::npos);
+  EXPECT_NE(dot.find("[style=dashed]"), std::string::npos);
+}
+
+TEST(EdgeList, RoundTrip) {
+  Graph g = debruijn_base2(4);
+  std::string text = to_edge_list(g);
+  std::istringstream in(text);
+  Graph back = from_edge_list(in);
+  EXPECT_TRUE(g.same_structure(back));
+}
+
+TEST(EdgeList, HeaderMatchesCounts) {
+  Graph g = make_graph(5, {{0, 4}, {1, 2}});
+  std::istringstream in(to_edge_list(g));
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  in >> nodes >> edges;
+  EXPECT_EQ(nodes, 5u);
+  EXPECT_EQ(edges, 2u);
+}
+
+TEST(EdgeList, BadHeaderThrows) {
+  std::istringstream in("garbage");
+  EXPECT_THROW(from_edge_list(in), std::runtime_error);
+}
+
+TEST(EdgeList, TruncatedThrows) {
+  std::istringstream in("3 2\n0 1\n");
+  EXPECT_THROW(from_edge_list(in), std::runtime_error);
+}
+
+TEST(FormatAdjacency, OneLinePerNode) {
+  Graph g = make_graph(3, {{0, 1}, {0, 2}});
+  std::string text = format_adjacency(g);
+  EXPECT_EQ(text, "0: 1 2\n1: 0\n2: 0\n");
+}
+
+}  // namespace
+}  // namespace ftdb

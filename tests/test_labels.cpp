@@ -1,0 +1,99 @@
+// Unit tests for the base-m digit-string utilities of Section II.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "topology/labels.hpp"
+
+namespace ftdb::labels {
+namespace {
+
+TEST(IpowChecked, SmallValues) {
+  EXPECT_EQ(ipow_checked(2, 0), 1u);
+  EXPECT_EQ(ipow_checked(2, 10), 1024u);
+  EXPECT_EQ(ipow_checked(3, 4), 81u);
+  EXPECT_EQ(ipow_checked(10, 6), 1000000u);
+}
+
+TEST(IpowChecked, OverflowThrows) { EXPECT_THROW(ipow_checked(2, 64), std::overflow_error); }
+
+TEST(DigitsOf, RoundTrip) {
+  for (std::uint64_t m : {2ull, 3ull, 5ull}) {
+    for (unsigned h : {1u, 3u, 5u}) {
+      const std::uint64_t n = ipow_checked(m, h);
+      for (std::uint64_t x = 0; x < n; ++x) {
+        EXPECT_EQ(from_digits(digits_of(x, m, h), m), x);
+      }
+    }
+  }
+}
+
+TEST(DigitsOf, LeastSignificantFirst) {
+  auto d = digits_of(6, 2, 3);  // 110_2
+  EXPECT_EQ(d, (std::vector<std::uint32_t>{0, 1, 1}));
+}
+
+TEST(DigitsOf, OverflowingValueThrows) {
+  EXPECT_THROW(digits_of(8, 2, 3), std::invalid_argument);
+}
+
+TEST(FromDigits, DigitRangeChecked) {
+  EXPECT_THROW(from_digits({2, 0}, 2), std::invalid_argument);
+}
+
+TEST(ShiftInLow, MatchesFormula) {
+  // Digit vectors are least-significant-first: x = [x2,x1,x0] = [2,1,0]_3 is
+  // {0, 1, 2}. Shift-in-low maps [2,1,0] -> [1,0,r].
+  const std::uint64_t x = from_digits({0, 1, 2}, 3);  // 21 = [2,1,0]_3
+  EXPECT_EQ(shift_in_low(x, 3, 3, 2), from_digits({2, 0, 1}, 3));  // [1,0,2]_3 = 11
+}
+
+TEST(ShiftInHigh, MatchesFormula) {
+  // [x2,x1,x0] = [2,1,0] -> [r,x2,x1] = [1,2,1].
+  const std::uint64_t x = from_digits({0, 1, 2}, 3);
+  EXPECT_EQ(shift_in_high(x, 3, 3, 1), from_digits({1, 2, 1}, 3));  // 16
+}
+
+TEST(ShiftIn, BadDigitThrows) {
+  EXPECT_THROW(shift_in_low(0, 2, 3, 2), std::invalid_argument);
+  EXPECT_THROW(shift_in_high(0, 2, 3, 5), std::invalid_argument);
+}
+
+TEST(Rotations, InverseOfEachOther) {
+  for (std::uint64_t m : {2ull, 4ull}) {
+    const unsigned h = 4;
+    const std::uint64_t n = ipow_checked(m, h);
+    for (std::uint64_t x = 0; x < n; ++x) {
+      EXPECT_EQ(rotate_right(rotate_left(x, m, h), m, h), x);
+      EXPECT_EQ(rotate_left(rotate_right(x, m, h), m, h), x);
+    }
+  }
+}
+
+TEST(Rotations, HFoldRotationIsIdentity) {
+  const unsigned h = 5;
+  for (std::uint64_t x = 0; x < 32; ++x) {
+    std::uint64_t y = x;
+    for (unsigned i = 0; i < h; ++i) y = rotate_left(y, 2, h);
+    EXPECT_EQ(y, x);
+  }
+}
+
+TEST(HighDigit, BinaryMsb) {
+  EXPECT_EQ(high_digit(0b1010, 2, 4), 1u);
+  EXPECT_EQ(high_digit(0b0010, 2, 4), 0u);
+}
+
+TEST(ToDigitString, PaperNotation) {
+  EXPECT_EQ(to_digit_string(6, 2, 4), "[0,1,1,0]");
+  EXPECT_EQ(to_digit_string(5, 3, 2), "[1,2]");
+}
+
+TEST(ExchangeBit0, FlipsLowBit) {
+  EXPECT_EQ(exchange_bit0(0), 1u);
+  EXPECT_EQ(exchange_bit0(7), 6u);
+  EXPECT_EQ(exchange_bit0(exchange_bit0(42)), 42u);
+}
+
+}  // namespace
+}  // namespace ftdb::labels

@@ -1,0 +1,68 @@
+// Tests for the machine-lifetime (MTTF) model and simulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/lifetime.hpp"
+
+namespace ftdb::sim {
+namespace {
+
+TEST(AnalyticMttf, ZeroSparesSingleRace) {
+  // With k = 0 the machine dies at the first failure:
+  // E = 1 / (1 - (1-p)^N).
+  const LifetimeParams params{.target_nodes = 10, .spares = 0, .failure_prob = 0.01};
+  const double expected = 1.0 / (1.0 - std::pow(0.99, 10.0));
+  EXPECT_NEAR(analytic_mttf(params), expected, 1e-9);
+}
+
+TEST(AnalyticMttf, MoreSparesLiveLonger) {
+  double prev = 0.0;
+  for (unsigned k = 0; k <= 6; ++k) {
+    const double mttf = analytic_mttf({.target_nodes = 64, .spares = k, .failure_prob = 0.001});
+    EXPECT_GT(mttf, prev);
+    prev = mttf;
+  }
+}
+
+TEST(AnalyticMttf, InvalidProbabilityThrows) {
+  EXPECT_THROW(analytic_mttf({.target_nodes = 4, .spares = 1, .failure_prob = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(analytic_mttf({.target_nodes = 4, .spares = 1, .failure_prob = 1.0}),
+               std::invalid_argument);
+}
+
+TEST(SimulateLifetime, MatchesAnalyticWithinTolerance) {
+  const LifetimeParams params{.target_nodes = 64, .spares = 3, .failure_prob = 0.002};
+  const LifetimeResult r = simulate_lifetime(params, 4000, 7);
+  EXPECT_EQ(r.trials, 4000u);
+  // 4000 trials: expect within ~5% of the analytic value.
+  EXPECT_NEAR(r.empirical_mttf / r.analytic_mttf, 1.0, 0.05);
+  EXPECT_LE(r.min_lifetime, r.empirical_mttf);
+  EXPECT_GE(r.max_lifetime, r.empirical_mttf);
+}
+
+TEST(SimulateLifetime, DeterministicGivenSeed) {
+  const LifetimeParams params{.target_nodes = 32, .spares = 2, .failure_prob = 0.01};
+  const LifetimeResult a = simulate_lifetime(params, 100, 3);
+  const LifetimeResult b = simulate_lifetime(params, 100, 3);
+  EXPECT_DOUBLE_EQ(a.empirical_mttf, b.empirical_mttf);
+}
+
+TEST(SimulateLifetime, ZeroTrialsThrows) {
+  EXPECT_THROW(simulate_lifetime({.target_nodes = 4, .spares = 0, .failure_prob = 0.1}, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(LifetimeMultiplier, SparesMultiplyLifetimeRoughlyLinearly) {
+  // Each additional spare adds roughly one more expected failure-wait, so
+  // MTTF(k)/MTTF(0) ~ k+1 for small p.
+  for (unsigned k = 1; k <= 4; ++k) {
+    const double mult = lifetime_multiplier(256, k, 0.0001);
+    EXPECT_GT(mult, 0.9 * (k + 1));
+    EXPECT_LT(mult, 1.1 * (k + 1));
+  }
+}
+
+}  // namespace
+}  // namespace ftdb::sim

@@ -1,0 +1,104 @@
+// Tests for the Section II primitives: X(z,m,r,s), Rank, and the wrap-count
+// decomposition behind Lemmas 2 and 3.
+#include <gtest/gtest.h>
+
+#include "ft/modmath.hpp"
+
+namespace ftdb::ft {
+namespace {
+
+TEST(AffineMod, MatchesPaperExamples) {
+  // X(z, m, r, s) = (z*m + r) mod s.
+  EXPECT_EQ(affine_mod(3, 2, 0, 16), 6);
+  EXPECT_EQ(affine_mod(3, 2, 1, 16), 7);
+  EXPECT_EQ(affine_mod(9, 2, 0, 16), 2);   // wraps
+  EXPECT_EQ(affine_mod(9, 2, 1, 16), 3);
+}
+
+TEST(AffineMod, NegativeOffsets) {
+  EXPECT_EQ(affine_mod(0, 2, -1, 17), 16);
+  EXPECT_EQ(affine_mod(0, 2, -3, 17), 14);
+  EXPECT_EQ(affine_mod(5, 3, -2, 28), 13);
+}
+
+TEST(AffineMod, ResultAlwaysCanonical) {
+  for (std::int64_t z = 0; z < 20; ++z) {
+    for (std::int64_t r = -10; r <= 10; ++r) {
+      const std::int64_t y = affine_mod(z, 3, r, 20);
+      EXPECT_GE(y, 0);
+      EXPECT_LT(y, 20);
+      // Congruence: y ≡ 3z + r (mod 20).
+      EXPECT_EQ(((3 * z + r) % 20 + 20) % 20, y);
+    }
+  }
+}
+
+TEST(AffineMod, BadModulusThrows) {
+  EXPECT_THROW(affine_mod(1, 2, 0, 0), std::invalid_argument);
+  EXPECT_THROW(affine_mod(1, 2, 0, -5), std::invalid_argument);
+}
+
+TEST(RankInSorted, PaperDefinition) {
+  // Rank(min(S), S) = 0 and Rank(max(S), S) = |S| - 1.
+  const std::vector<std::int64_t> s{2, 5, 7, 11};
+  EXPECT_EQ(rank_in_sorted(2, s), 0u);
+  EXPECT_EQ(rank_in_sorted(11, s), 3u);
+  EXPECT_EQ(rank_in_sorted(7, s), 2u);
+  // Elements not in S rank by how many members are smaller.
+  EXPECT_EQ(rank_in_sorted(6, s), 2u);
+  EXPECT_EQ(rank_in_sorted(0, s), 0u);
+  EXPECT_EQ(rank_in_sorted(100, s), 4u);
+}
+
+TEST(WrapCount, ExactDecomposition) {
+  // y = m*x + r - t*s must hold exactly.
+  for (std::int64_t x = 0; x < 27; ++x) {
+    for (std::int64_t r = 0; r < 3; ++r) {
+      const std::int64_t t = wrap_count(x, 3, r, 27);
+      const std::int64_t y = affine_mod(x, 3, r, 27);
+      EXPECT_EQ(y, 3 * x + r - t * 27);
+    }
+  }
+}
+
+TEST(WrapCount, Lemma2RangeBase2) {
+  // Lemma 2: in B_{2,h}, x < y implies y = 2x + r (t = 0) and x > y implies
+  // y = 2x + r - 2^h (t = 1).
+  const std::int64_t n = 32;
+  for (std::int64_t x = 0; x < n; ++x) {
+    for (std::int64_t r = 0; r < 2; ++r) {
+      const std::int64_t y = affine_mod(x, 2, r, n);
+      if (y == x) continue;  // self-loop, not an edge
+      const std::int64_t t = wrap_count(x, 2, r, n);
+      if (x < y) {
+        EXPECT_EQ(t, 0) << "x=" << x << " r=" << r;
+      } else {
+        EXPECT_EQ(t, 1) << "x=" << x << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(WrapCount, Lemma3RangeBaseM) {
+  // Lemma 3: x < y implies t in {0..m-2}; x > y implies t in {1..m-1}.
+  for (std::int64_t m : {3, 4, 5}) {
+    const std::int64_t n = m * m * m;
+    for (std::int64_t x = 0; x < n; ++x) {
+      for (std::int64_t r = 0; r < m; ++r) {
+        const std::int64_t y = affine_mod(x, m, r, n);
+        if (y == x) continue;
+        const std::int64_t t = wrap_count(x, m, r, n);
+        if (x < y) {
+          EXPECT_GE(t, 0);
+          EXPECT_LE(t, m - 2);
+        } else {
+          EXPECT_GE(t, 1);
+          EXPECT_LE(t, m - 1);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftdb::ft

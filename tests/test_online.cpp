@@ -1,0 +1,126 @@
+// Tests for the online reconfiguration manager: sequential fault arrivals,
+// link/bus normalization, budget enforcement, and hot repair.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ft/ft_debruijn.hpp"
+#include "ft/online.hpp"
+#include "topology/debruijn.hpp"
+
+namespace ftdb {
+namespace {
+
+OnlineReconfigurator make(unsigned h, unsigned k) {
+  return OnlineReconfigurator(ft_debruijn_base2(h, k), debruijn_base2(h));
+}
+
+TEST(Online, FreshMachineIsIdentityMapped) {
+  auto mgr = make(4, 2);
+  EXPECT_EQ(mgr.spare_budget(), 2u);
+  EXPECT_EQ(mgr.faults_outstanding(), 0u);
+  EXPECT_EQ(mgr.spares_remaining(), 2u);
+  for (std::size_t x = 0; x < 16; ++x) EXPECT_EQ(mgr.mapping()[x], x);
+  EXPECT_TRUE(mgr.invariant_holds());
+}
+
+TEST(Online, SizeMismatchThrows) {
+  EXPECT_THROW(OnlineReconfigurator(debruijn_base2(3), debruijn_base2(4)),
+               std::invalid_argument);
+}
+
+TEST(Online, NodeFaultShiftsMapping) {
+  auto mgr = make(4, 2);
+  EXPECT_EQ(mgr.apply({FaultKind::kNode, 5, 0}), EventStatus::kAccepted);
+  EXPECT_EQ(mgr.mapping()[4], 4u);
+  EXPECT_EQ(mgr.mapping()[5], 6u);
+  EXPECT_TRUE(mgr.invariant_holds());
+}
+
+TEST(Online, DuplicateFaultIsRedundant) {
+  auto mgr = make(4, 2);
+  EXPECT_EQ(mgr.apply({FaultKind::kNode, 5, 0}), EventStatus::kAccepted);
+  EXPECT_EQ(mgr.apply({FaultKind::kNode, 5, 0}), EventStatus::kRedundant);
+  EXPECT_EQ(mgr.faults_outstanding(), 1u);
+}
+
+TEST(Online, BudgetEnforced) {
+  auto mgr = make(4, 1);
+  EXPECT_EQ(mgr.apply({FaultKind::kNode, 1, 0}), EventStatus::kAccepted);
+  EXPECT_EQ(mgr.apply({FaultKind::kNode, 2, 0}), EventStatus::kBudgetExhausted);
+  EXPECT_EQ(mgr.faults_outstanding(), 1u);  // rejected event did not apply
+  EXPECT_TRUE(mgr.invariant_holds());
+}
+
+TEST(Online, LinkFaultRetiresOneEndpoint) {
+  auto mgr = make(4, 2);
+  EXPECT_EQ(mgr.apply({FaultKind::kLink, 3, 7}), EventStatus::kAccepted);
+  EXPECT_EQ(mgr.retired(), (std::vector<NodeId>{3}));
+  // A second fault on a link already covered by a retired endpoint is free.
+  EXPECT_EQ(mgr.apply({FaultKind::kLink, 3, 6}), EventStatus::kRedundant);
+  EXPECT_EQ(mgr.faults_outstanding(), 1u);
+}
+
+TEST(Online, BusFaultRetiresDriver) {
+  auto mgr = make(4, 2);
+  EXPECT_EQ(mgr.apply({FaultKind::kBus, 9, 0}), EventStatus::kAccepted);
+  EXPECT_EQ(mgr.retired(), (std::vector<NodeId>{9}));
+}
+
+TEST(Online, OutOfRangeThrows) {
+  auto mgr = make(3, 1);
+  EXPECT_THROW(mgr.apply({FaultKind::kNode, 99, 0}), std::out_of_range);
+}
+
+TEST(Online, RepairRestoresSpare) {
+  auto mgr = make(4, 1);
+  EXPECT_EQ(mgr.apply({FaultKind::kNode, 0, 0}), EventStatus::kAccepted);
+  EXPECT_EQ(mgr.spares_remaining(), 0u);
+  EXPECT_TRUE(mgr.repair(0));
+  EXPECT_EQ(mgr.spares_remaining(), 1u);
+  for (std::size_t x = 0; x < 16; ++x) EXPECT_EQ(mgr.mapping()[x], x);
+  EXPECT_FALSE(mgr.repair(0));  // already healthy
+}
+
+TEST(Online, InverseMappingConsistent) {
+  auto mgr = make(4, 2);
+  mgr.apply({FaultKind::kNode, 4, 0});
+  const auto inv = mgr.inverse_mapping();
+  EXPECT_EQ(inv[4], kInvalidNode);
+  for (std::size_t x = 0; x < 16; ++x) EXPECT_EQ(inv[mgr.mapping()[x]], x);
+}
+
+TEST(Online, StatusLineReflectsState) {
+  auto mgr = make(3, 1);
+  EXPECT_NE(mgr.status_line().find("0/1 spares"), std::string::npos);
+  mgr.apply({FaultKind::kNode, 2, 0});
+  EXPECT_NE(mgr.status_line().find("1/1 spares"), std::string::npos);
+  EXPECT_NE(mgr.status_line().find("invariant OK"), std::string::npos);
+}
+
+TEST(Online, RandomFailRepairSoakMaintainsInvariant) {
+  // Soak test: random interleavings of faults and repairs never violate the
+  // Theorem 1 invariant and never over-consume the budget.
+  const unsigned h = 5;
+  const unsigned k = 3;
+  auto mgr = make(h, k);
+  std::mt19937_64 rng(123);
+  std::uniform_int_distribution<NodeId> pick(0, static_cast<NodeId>((1u << h) + k - 1));
+  for (int event = 0; event < 500; ++event) {
+    if (rng() % 3 == 0 && mgr.faults_outstanding() > 0) {
+      const auto& retired = mgr.retired();
+      std::uniform_int_distribution<std::size_t> which(0, retired.size() - 1);
+      ASSERT_TRUE(mgr.repair(retired[which(rng)]));
+    } else {
+      const auto status = mgr.apply({FaultKind::kNode, pick(rng), 0});
+      if (status == EventStatus::kBudgetExhausted) {
+        EXPECT_EQ(mgr.spares_remaining(), 0u);
+      }
+    }
+    ASSERT_TRUE(mgr.invariant_holds()) << "after event " << event;
+    ASSERT_LE(mgr.faults_outstanding(), k);
+  }
+}
+
+}  // namespace
+}  // namespace ftdb

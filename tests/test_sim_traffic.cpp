@@ -1,0 +1,97 @@
+// Tests for the traffic generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/traffic.hpp"
+
+namespace ftdb::sim {
+namespace {
+
+TEST(UniformTraffic, DeterministicAndInRange) {
+  const auto a = uniform_traffic(16, 100, 4, 42);
+  const auto b = uniform_traffic(16, 100, 4, 42);
+  ASSERT_EQ(a.size(), 100u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+    EXPECT_LT(a[i].src, 16u);
+    EXPECT_LT(a[i].dst, 16u);
+  }
+}
+
+TEST(UniformTraffic, InjectionRateHonored) {
+  const auto packets = uniform_traffic(8, 10, 2, 1);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].inject_cycle, i / 2);
+  }
+}
+
+TEST(UniformTraffic, ZeroRateDefaultsToOne) {
+  const auto packets = uniform_traffic(8, 4, 0, 1);
+  EXPECT_EQ(packets[3].inject_cycle, 3u);
+}
+
+TEST(UniformTraffic, EmptyMachineThrows) {
+  EXPECT_THROW(uniform_traffic(0, 10, 1, 1), std::invalid_argument);
+}
+
+TEST(PermutationTraffic, OnePacketPerSource) {
+  const auto packets = permutation_traffic({2, 0, 1});
+  ASSERT_EQ(packets.size(), 3u);
+  EXPECT_EQ(packets[0].src, 0u);
+  EXPECT_EQ(packets[0].dst, 2u);
+  EXPECT_EQ(packets[2].dst, 1u);
+  for (const auto& p : packets) EXPECT_EQ(p.inject_cycle, 0u);
+}
+
+TEST(BitReversal, IsInvolutionAndPermutation) {
+  for (unsigned h : {3u, 4u, 5u}) {
+    const auto perm = bit_reversal_permutation(h);
+    std::vector<NodeId> sorted = perm;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+    for (std::size_t x = 0; x < perm.size(); ++x) EXPECT_EQ(perm[perm[x]], x);
+  }
+}
+
+TEST(BitReversal, KnownValues) {
+  const auto perm = bit_reversal_permutation(3);
+  EXPECT_EQ(perm[0b001], 0b100u);
+  EXPECT_EQ(perm[0b110], 0b011u);
+  EXPECT_EQ(perm[0b101], 0b101u);
+}
+
+TEST(Transpose, SwapsHalves) {
+  const auto perm = transpose_permutation(4);
+  EXPECT_EQ(perm[0b0111], 0b1101u);  // hi=01 lo=11 -> hi=11 lo=01
+  EXPECT_EQ(perm[perm[0b0111]], 0b0111u);  // involution
+}
+
+TEST(Transpose, OddHThrows) { EXPECT_THROW(transpose_permutation(3), std::invalid_argument); }
+
+TEST(ShufflePermutation, IsRotation) {
+  const auto perm = shuffle_permutation(3);
+  EXPECT_EQ(perm[0b011], 0b110u);
+  EXPECT_EQ(perm[0b100], 0b001u);
+  std::vector<NodeId> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(HotspotTraffic, FractionRoughlyHonored) {
+  const NodeId hot = 3;
+  const auto packets = hotspot_traffic(64, 2000, hot, 0.5, 9);
+  const auto hits = static_cast<std::size_t>(
+      std::count_if(packets.begin(), packets.end(), [&](const Packet& p) { return p.dst == hot; }));
+  // 0.5 fraction plus ~1/64 background: expect between 40% and 65%.
+  EXPECT_GT(hits, packets.size() * 2 / 5);
+  EXPECT_LT(hits, packets.size() * 13 / 20);
+}
+
+TEST(HotspotTraffic, BadHotNodeThrows) {
+  EXPECT_THROW(hotspot_traffic(8, 10, 8, 0.5, 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ftdb::sim

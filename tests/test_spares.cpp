@@ -1,0 +1,75 @@
+// Tests for the spare-provisioning reliability model (ABL2 support).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ft/spares.hpp"
+
+namespace ftdb {
+namespace {
+
+TEST(BinomialCdf, DegenerateProbabilities) {
+  EXPECT_DOUBLE_EQ(static_cast<double>(binomial_cdf(10, 3, 0.0L)), 1.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(binomial_cdf(10, 3, 1.0L)), 0.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(binomial_cdf(10, 10, 1.0L)), 1.0);
+}
+
+TEST(BinomialCdf, MatchesHandComputedValues) {
+  // n = 4, p = 0.5: P[X <= 1] = (1 + 4) / 16 = 0.3125.
+  EXPECT_NEAR(static_cast<double>(binomial_cdf(4, 1, 0.5L)), 0.3125, 1e-12);
+  // n = 3, p = 0.1: P[X <= 0] = 0.9^3.
+  EXPECT_NEAR(static_cast<double>(binomial_cdf(3, 0, 0.1L)), 0.729, 1e-12);
+  // P[X <= n] = 1 always.
+  EXPECT_NEAR(static_cast<double>(binomial_cdf(7, 7, 0.3L)), 1.0, 1e-12);
+}
+
+TEST(BinomialCdf, MonotoneInK) {
+  long double prev = 0.0L;
+  for (unsigned k = 0; k <= 20; ++k) {
+    const long double v = binomial_cdf(20, k, 0.2L);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(SurvivalProbability, IncreasesWithSpares) {
+  long double prev = 0.0L;
+  for (unsigned k = 0; k <= 8; ++k) {
+    const long double v = survival_probability(64, k, 0.01L);
+    EXPECT_GT(v, prev) << "k=" << k;
+    prev = v;
+  }
+  EXPECT_GT(prev, 0.999L);
+}
+
+TEST(SurvivalProbability, ZeroSparesIsAllHealthy) {
+  // k = 0: every one of the N nodes must be healthy.
+  const long double expected = std::pow(0.99L, 64);
+  EXPECT_NEAR(static_cast<double>(survival_probability(64, 0, 0.01L)),
+              static_cast<double>(expected), 1e-12);
+}
+
+TEST(MinSpares, FindsThreshold) {
+  const unsigned k = min_spares_for_reliability(256, 0.001L, 0.9999L, 16);
+  ASSERT_LE(k, 16u);
+  EXPECT_GE(survival_probability(256, k, 0.001L), 0.9999L);
+  if (k > 0) {
+    EXPECT_LT(survival_probability(256, k - 1, 0.001L), 0.9999L);
+  }
+}
+
+TEST(MinSpares, UnreachableReturnsSentinel) {
+  EXPECT_EQ(min_spares_for_reliability(100, 0.9L, 0.9999L, 3), 4u);
+}
+
+TEST(PortCost, FormulasAndCrossover) {
+  // ours: (N+k)(4(m-1)k+2m); bus: (N+k)(2k+3). Buses always cheaper for k>=1.
+  EXPECT_EQ(ours_port_cost(2, 16, 1), 17u * 8u);
+  EXPECT_EQ(bus_port_cost(16, 1), 17u * 5u);
+  for (unsigned k = 0; k <= 6; ++k) {
+    EXPECT_LT(bus_port_cost(64, k), ours_port_cost(2, 64, k) + 1) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace ftdb

@@ -1,0 +1,53 @@
+// Tests for the structural-analysis module.
+#include <gtest/gtest.h>
+
+#include "analysis/structural.hpp"
+#include "graph/algorithms.hpp"
+#include "topology/debruijn.hpp"
+
+namespace ftdb::analysis {
+namespace {
+
+TEST(SummarizeGraph, MatchesDirectComputations) {
+  const Graph g = debruijn_base2(4);
+  const StructuralSummary s = summarize_graph(g);
+  EXPECT_EQ(s.nodes, 16u);
+  EXPECT_EQ(s.edges, g.num_edges());
+  EXPECT_EQ(s.max_degree, 4u);
+  EXPECT_EQ(s.min_degree, 2u);
+  EXPECT_EQ(s.diameter, diameter(g));
+  EXPECT_TRUE(s.connected);
+  EXPECT_GT(s.average_distance, 1.0);
+  EXPECT_LT(s.average_distance, s.diameter);
+}
+
+TEST(SummarizeGraph, DisconnectedGraph) {
+  const Graph g = make_graph(4, {{0, 1}, {2, 3}});
+  const StructuralSummary s = summarize_graph(g);
+  EXPECT_FALSE(s.connected);
+  EXPECT_DOUBLE_EQ(s.average_distance, 1.0);  // only adjacent pairs reachable
+}
+
+TEST(StructuralComparisonTable, FtDiameterNeverExceedsTarget) {
+  const Table t = structural_comparison_table(4, 5, 2);
+  // Rows alternate target / FT variants per h; check diameters column-wise.
+  ASSERT_GT(t.num_rows(), 0u);
+  std::uint64_t target_diam = 0;
+  for (std::size_t i = 0; i < t.num_rows(); ++i) {
+    const auto& row = t.row(i);
+    const std::uint64_t diam = std::stoull(row[6]);
+    if (row[0] == "B_{2,h}") {
+      target_diam = diam;
+    } else if (row[0] == "B^k_{2,h}") {
+      EXPECT_LE(diam, target_diam) << "row " << i;
+    }
+  }
+}
+
+TEST(ReconfiguredDiameterReport, AllTrialsPreserveDiameter) {
+  const std::string report = reconfigured_diameter_report(5, 2, 20, 7);
+  EXPECT_NE(report.find("20/20"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace ftdb::analysis

@@ -1,0 +1,83 @@
+// Unit tests for induced subgraphs — the survivor graphs of Hayes's model.
+#include <gtest/gtest.h>
+
+#include "graph/subgraph.hpp"
+#include "topology/debruijn.hpp"
+
+namespace ftdb {
+namespace {
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  // Square 0-1-2-3 with a chord 0-2.
+  Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  auto sub = induced_subgraph(g, {0, 1, 2});
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);  // 0-1, 1-2, 0-2
+  EXPECT_EQ(sub.to_original, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(InducedSubgraph, RelabelsByRank) {
+  Graph g = make_graph(5, {{1, 3}, {3, 4}});
+  auto sub = induced_subgraph(g, {4, 1, 3});  // order irrelevant
+  ASSERT_EQ(sub.to_original, (std::vector<NodeId>{1, 3, 4}));
+  // New labels: 1->0, 3->1, 4->2.
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));
+  EXPECT_TRUE(sub.graph.has_edge(1, 2));
+  EXPECT_FALSE(sub.graph.has_edge(0, 2));
+}
+
+TEST(InducedSubgraph, DuplicatesIgnored) {
+  Graph g = make_graph(3, {{0, 1}});
+  auto sub = induced_subgraph(g, {0, 0, 1, 1});
+  EXPECT_EQ(sub.graph.num_nodes(), 2u);
+  EXPECT_EQ(sub.graph.num_edges(), 1u);
+}
+
+TEST(InducedSubgraphExcluding, RemovesFaultyNodes) {
+  Graph g = debruijn_base2(3);
+  auto sub = induced_subgraph_excluding(g, {2, 5});
+  EXPECT_EQ(sub.graph.num_nodes(), 6u);
+  for (NodeId orig : sub.to_original) {
+    EXPECT_NE(orig, 2u);
+    EXPECT_NE(orig, 5u);
+  }
+}
+
+TEST(InducedSubgraphExcluding, EdgeCountMatchesManualFilter) {
+  Graph g = debruijn_base2(4);
+  const std::vector<NodeId> removed{0, 7, 12};
+  auto sub = induced_subgraph_excluding(g, removed);
+  std::size_t expected = 0;
+  auto gone = [&](NodeId v) {
+    return std::find(removed.begin(), removed.end(), v) != removed.end();
+  };
+  for (const Edge& e : g.edges()) {
+    if (!gone(e.u) && !gone(e.v)) ++expected;
+  }
+  EXPECT_EQ(sub.graph.num_edges(), expected);
+}
+
+TEST(IsIdentitySubgraph, DetectsContainment) {
+  Graph small = make_graph(3, {{0, 1}, {1, 2}});
+  Graph big = make_graph(4, {{0, 1}, {1, 2}, {2, 3}, {0, 2}});
+  Graph other = make_graph(3, {{0, 2}});
+  EXPECT_TRUE(is_identity_subgraph(small, big));
+  EXPECT_TRUE(is_identity_subgraph(other, big));
+  EXPECT_FALSE(is_identity_subgraph(big, small));
+  Graph not_contained = make_graph(3, {{0, 1}, {1, 2}, {0, 2}});
+  Graph host = make_graph(3, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(is_identity_subgraph(not_contained, host));
+}
+
+TEST(IsIdentitySubgraph, PaperNote_FtGraphContainsTarget) {
+  // Section III.B: B_{2,h} is an identity subgraph of B^k_{2,h}? Not literally
+  // (the modulus differs), but B^0_{2,h} equals B_{2,h} and B^k with k=0
+  // offsets r in {0,1} reproduces it. This guards the degenerate case.
+  Graph target = debruijn_base2(4);
+  Graph ft0 = make_graph(target.num_nodes(), target.edges());
+  EXPECT_TRUE(is_identity_subgraph(target, ft0));
+  EXPECT_TRUE(target.same_structure(ft0));
+}
+
+}  // namespace
+}  // namespace ftdb

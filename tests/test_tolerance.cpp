@@ -1,0 +1,145 @@
+// Tests for the tolerance-checking machinery itself (fault-set enumeration,
+// binomials, Monte Carlo, and the VF2-based generic checker).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ft/ft_debruijn.hpp"
+#include "ft/tolerance.hpp"
+#include "topology/debruijn.hpp"
+
+namespace ftdb {
+namespace {
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(17, 1), 17u);
+  EXPECT_EQ(binomial(20, 10), 184756u);
+  EXPECT_EQ(binomial(3, 4), 0u);
+}
+
+TEST(ForEachFaultSet, EnumeratesAllCombinations) {
+  std::set<std::vector<NodeId>> seen;
+  for_each_fault_set(5, 2, [&](const std::vector<NodeId>& s) {
+    seen.insert(s);
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_TRUE(seen.count({0, 1}));
+  EXPECT_TRUE(seen.count({3, 4}));
+}
+
+TEST(ForEachFaultSet, LexicographicOrder) {
+  std::vector<std::vector<NodeId>> order;
+  for_each_fault_set(4, 2, [&](const std::vector<NodeId>& s) {
+    order.push_back(s);
+    return true;
+  });
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order.front(), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(order.back(), (std::vector<NodeId>{2, 3}));
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) EXPECT_LT(order[i], order[i + 1]);
+}
+
+TEST(ForEachFaultSet, EarlyStop) {
+  int count = 0;
+  for_each_fault_set(6, 2, [&](const std::vector<NodeId>&) { return ++count < 3; });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(ForEachFaultSet, KZero) {
+  int count = 0;
+  for_each_fault_set(6, 0, [&](const std::vector<NodeId>& s) {
+    EXPECT_TRUE(s.empty());
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ForEachFaultSet, KGreaterThanNIsEmpty) {
+  int count = 0;
+  for_each_fault_set(2, 3, [&](const std::vector<NodeId>&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(MonotoneEmbeddingSurvives, ReportsViolatedEdge) {
+  // Target = path 0-1-2; "FT" graph = path 0-1-2-3 (path is NOT 1-fault
+  // tolerant with one spare: killing node 1 leaves 0,2,3 and the monotone
+  // embedding needs edges (0,2),(2,3)).
+  const Graph target = make_graph(3, {{0, 1}, {1, 2}});
+  const Graph ft = make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  FaultSet faults(4, {1});
+  Edge violation{};
+  EXPECT_FALSE(monotone_embedding_survives(target, ft, faults, &violation));
+  EXPECT_EQ(violation.u, 0u);
+  EXPECT_EQ(violation.v, 1u);  // logical edge (0,1) maps to physical (0,2): missing
+}
+
+TEST(CheckToleranceExhaustive, FindsCounterexample) {
+  const Graph target = make_graph(3, {{0, 1}, {1, 2}});
+  const Graph ft = make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto report = check_tolerance_exhaustive(target, ft, 1);
+  EXPECT_FALSE(report.tolerant);
+  EXPECT_FALSE(report.counterexample_faults.empty());
+}
+
+TEST(CheckToleranceExhaustive, CycleWithChordsTolerant) {
+  // C_4 with one spare arranged as the FT construction for a cycle: the
+  // "+1 spare ring with skip edges" is (1, C_4)-tolerant.
+  const Graph target = make_graph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  GraphBuilder b(5);
+  for (NodeId i = 0; i < 5; ++i) {
+    b.add_edge(i, (i + 1) % 5);  // ring
+    b.add_edge(i, (i + 2) % 5);  // skip chord absorbs the offset drift
+  }
+  const auto report = check_tolerance_exhaustive(target, b.build(), 1);
+  EXPECT_TRUE(report.tolerant);
+  EXPECT_EQ(report.fault_sets_checked, 5u);
+}
+
+TEST(CheckToleranceMonteCarlo, DeterministicGivenSeed) {
+  const Graph target = debruijn_base2(5);
+  const Graph ft = ft_debruijn_base2(5, 2);
+  const auto a = check_tolerance_monte_carlo(target, ft, 2, 100, 5);
+  const auto b = check_tolerance_monte_carlo(target, ft, 2, 100, 5);
+  EXPECT_EQ(a.tolerant, b.tolerant);
+  EXPECT_EQ(a.fault_sets_checked, b.fault_sets_checked);
+}
+
+TEST(CheckToleranceVf2, AgreesWithMonotoneWitnessOnSmallCase) {
+  // The generic VF2 checker (no assumption about reconfiguration) must agree
+  // that B^1_{2,3} is (1, B_{2,3})-tolerant.
+  const Graph target = debruijn_base2(3);
+  const Graph ft = ft_debruijn_base2(3, 1);
+  const auto vf2 = check_tolerance_exhaustive_vf2(target, ft, 1);
+  const auto monotone = check_tolerance_exhaustive(target, ft, 1);
+  EXPECT_TRUE(vf2.tolerant);
+  EXPECT_TRUE(monotone.tolerant);
+  EXPECT_EQ(vf2.fault_sets_checked, monotone.fault_sets_checked);
+}
+
+TEST(CheckToleranceVf2, DetectsIntolerance) {
+  const Graph target = make_graph(3, {{0, 1}, {1, 2}, {0, 2}});  // triangle
+  const Graph ft = make_graph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});  // C4: no triangle at all
+  const auto report = check_tolerance_exhaustive_vf2(target, ft, 1);
+  EXPECT_FALSE(report.tolerant);
+}
+
+TEST(PigeonholeLowerBound, FewerThanKSparesCannotWork) {
+  // With only k-1 spares, k faults leave fewer than N survivors — no graph
+  // on N+k-1 nodes can be (k, G)-tolerant. Executable pigeonhole argument.
+  const Graph target = debruijn_base2(3);  // N = 8
+  const unsigned k = 2;
+  const Graph undersized = ft_debruijn_base2(3, k - 1);  // 9 nodes only
+  FaultSet faults(undersized.num_nodes(), {0, 1});
+  EXPECT_FALSE(monotone_embedding_survives(target, undersized, faults));
+}
+
+}  // namespace
+}  // namespace ftdb

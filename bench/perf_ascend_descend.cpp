@@ -6,62 +6,66 @@
 // Expected shape: constant-factor slowdown vs the hypercube (1x for dual-port
 // de Bruijn, 2x for SE and single-port de Bruijn), and identical step counts
 // before and after reconfiguration.
-#include <iostream>
 #include <numeric>
 
-#include "analysis/table.hpp"
+#include "analysis/bench_registry.hpp"
 #include "ft/ft_debruijn.hpp"
 #include "ft/ft_shuffle_exchange.hpp"
 #include "sim/ascend_descend.hpp"
 #include "topology/debruijn.hpp"
 
-int main() {
+namespace {
+
+using ftdb::analysis::BenchContext;
+
+void ascend_all_reduce(BenchContext& ctx, unsigned h) {
   using namespace ftdb;
   const auto add = [](std::int64_t a, std::int64_t b) { return a + b; };
+  const std::size_t n = std::size_t{1} << h;
+  std::vector<std::int64_t> values(n);
+  std::iota(values.begin(), values.end(), 1);
 
-  analysis::Table t({"h", "N", "topology", "comm steps", "slowdown vs hypercube",
-                     "after k=2 faults + reconfig"});
-  for (unsigned h : {4u, 6u, 8u, 10u}) {
-    const std::size_t n = std::size_t{1} << h;
-    std::vector<std::int64_t> values(n);
-    std::iota(values.begin(), values.end(), 1);
+  const auto cube = sim::ascend_hypercube(h, values, add);
 
-    const auto cube = sim::ascend_hypercube(h, values, add);
+  // Fault-tolerant machines with 2 faults, reconfigured.
+  const Graph ft_db = ft_debruijn_base2(h, 2);
+  const FaultSet db_faults(ft_db.num_nodes(), {1, static_cast<NodeId>(n / 2)});
+  const sim::Machine db_machine = sim::Machine::reconfigured(ft_db, db_faults, n);
 
-    // Fault-tolerant machines with 2 faults, reconfigured.
-    const Graph ft_db = ft_debruijn_base2(h, 2);
-    const FaultSet db_faults(ft_db.num_nodes(), {1, static_cast<NodeId>(n / 2)});
-    const sim::Machine db_machine = sim::Machine::reconfigured(ft_db, db_faults, n);
+  const auto se_ft = ft_shuffle_exchange_natural(h, 2);
+  const FaultSet se_faults(se_ft.ft_graph.num_nodes(), {1, static_cast<NodeId>(n / 2)});
+  const sim::Machine se_machine = sim::Machine::reconfigured(se_ft.ft_graph, se_faults, n);
 
-    const auto se_ft = ft_shuffle_exchange_natural(h, 2);
-    const FaultSet se_faults(se_ft.ft_graph.num_nodes(), {1, static_cast<NodeId>(n / 2)});
-    const sim::Machine se_machine = sim::Machine::reconfigured(se_ft.ft_graph, se_faults, n);
+  const auto db_dual = sim::ascend_debruijn(h, values, add, 2);
+  const auto db_dual_ft = sim::ascend_debruijn(h, values, add, 2, &db_machine);
+  const auto db_single = sim::ascend_debruijn(h, values, add, 1);
+  const auto db_single_ft = sim::ascend_debruijn(h, values, add, 1, &db_machine);
+  const auto se = sim::ascend_shuffle_exchange(h, values, add);
+  const auto se_ft_run = sim::ascend_shuffle_exchange(h, values, add, &se_machine);
 
-    struct Row {
-      const char* name;
-      std::uint64_t steps;
-      std::uint64_t steps_after;
-    };
-    const Row rows[] = {
-        {"hypercube Q_h", cube.communication_steps, cube.communication_steps},
-        {"de Bruijn (dual port)", sim::ascend_debruijn(h, values, add, 2).communication_steps,
-         sim::ascend_debruijn(h, values, add, 2, &db_machine).communication_steps},
-        {"de Bruijn (single port)", sim::ascend_debruijn(h, values, add, 1).communication_steps,
-         sim::ascend_debruijn(h, values, add, 1, &db_machine).communication_steps},
-        {"shuffle-exchange", sim::ascend_shuffle_exchange(h, values, add).communication_steps,
-         sim::ascend_shuffle_exchange(h, values, add, &se_machine).communication_steps},
-    };
-    for (const Row& r : rows) {
-      t.add_row({analysis::fmt_u64(h), analysis::fmt_u64(n), r.name, analysis::fmt_u64(r.steps),
-                 analysis::fmt_ratio(static_cast<double>(r.steps) /
-                                     static_cast<double>(cube.communication_steps)),
-                 analysis::fmt_u64(r.steps_after)});
-    }
-  }
-  std::cout << "PERF4: Ascend all-reduce, communication steps per topology\n\n";
-  std::cout << t.render();
-  std::cout << "\nshape check: constant-factor slowdowns (1x, 2x) independent of N, and\n"
-               "the step count is unchanged by reconfiguration (the FT machine presents\n"
-               "the intact logical topology).\n";
-  return 0;
+  const double cube_steps = static_cast<double>(cube.communication_steps);
+  ctx.report("h", h);
+  ctx.report("nodes", static_cast<double>(n));
+  ctx.report("hypercube_steps", cube_steps);
+  ctx.report("debruijn_dual_steps", static_cast<double>(db_dual.communication_steps));
+  ctx.report("debruijn_dual_slowdown",
+             static_cast<double>(db_dual.communication_steps) / cube_steps);
+  ctx.report("debruijn_dual_steps_after_reconfig",
+             static_cast<double>(db_dual_ft.communication_steps));
+  ctx.report("debruijn_single_steps", static_cast<double>(db_single.communication_steps));
+  ctx.report("debruijn_single_slowdown",
+             static_cast<double>(db_single.communication_steps) / cube_steps);
+  ctx.report("debruijn_single_steps_after_reconfig",
+             static_cast<double>(db_single_ft.communication_steps));
+  ctx.report("shuffle_exchange_steps", static_cast<double>(se.communication_steps));
+  ctx.report("shuffle_exchange_slowdown",
+             static_cast<double>(se.communication_steps) / cube_steps);
+  ctx.report("shuffle_exchange_steps_after_reconfig",
+             static_cast<double>(se_ft_run.communication_steps));
 }
+
+FTDB_BENCH(ascend_h6, "perf_ascend_descend/all_reduce_h6") { ascend_all_reduce(ctx, 6); }
+FTDB_BENCH(ascend_h8, "perf_ascend_descend/all_reduce_h8") { ascend_all_reduce(ctx, 8); }
+FTDB_BENCH(ascend_h10, "perf_ascend_descend/all_reduce_h10") { ascend_all_reduce(ctx, 10); }
+
+}  // namespace

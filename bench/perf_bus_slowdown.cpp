@@ -5,35 +5,33 @@
 //
 // Expected shape: bus/dual ~ 2x point-to-point/dual; bus/single ~ 1x
 // point-to-point/single ("little or no slowdown").
-#include <iostream>
-
-#include "analysis/table.hpp"
+#include "analysis/bench_registry.hpp"
 #include "ft/bus_ft.hpp"
 #include "sim/bus_engine.hpp"
 #include "topology/debruijn.hpp"
 
-int main() {
-  using namespace ftdb;
-  analysis::Table t({"h", "N", "fabric", "ports", "round makespan (cycles)", "vs p2p same ports"});
-  for (unsigned h : {4u, 6u, 8u, 10u}) {
-    const Graph g = debruijn_base2(h);
-    const BusGraph fabric = bus_debruijn_base2(h);
-    const auto transfers = sim::debruijn_round_transfers(h);
-    for (unsigned ports : {2u, 1u}) {
-      const auto p2p = sim::schedule_point_to_point(g, transfers, ports);
-      const auto bus = sim::schedule_bus(fabric, transfers, ports);
-      t.add_row({analysis::fmt_u64(h), analysis::fmt_u64(g.num_nodes()), "point-to-point",
-                 analysis::fmt_u64(ports), analysis::fmt_u64(p2p.makespan), "1.00x"});
-      t.add_row({analysis::fmt_u64(h), analysis::fmt_u64(g.num_nodes()), "bus",
-                 analysis::fmt_u64(ports), analysis::fmt_u64(bus.makespan),
-                 analysis::fmt_ratio(static_cast<double>(bus.makespan) /
-                                     static_cast<double>(p2p.makespan))});
-    }
-  }
-  std::cout << "PERF3: bus vs point-to-point, one de Bruijn round (every node -> both "
-               "shift successors)\n\n";
-  std::cout << t.render();
-  std::cout << "\nshape check: bus is 2.00x with dual-send processors and 1.00x with\n"
-               "single-send processors, exactly as Section V argues.\n";
-  return 0;
+namespace {
+
+using ftdb::analysis::BenchContext;
+
+void bus_round(BenchContext& ctx, unsigned h, unsigned ports) {
+  const ftdb::Graph g = ftdb::debruijn_base2(h);
+  const ftdb::BusGraph fabric = ftdb::bus_debruijn_base2(h);
+  const auto transfers = ftdb::sim::debruijn_round_transfers(h);
+  const auto p2p = ftdb::sim::schedule_point_to_point(g, transfers, ports);
+  const auto bus = ftdb::sim::schedule_bus(fabric, transfers, ports);
+  ctx.report("h", h);
+  ctx.report("nodes", static_cast<double>(g.num_nodes()));
+  ctx.report("ports", ports);
+  ctx.report("p2p_makespan_cycles", static_cast<double>(p2p.makespan));
+  ctx.report("bus_makespan_cycles", static_cast<double>(bus.makespan));
+  ctx.report("bus_slowdown",
+             static_cast<double>(bus.makespan) / static_cast<double>(p2p.makespan));
 }
+
+FTDB_BENCH(bus_h8_dual, "perf_bus_slowdown/h8_dual_port") { bus_round(ctx, 8, 2); }
+FTDB_BENCH(bus_h8_single, "perf_bus_slowdown/h8_single_port") { bus_round(ctx, 8, 1); }
+FTDB_BENCH(bus_h10_dual, "perf_bus_slowdown/h10_dual_port") { bus_round(ctx, 10, 2); }
+FTDB_BENCH(bus_h10_single, "perf_bus_slowdown/h10_single_port") { bus_round(ctx, 10, 1); }
+
+}  // namespace

@@ -1,11 +1,12 @@
-// PERF1: google-benchmark timings for building the fault-tolerant graphs and
-// running the reconfiguration algorithm. Construction is O((N+k) * k) edges;
+// PERF1: timings for building the fault-tolerant graphs and running the
+// reconfiguration algorithm. Construction is O((N+k) * k) edges;
 // reconfiguration is O(N + k) — both trivially fast, which is itself a claim
-// worth pinning (reconfiguration is a table scan, not a search).
-#include <benchmark/benchmark.h>
-
+// worth pinning (reconfiguration is a table scan, not a search). Each
+// benchmark runs a fixed iteration count and reports it, so per-op time is
+// wall_seconds / iterations.
 #include <random>
 
+#include "analysis/bench_registry.hpp"
 #include "ft/ft_debruijn.hpp"
 #include "ft/reconfigure.hpp"
 #include "ft/tolerance.hpp"
@@ -13,66 +14,95 @@
 
 namespace {
 
-void BM_BuildTargetDeBruijn(benchmark::State& state) {
-  const auto h = static_cast<unsigned>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ftdb::debruijn_base2(h));
-  }
-  state.SetComplexityN(1 << h);
-}
-BENCHMARK(BM_BuildTargetDeBruijn)->Arg(6)->Arg(8)->Arg(10)->Arg(12)->Arg(14)->Complexity();
+using ftdb::analysis::BenchContext;
 
-void BM_BuildFtDeBruijn(benchmark::State& state) {
-  const auto h = static_cast<unsigned>(state.range(0));
-  const auto k = static_cast<unsigned>(state.range(1));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ftdb::ft_debruijn_base2(h, k));
+void build_target_debruijn(BenchContext& ctx, unsigned h, int iterations) {
+  std::size_t edges = 0;
+  for (int i = 0; i < iterations; ++i) {
+    edges = ftdb::debruijn_base2(h).num_edges();
   }
+  ctx.report("iterations", iterations);
+  ctx.report("h", h);
+  ctx.report("edges", static_cast<double>(edges));
 }
-BENCHMARK(BM_BuildFtDeBruijn)
-    ->Args({8, 1})
-    ->Args({8, 4})
-    ->Args({8, 8})
-    ->Args({10, 2})
-    ->Args({10, 8})
-    ->Args({12, 4});
 
-void BM_BuildFtDeBruijnBaseM(benchmark::State& state) {
-  const auto m = static_cast<std::uint64_t>(state.range(0));
-  const auto h = static_cast<unsigned>(state.range(1));
-  const auto k = static_cast<unsigned>(state.range(2));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        ftdb::ft_debruijn_graph({.base = m, .digits = h, .spares = k}));
+FTDB_BENCH(build_target_h10, "perf_construction/build_target_b2_h10") {
+  build_target_debruijn(ctx, 10, 200);
+}
+
+FTDB_BENCH(build_target_h14, "perf_construction/build_target_b2_h14") {
+  build_target_debruijn(ctx, 14, 20);
+}
+
+void build_ft_debruijn(BenchContext& ctx, unsigned h, unsigned k, int iterations) {
+  std::size_t edges = 0;
+  for (int i = 0; i < iterations; ++i) {
+    edges = ftdb::ft_debruijn_base2(h, k).num_edges();
   }
+  ctx.report("iterations", iterations);
+  ctx.report("h", h);
+  ctx.report("k", k);
+  ctx.report("edges", static_cast<double>(edges));
 }
-BENCHMARK(BM_BuildFtDeBruijnBaseM)->Args({3, 6, 2})->Args({4, 5, 2})->Args({5, 4, 3});
 
-void BM_Reconfiguration(benchmark::State& state) {
-  const auto h = static_cast<unsigned>(state.range(0));
-  const auto k = static_cast<unsigned>(state.range(1));
+FTDB_BENCH(build_ft_h8_k8, "perf_construction/build_ft_b2_h8_k8") {
+  build_ft_debruijn(ctx, 8, 8, 100);
+}
+
+FTDB_BENCH(build_ft_h10_k8, "perf_construction/build_ft_b2_h10_k8") {
+  build_ft_debruijn(ctx, 10, 8, 50);
+}
+
+FTDB_BENCH(build_ft_h12_k4, "perf_construction/build_ft_b2_h12_k4") {
+  build_ft_debruijn(ctx, 12, 4, 10);
+}
+
+FTDB_BENCH(build_ft_basem, "perf_construction/build_ft_basem_m4_h5_k2") {
+  constexpr int kIterations = 50;
+  std::size_t edges = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    edges = ftdb::ft_debruijn_graph({.base = 4, .digits = 5, .spares = 2}).num_edges();
+  }
+  ctx.report("iterations", kIterations);
+  ctx.report("edges", static_cast<double>(edges));
+}
+
+void reconfiguration(BenchContext& ctx, unsigned h, unsigned k, int iterations) {
   const std::size_t universe = (std::size_t{1} << h) + k;
-  std::mt19937_64 rng(1);
-  const ftdb::FaultSet faults = ftdb::FaultSet::random(universe, k, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ftdb::monotone_embedding(faults));
+  const ftdb::FaultSet faults = ftdb::FaultSet::random(universe, k, ctx.rng());
+  std::size_t mapped = 0;
+  for (int i = 0; i < iterations; ++i) {
+    mapped = ftdb::monotone_embedding(faults).size();
   }
+  ctx.report("iterations", iterations);
+  ctx.report("h", h);
+  ctx.report("k", k);
+  ctx.report("mapped_nodes", static_cast<double>(mapped));
 }
-BENCHMARK(BM_Reconfiguration)->Args({10, 4})->Args({14, 4})->Args({18, 8})->Args({20, 16});
 
-void BM_VerifyOneFaultSet(benchmark::State& state) {
-  const auto h = static_cast<unsigned>(state.range(0));
-  const auto k = static_cast<unsigned>(state.range(1));
+FTDB_BENCH(reconfig_h14_k4, "perf_construction/reconfiguration_h14_k4") {
+  reconfiguration(ctx, 14, 4, 500);
+}
+
+FTDB_BENCH(reconfig_h20_k16, "perf_construction/reconfiguration_h20_k16") {
+  reconfiguration(ctx, 20, 16, 10);
+}
+
+FTDB_BENCH(verify_one_fault_set, "perf_construction/verify_one_fault_set_h10_k4") {
+  constexpr unsigned h = 10;
+  constexpr unsigned k = 4;
+  constexpr int kIterations = 50;
   const ftdb::Graph target = ftdb::debruijn_base2(h);
   const ftdb::Graph ft = ftdb::ft_debruijn_base2(h, k);
-  std::mt19937_64 rng(2);
-  const ftdb::FaultSet faults = ftdb::FaultSet::random(ft.num_nodes(), k, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ftdb::monotone_embedding_survives(target, ft, faults));
+  const ftdb::FaultSet faults = ftdb::FaultSet::random(ft.num_nodes(), k, ctx.rng());
+  bool ok = true;
+  for (int i = 0; i < kIterations; ++i) {
+    // No short-circuit: every iteration must run the check or the wall-time
+    // baseline is corrupted by a single failure.
+    ok = ftdb::monotone_embedding_survives(target, ft, faults) && ok;
   }
+  ctx.report("iterations", kIterations);
+  ctx.report("survives", ok ? 1.0 : 0.0);
 }
-BENCHMARK(BM_VerifyOneFaultSet)->Args({8, 2})->Args({10, 4})->Args({12, 4});
 
 }  // namespace
-
-BENCHMARK_MAIN();

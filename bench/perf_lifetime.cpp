@@ -4,32 +4,30 @@
 // Expected shape: MTTF scales roughly linearly with k+1 (each spare adds one
 // more expected failure-wait), and the simulation matches the analytic model
 // within Monte Carlo noise.
-#include <iostream>
-
-#include "analysis/table.hpp"
+#include "analysis/bench_registry.hpp"
 #include "sim/lifetime.hpp"
 
-int main() {
-  using namespace ftdb;
-  analysis::Table t({"N", "p (per step)", "k", "analytic MTTF", "empirical MTTF",
-                     "rel. error", "lifetime multiplier vs k=0"});
-  for (const std::uint64_t n : {64ull, 256ull}) {
-    for (const double p : {0.001, 0.0001}) {
-      for (const unsigned k : {0u, 1u, 2u, 4u, 8u}) {
-        const sim::LifetimeParams params{.target_nodes = n, .spares = k, .failure_prob = p};
-        const sim::LifetimeResult r = sim::simulate_lifetime(params, 3000, 99);
-        t.add_row({analysis::fmt_u64(n), analysis::fmt_double(p, 4), analysis::fmt_u64(k),
-                   analysis::fmt_double(r.analytic_mttf, 1),
-                   analysis::fmt_double(r.empirical_mttf, 1),
-                   analysis::fmt_double(
-                       100.0 * (r.empirical_mttf - r.analytic_mttf) / r.analytic_mttf, 2) + "%",
-                   analysis::fmt_ratio(sim::lifetime_multiplier(n, k, p))});
-      }
-    }
-  }
-  std::cout << "PERF5: machine lifetime vs spares (failure race until spares exhausted)\n\n";
-  std::cout << t.render();
-  std::cout << "\nshape check: MTTF multiplier ~ k+1; empirical matches analytic within\n"
-               "Monte Carlo noise (a few percent at 3000 trials).\n";
-  return 0;
+namespace {
+
+using ftdb::analysis::BenchContext;
+
+void lifetime(BenchContext& ctx, std::uint64_t n, double p, unsigned k) {
+  const ftdb::sim::LifetimeParams params{.target_nodes = n, .spares = k, .failure_prob = p};
+  const ftdb::sim::LifetimeResult r = ftdb::sim::simulate_lifetime(params, 3000, 99);
+  ctx.report("nodes", static_cast<double>(n));
+  ctx.report("failure_prob", p);
+  ctx.report("spares", k);
+  ctx.report("analytic_mttf", r.analytic_mttf);
+  ctx.report("empirical_mttf", r.empirical_mttf);
+  ctx.report("rel_error",
+             (r.empirical_mttf - r.analytic_mttf) / r.analytic_mttf);
+  ctx.report("lifetime_multiplier", ftdb::sim::lifetime_multiplier(n, k, p));
 }
+
+FTDB_BENCH(lifetime_n64_k0, "perf_lifetime/n64_p001_k0") { lifetime(ctx, 64, 0.001, 0); }
+FTDB_BENCH(lifetime_n64_k4, "perf_lifetime/n64_p001_k4") { lifetime(ctx, 64, 0.001, 4); }
+FTDB_BENCH(lifetime_n64_k8, "perf_lifetime/n64_p001_k8") { lifetime(ctx, 64, 0.001, 8); }
+FTDB_BENCH(lifetime_n256_k0, "perf_lifetime/n256_p0001_k0") { lifetime(ctx, 256, 0.0001, 0); }
+FTDB_BENCH(lifetime_n256_k8, "perf_lifetime/n256_p0001_k8") { lifetime(ctx, 256, 0.0001, 8); }
+
+}  // namespace

@@ -8,54 +8,58 @@
 //       reconfigured (full service, latency identical to (a)).
 //
 // Expected shape: (b) loses traffic and slows down as f grows; (c) matches
-// (a) exactly for every f <= k.
-#include <iostream>
-#include <random>
-
-#include "analysis/table.hpp"
+// (a) exactly for every f <= k. Each fault count is its own registry entry so
+// bench_runner can parallelize and the JSON keeps per-f latency stats.
+#include "analysis/bench_registry.hpp"
 #include "ft/ft_debruijn.hpp"
 #include "sim/engine.hpp"
 #include "sim/traffic.hpp"
 #include "topology/debruijn.hpp"
 
-int main() {
-  using namespace ftdb;
-  const unsigned h = 7;           // 128-node machine
-  const unsigned k = 8;
-  const Graph target = debruijn_base2(h);
-  const Graph ft = ft_debruijn_base2(h, k);
-  const auto packets = sim::uniform_traffic(target.num_nodes(), 4000, 8, 2026);
+namespace {
 
-  const sim::Machine healthy = sim::Machine::direct(target);
-  const sim::SimStats base = sim::run_packets(healthy, target, packets);
+using ftdb::analysis::BenchContext;
 
-  analysis::Table t({"faults f", "machine", "delivered %", "avg latency", "max latency",
-                     "throughput (pkt/cyc)"});
-  auto add_row = [&](unsigned f, const std::string& name, const sim::SimStats& s) {
-    t.add_row({analysis::fmt_u64(f), name,
-               analysis::fmt_double(100.0 * s.delivered_fraction(), 1),
-               analysis::fmt_double(s.average_latency(), 2),
-               analysis::fmt_u64(s.max_latency),
-               analysis::fmt_double(s.throughput(), 2)});
-  };
-  add_row(0, "bare target (healthy)", base);
+constexpr unsigned kH = 7;  // 128-node machine
+constexpr unsigned kK = 8;
+constexpr std::size_t kPackets = 4000;
 
-  std::mt19937_64 rng(7);
-  for (unsigned f : {1u, 2u, 4u, 8u}) {
-    const FaultSet bare_faults = FaultSet::random(target.num_nodes(), f, rng);
-    const sim::Machine degraded = sim::Machine::direct_with_faults(target, bare_faults);
-    add_row(f, "bare target (degraded)", sim::run_packets(degraded, target, packets));
-
-    const FaultSet ft_faults = FaultSet::random(ft.num_nodes(), f, rng);
-    const sim::Machine reconf = sim::Machine::reconfigured(ft, ft_faults, target.num_nodes());
-    add_row(f, "B^k_{2,h} reconfigured", sim::run_packets(reconf, target, packets));
-  }
-
-  std::cout << "PERF2: routing under faults, B_{2," << h << "} (" << target.num_nodes()
-            << " nodes), k = " << k << ", 4000 uniform packets\n\n";
-  std::cout << t.render();
-  std::cout << "\nshape check: every reconfigured row must match the healthy row; the\n"
-               "degraded rows lose traffic because faulty sources/destinations drop out\n"
-               "and surviving routes detour around dead nodes.\n";
-  return 0;
+std::vector<ftdb::sim::Packet> traffic(const ftdb::Graph& target) {
+  return ftdb::sim::uniform_traffic(target.num_nodes(), kPackets, 8, 2026);
 }
+
+FTDB_BENCH(routing_healthy, "perf_routing_under_faults/healthy_bare_target") {
+  const ftdb::Graph target = ftdb::debruijn_base2(kH);
+  const ftdb::sim::Machine healthy = ftdb::sim::Machine::direct(target);
+  const auto stats = ftdb::sim::run_packets(healthy, target, traffic(target));
+  ctx.report_stats("sim", stats);
+}
+
+void degraded(BenchContext& ctx, unsigned f) {
+  const ftdb::Graph target = ftdb::debruijn_base2(kH);
+  const ftdb::FaultSet faults = ftdb::FaultSet::random(target.num_nodes(), f, ctx.rng());
+  const ftdb::sim::Machine machine = ftdb::sim::Machine::direct_with_faults(target, faults);
+  const auto stats = ftdb::sim::run_packets(machine, target, traffic(target));
+  ctx.report("faults", f);
+  ctx.report_stats("sim", stats);
+}
+
+void reconfigured(BenchContext& ctx, unsigned f) {
+  const ftdb::Graph target = ftdb::debruijn_base2(kH);
+  const ftdb::Graph ft = ftdb::ft_debruijn_base2(kH, kK);
+  const ftdb::FaultSet faults = ftdb::FaultSet::random(ft.num_nodes(), f, ctx.rng());
+  const ftdb::sim::Machine machine =
+      ftdb::sim::Machine::reconfigured(ft, faults, target.num_nodes());
+  const auto stats = ftdb::sim::run_packets(machine, target, traffic(target));
+  ctx.report("faults", f);
+  ctx.report_stats("sim", stats);
+}
+
+FTDB_BENCH(routing_degraded_f1, "perf_routing_under_faults/degraded_f1") { degraded(ctx, 1); }
+FTDB_BENCH(routing_degraded_f4, "perf_routing_under_faults/degraded_f4") { degraded(ctx, 4); }
+FTDB_BENCH(routing_degraded_f8, "perf_routing_under_faults/degraded_f8") { degraded(ctx, 8); }
+FTDB_BENCH(routing_reconf_f1, "perf_routing_under_faults/reconfigured_f1") { reconfigured(ctx, 1); }
+FTDB_BENCH(routing_reconf_f4, "perf_routing_under_faults/reconfigured_f4") { reconfigured(ctx, 4); }
+FTDB_BENCH(routing_reconf_f8, "perf_routing_under_faults/reconfigured_f8") { reconfigured(ctx, 8); }
+
+}  // namespace

@@ -1,0 +1,125 @@
+#include "analysis/bench_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ftdb::analysis {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::prepare_for_value() {
+  if (stack_.empty()) {
+    if (root_written_) throw std::logic_error("JsonWriter: multiple root values");
+    root_written_ = true;
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.kind == 'o') {
+    if (!top.key_pending) throw std::logic_error("JsonWriter: value in object without key");
+    top.key_pending = false;
+  } else {
+    if (top.has_entries) out_ += ',';
+    top.has_entries = true;
+  }
+}
+
+void JsonWriter::raw(const std::string& text) { out_ += text; }
+
+void JsonWriter::begin_object() {
+  prepare_for_value();
+  stack_.push_back({'o'});
+  out_ += '{';
+}
+
+void JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back().kind != 'o' || stack_.back().key_pending) {
+    throw std::logic_error("JsonWriter: mismatched end_object");
+  }
+  stack_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  prepare_for_value();
+  stack_.push_back({'a'});
+  out_ += '[';
+}
+
+void JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back().kind != 'a') {
+    throw std::logic_error("JsonWriter: mismatched end_array");
+  }
+  stack_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(const std::string& k) {
+  if (stack_.empty() || stack_.back().kind != 'o' || stack_.back().key_pending) {
+    throw std::logic_error("JsonWriter: key outside object");
+  }
+  Frame& top = stack_.back();
+  if (top.has_entries) out_ += ',';
+  top.has_entries = true;
+  top.key_pending = true;
+  raw('"' + json_escape(k) + "\":");
+}
+
+void JsonWriter::value(const std::string& v) {
+  prepare_for_value();
+  raw('"' + json_escape(v) + '"');
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void JsonWriter::value(double v) {
+  prepare_for_value();
+  if (!std::isfinite(v)) {
+    raw("null");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  raw(buf);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  prepare_for_value();
+  raw(std::to_string(v));
+}
+
+void JsonWriter::value(bool v) {
+  prepare_for_value();
+  raw(v ? "true" : "false");
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty()) throw std::logic_error("JsonWriter: unclosed containers");
+  if (!root_written_) throw std::logic_error("JsonWriter: empty document");
+  return out_;
+}
+
+}  // namespace ftdb::analysis

@@ -1,0 +1,48 @@
+// A deliberately tiny JSON writer — enough for BENCH_*.json, with correct
+// string escaping and non-finite-double handling, and no third-party
+// dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftdb::analysis {
+
+std::string json_escape(const std::string& s);
+
+/// Streaming writer with comma/indent bookkeeping. Keys apply to the next
+/// value; values outside an object/array form the document root.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(const std::string& k);
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(double v);       // NaN/Inf are emitted as null (JSON has neither)
+  void value(std::uint64_t v);
+  void value(bool v);
+
+  /// The finished document. Throws std::logic_error on unbalanced nesting.
+  std::string str() const;
+
+ private:
+  void prepare_for_value();
+  void raw(const std::string& text);
+
+  std::string out_;
+  // One frame per open container: 'o' / 'a', plus whether it has entries and
+  // (for objects) whether a key is pending.
+  struct Frame {
+    char kind;
+    bool has_entries = false;
+    bool key_pending = false;
+  };
+  std::vector<Frame> stack_;
+  bool root_written_ = false;
+};
+
+}  // namespace ftdb::analysis

@@ -1,0 +1,65 @@
+#include "analysis/bench_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ftdb::analysis {
+
+void BenchContext::report(const std::string& key, double value) {
+  for (auto& [k, v] : metrics_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  metrics_.emplace_back(key, value);
+}
+
+void BenchContext::report_stats(const std::string& prefix, const sim::SimStats& stats) {
+  report(prefix + ".cycles", static_cast<double>(stats.cycles));
+  report(prefix + ".injected", static_cast<double>(stats.injected));
+  report(prefix + ".delivered", static_cast<double>(stats.delivered));
+  report(prefix + ".undeliverable", static_cast<double>(stats.undeliverable));
+  report(prefix + ".delivered_fraction", stats.delivered_fraction());
+  report(prefix + ".avg_latency", stats.average_latency());
+  report(prefix + ".max_latency", static_cast<double>(stats.max_latency));
+  report(prefix + ".avg_hops", stats.average_hops());
+  report(prefix + ".throughput", stats.throughput());
+  report(prefix + ".max_queue_depth", static_cast<double>(stats.max_queue_depth));
+}
+
+BenchRegistry& BenchRegistry::instance() {
+  static BenchRegistry registry;
+  return registry;
+}
+
+void BenchRegistry::add(std::string name, BenchFn fn) {
+  if (find(name) != nullptr) {
+    throw std::logic_error("duplicate benchmark name: " + name);
+  }
+  entries_.emplace_back(std::move(name), std::move(fn));
+}
+
+std::vector<std::string> BenchRegistry::names(const std::string& filter) const {
+  std::vector<std::string> out;
+  for (const auto& [name, fn] : entries_) {
+    if (filter.empty() || name.find(filter) != std::string::npos) {
+      out.push_back(name);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const BenchFn* BenchRegistry::find(const std::string& name) const {
+  for (const auto& [n, fn] : entries_) {
+    if (n == name) return &fn;
+  }
+  return nullptr;
+}
+
+BenchRegistrar::BenchRegistrar(const char* name, BenchFn fn) {
+  BenchRegistry::instance().add(name, std::move(fn));
+}
+
+}  // namespace ftdb::analysis

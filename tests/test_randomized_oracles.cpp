@@ -11,10 +11,14 @@
 
 #include "ft/ft_debruijn.hpp"
 #include "ft/modmath.hpp"
+#include "ft/reconfigure.hpp"
+#include "ft/tolerance.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/embedding.hpp"
 #include "graph/graph.hpp"
+#include "sim/network.hpp"
 #include "sim/routing.hpp"
+#include "topology/debruijn.hpp"
 
 namespace ftdb {
 namespace {
@@ -171,6 +175,83 @@ TEST(RandomizedOracle, FtEdgePredicateReimplementation) {
         }
         EXPECT_EQ(g.has_edge(static_cast<NodeId>(x), static_cast<NodeId>(y)), expected)
             << "m=" << m << " h=" << h << " k=" << k << " x=" << x << " y=" << y;
+      }
+    }
+  }
+}
+
+TEST(RandomizedFaultInjection, ReconfigurationYieldsHealthyDeBruijn) {
+  // Theorem 1/2 exercised through the reconfiguration path: for random fault
+  // sets of size <= k, the monotone embedding must map every edge of B_{m,h}
+  // onto a surviving edge of B^k_{m,h}, and its offsets must obey Lemma 1
+  // (non-decreasing, within [0, |faults|]).
+  std::mt19937_64 rng(20260729);
+  const struct {
+    std::uint64_t m;
+    unsigned h;
+    unsigned k;
+  } cases[] = {{2, 4, 1}, {2, 4, 3}, {2, 5, 2}, {3, 3, 2}, {4, 3, 2}, {2, 6, 4}};
+  for (const auto& c : cases) {
+    const Graph target = debruijn_graph({.base = c.m, .digits = c.h});
+    const Graph ft = ft_debruijn_graph({.base = c.m, .digits = c.h, .spares = c.k});
+    ASSERT_EQ(ft.num_nodes(), target.num_nodes() + c.k);
+    for (int trial = 0; trial < 25; ++trial) {
+      const std::size_t f = rng() % (c.k + 1);
+      const FaultSet faults = FaultSet::random(ft.num_nodes(), f, rng);
+
+      Edge violation{};
+      EXPECT_TRUE(monotone_embedding_survives(target, ft, faults, &violation))
+          << "m=" << c.m << " h=" << c.h << " k=" << c.k << " trial=" << trial
+          << " |F|=" << f << " violated edge (" << violation.u << ", " << violation.v
+          << ")";
+
+      // phi maps all universe - |F| survivors; the target occupies the first
+      // num_nodes() logical slots.
+      const std::vector<NodeId> phi = monotone_embedding(faults);
+      ASSERT_EQ(phi.size(), ft.num_nodes() - f);
+      ASSERT_GE(phi.size(), target.num_nodes());
+      const std::vector<std::uint32_t> offsets = embedding_offsets(phi);
+      std::uint32_t prev = 0;
+      for (std::size_t x = 0; x < target.num_nodes(); ++x) {
+        EXPECT_FALSE(faults.is_faulty(phi[x]));
+        EXPECT_LE(offsets[x], f) << "x=" << x;
+        EXPECT_GE(offsets[x], prev) << "Lemma 1: offsets non-decreasing, x=" << x;
+        prev = offsets[x];
+      }
+    }
+  }
+}
+
+TEST(RandomizedFaultInjection, ReconfiguredMachinePresentsFullTarget) {
+  // Operational form of the same claim: after reconfiguration the simulated
+  // machine's live logical connectivity is all of B_{m,h} — every logical
+  // link is up, so routing sees a healthy machine.
+  std::mt19937_64 rng(777001);
+  const struct {
+    std::uint64_t m;
+    unsigned h;
+    unsigned k;
+  } cases[] = {{2, 5, 3}, {3, 3, 2}, {2, 6, 2}};
+  for (const auto& c : cases) {
+    const Graph target = debruijn_graph({.base = c.m, .digits = c.h});
+    const Graph ft = ft_debruijn_graph({.base = c.m, .digits = c.h, .spares = c.k});
+    for (int trial = 0; trial < 10; ++trial) {
+      const std::size_t f = rng() % (c.k + 1);
+      const FaultSet faults = FaultSet::random(ft.num_nodes(), f, rng);
+      const sim::Machine machine =
+          sim::Machine::reconfigured(ft, faults, target.num_nodes());
+      const Graph live = machine.live_logical_graph(target);
+      ASSERT_EQ(live.num_nodes(), target.num_nodes());
+      EXPECT_EQ(live.num_edges(), target.num_edges())
+          << "m=" << c.m << " h=" << c.h << " k=" << c.k << " trial=" << trial
+          << " |F|=" << f;
+      for (NodeId u = 0; u < target.num_nodes(); ++u) {
+        for (const NodeId v : target.neighbors(u)) {
+          if (u < v) {
+            EXPECT_TRUE(machine.logical_link_up(u, v))
+                << "logical link (" << u << ", " << v << ") down after reconfig";
+          }
+        }
       }
     }
   }

@@ -1,10 +1,11 @@
-// A deliberately tiny JSON writer — enough for BENCH_*.json, with correct
-// string escaping and non-finite-double handling, and no third-party
+// A deliberately tiny JSON writer and parser — enough for BENCH_*.json, with
+// correct string escaping and non-finite-double handling, and no third-party
 // dependency.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ftdb::analysis {
@@ -44,5 +45,32 @@ class JsonWriter {
   std::vector<Frame> stack_;
   bool root_written_ = false;
 };
+
+/// Parsed JSON document node. Objects preserve insertion order (BENCH files
+/// are written deterministically, so diffs stay stable).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::Null; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Member access that throws std::runtime_error when absent — for schema
+  /// fields a well-formed BENCH file always has.
+  const JsonValue& at(const std::string& key) const;
+};
+
+/// Strict parser for the JSON subset the bench tooling emits (no comments,
+/// no trailing commas; \uXXXX escapes are passed through for ASCII and
+/// rejected beyond it). Throws std::runtime_error with an offset on errors.
+JsonValue json_parse(const std::string& text);
 
 }  // namespace ftdb::analysis

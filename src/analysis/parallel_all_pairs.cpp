@@ -1,0 +1,71 @@
+#include "analysis/parallel_all_pairs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "graph/bfs_workspace.hpp"
+#include "graph/multi_source_bfs.hpp"
+
+namespace ftdb::analysis {
+
+AllPairsSummary all_pairs_summary(const Graph& g, const AllPairsOptions& options) {
+  const std::size_t n = g.num_nodes();
+  AllPairsSummary summary;
+  summary.sources = n;
+  if (n <= 1) {
+    summary.connected = true;
+    return summary;
+  }
+
+  constexpr std::size_t kWidth = MultiSourceBfs::kBatchWidth;
+  const std::size_t num_batches = (n + kWidth - 1) / kWidth;
+  std::vector<MultiSourceBfs::BatchStats> partials(num_batches);
+
+  unsigned threads = options.threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<unsigned>(std::min<std::size_t>(threads, num_batches));
+  // Below a few batches of work the pool setup dwarfs the BFS itself (the
+  // reconfigured-diameter report calls this per trial on small live graphs),
+  // and nested pools under the bench runner would oversubscribe the cores.
+  if (num_batches < 4 || n < 2048) threads = 1;
+
+  std::atomic<std::size_t> next_batch{0};
+  auto worker = [&] {
+    MultiSourceBfs scan(n);
+    for (;;) {
+      const std::size_t b = next_batch.fetch_add(1);
+      if (b >= num_batches) return;
+      partials[b] = scan.run(g, static_cast<NodeId>(b * kWidth));
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Reduce in batch order: integer sums/maxes are order-independent, but the
+  // fixed order keeps the door open for non-commutative aggregates.
+  summary.connected = true;
+  for (const MultiSourceBfs::BatchStats& p : partials) {
+    summary.reachable_pairs += p.reachable_pairs;
+    summary.total_distance += p.total_distance;
+    summary.max_finite_distance = std::max(summary.max_finite_distance, p.max_finite_distance);
+    summary.connected = summary.connected && p.all_reach_all;
+  }
+  return summary;
+}
+
+std::uint32_t parallel_diameter(const Graph& g, const AllPairsOptions& options) {
+  if (g.num_nodes() == 0) return 0;
+  const AllPairsSummary s = all_pairs_summary(g, options);
+  return s.connected ? s.max_finite_distance : kUnreachable;
+}
+
+}  // namespace ftdb::analysis

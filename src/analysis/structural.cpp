@@ -3,6 +3,7 @@
 #include <random>
 #include <sstream>
 
+#include "analysis/parallel_all_pairs.hpp"
 #include "ft/ft_debruijn.hpp"
 #include "ft/ft_shuffle_exchange.hpp"
 #include "ft/reconfigure.hpp"
@@ -20,21 +21,13 @@ StructuralSummary summarize_graph(const Graph& g) {
   s.min_degree = g.min_degree();
   s.max_degree = g.max_degree();
   s.average_degree = g.average_degree();
-  s.connected = is_connected(g);
-  std::uint64_t total_distance = 0;
-  std::uint64_t pairs = 0;
-  std::uint32_t diam = 0;
-  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
-    const auto dist = bfs_distances(g, static_cast<NodeId>(v));
-    for (std::size_t u = 0; u < g.num_nodes(); ++u) {
-      if (u == v || dist[u] == kUnreachable) continue;
-      total_distance += dist[u];
-      ++pairs;
-      diam = std::max(diam, dist[u]);
-    }
-  }
-  s.diameter = s.connected ? diam : kUnreachable;
-  s.average_distance = pairs == 0 ? 0.0 : static_cast<double>(total_distance) / static_cast<double>(pairs);
+  const AllPairsSummary ap = all_pairs_summary(g);
+  s.connected = ap.connected;
+  s.diameter = ap.connected ? ap.max_finite_distance : kUnreachable;
+  s.average_distance = ap.reachable_pairs == 0
+                           ? 0.0
+                           : static_cast<double>(ap.total_distance) /
+                                 static_cast<double>(ap.reachable_pairs);
   return s;
 }
 
@@ -63,14 +56,14 @@ std::string reconfigured_diameter_report(unsigned h, unsigned k, unsigned trials
                                          std::uint64_t seed) {
   const Graph target = debruijn_base2(h);
   const Graph ft = ft_debruijn_base2(h, k);
-  const std::uint32_t target_diameter = diameter(target);
+  const std::uint32_t target_diameter = parallel_diameter(target);
   std::mt19937_64 rng(seed);
   unsigned matches = 0;
   for (unsigned t = 0; t < trials; ++t) {
     const FaultSet faults = FaultSet::random(ft.num_nodes(), k, rng);
     const sim::Machine machine = sim::Machine::reconfigured(ft, faults, target.num_nodes());
     const Graph live = machine.live_logical_graph(target);
-    if (diameter(live) == target_diameter) ++matches;
+    if (parallel_diameter(live) == target_diameter) ++matches;
   }
   std::ostringstream out;
   out << "reconfigured-diameter check for B^" << k << "_{2," << h << "}: " << matches << "/"

@@ -1,5 +1,6 @@
 #include "ft/tolerance.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -15,10 +16,22 @@ bool monotone_embedding_survives(const Graph& target, const Graph& ft_graph,
     return false;  // not enough survivors to host the target
   }
   for (std::size_t x = 0; x < target.num_nodes(); ++x) {
-    for (NodeId y : target.neighbors(static_cast<NodeId>(x))) {
-      if (static_cast<NodeId>(x) >= y) continue;
-      if (!ft_graph.has_edge(phi[x], phi[y])) {
-        if (violation != nullptr) *violation = Edge{static_cast<NodeId>(x), y};
+    const auto nb = target.neighbors(static_cast<NodeId>(x));
+    // Adjacency lists are sorted, so jump straight to the neighbors above x
+    // instead of filtering every entry.
+    auto it = std::upper_bound(nb.begin(), nb.end(), static_cast<NodeId>(x));
+    if (it == nb.end()) continue;
+    // phi is strictly monotone, so the images phi[y] of the ascending
+    // neighbors y are ascending too: verify them all with one merge scan
+    // over the (sorted) ft adjacency of phi[x] instead of a binary search
+    // per edge.
+    const auto ft_nb = ft_graph.neighbors(phi[x]);
+    auto ft_it = std::lower_bound(ft_nb.begin(), ft_nb.end(), phi[*it]);
+    for (; it != nb.end(); ++it) {
+      const NodeId want = phi[*it];
+      while (ft_it != ft_nb.end() && *ft_it < want) ++ft_it;
+      if (ft_it == ft_nb.end() || *ft_it != want) {
+        if (violation != nullptr) *violation = Edge{static_cast<NodeId>(x), *it};
         return false;
       }
     }

@@ -1,43 +1,30 @@
 #include "graph/algorithms.hpp"
 
 #include <algorithm>
-#include <queue>
+
+#include "graph/multi_source_bfs.hpp"
 
 namespace ftdb {
 
 std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
-  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
-  std::queue<NodeId> frontier;
-  dist[source] = 0;
-  frontier.push(source);
-  while (!frontier.empty()) {
-    NodeId u = frontier.front();
-    frontier.pop();
-    for (NodeId v : g.neighbors(u)) {
-      if (dist[v] == kUnreachable) {
-        dist[v] = dist[u] + 1;
-        frontier.push(v);
-      }
-    }
-  }
+  BfsWorkspace ws;
+  return bfs_distances(g, source, ws);
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source, BfsWorkspace& ws) {
+  std::vector<std::uint32_t> dist;
+  ws.distances(g, source, dist);
   return dist;
 }
 
 std::vector<NodeId> bfs_parents(const Graph& g, NodeId source) {
-  std::vector<NodeId> parent(g.num_nodes(), kInvalidNode);
-  std::queue<NodeId> frontier;
-  parent[source] = source;
-  frontier.push(source);
-  while (!frontier.empty()) {
-    NodeId u = frontier.front();
-    frontier.pop();
-    for (NodeId v : g.neighbors(u)) {
-      if (parent[v] == kInvalidNode) {
-        parent[v] = u;
-        frontier.push(v);
-      }
-    }
-  }
+  BfsWorkspace ws;
+  return bfs_parents(g, source, ws);
+}
+
+std::vector<NodeId> bfs_parents(const Graph& g, NodeId source, BfsWorkspace& ws) {
+  std::vector<NodeId> parent;
+  ws.parents(g, source, parent);
   return parent;
 }
 
@@ -54,24 +41,28 @@ std::vector<NodeId> shortest_path(const Graph& g, NodeId source, NodeId target) 
 }
 
 std::vector<std::uint32_t> connected_components(const Graph& g) {
+  // The label array doubles as the visited marker; the flat frontier pair is
+  // shared across all component floods.
   std::vector<std::uint32_t> label(g.num_nodes(), kUnreachable);
-  std::uint32_t next = 0;
-  std::queue<NodeId> frontier;
+  std::vector<NodeId> cur, next;
+  std::uint32_t next_label = 0;
   for (std::size_t s = 0; s < g.num_nodes(); ++s) {
     if (label[s] != kUnreachable) continue;
-    label[s] = next;
-    frontier.push(static_cast<NodeId>(s));
-    while (!frontier.empty()) {
-      NodeId u = frontier.front();
-      frontier.pop();
-      for (NodeId v : g.neighbors(u)) {
-        if (label[v] == kUnreachable) {
-          label[v] = next;
-          frontier.push(v);
+    label[s] = next_label;
+    cur.assign(1, static_cast<NodeId>(s));
+    while (!cur.empty()) {
+      next.clear();
+      for (const NodeId u : cur) {
+        for (const NodeId v : g.neighbors(u)) {
+          if (label[v] == kUnreachable) {
+            label[v] = next_label;
+            next.push_back(v);
+          }
         }
       }
+      cur.swap(next);
     }
-    ++next;
+    ++next_label;
   }
   return label;
 }
@@ -84,46 +75,55 @@ std::size_t num_connected_components(const Graph& g) {
 }
 
 bool is_connected(const Graph& g) {
-  return g.num_nodes() <= 1 || num_connected_components(g) == 1;
+  if (g.num_nodes() <= 1) return true;
+  BfsWorkspace ws;
+  return ws.sweep(g, 0).reached == g.num_nodes();
 }
 
 std::uint32_t eccentricity(const Graph& g, NodeId source) {
-  auto dist = bfs_distances(g, source);
-  std::uint32_t ecc = 0;
-  for (std::uint32_t d : dist) {
-    if (d != kUnreachable) ecc = std::max(ecc, d);
-  }
-  return ecc;
+  BfsWorkspace ws;
+  return eccentricity(g, source, ws);
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId source, BfsWorkspace& ws) {
+  return ws.sweep(g, source).eccentricity;
 }
 
 std::uint32_t diameter(const Graph& g) {
-  if (g.num_nodes() == 0) return 0;
-  if (!is_connected(g)) return kUnreachable;
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return 0;
+  MultiSourceBfs scan(n);
   std::uint32_t diam = 0;
-  for (std::size_t s = 0; s < g.num_nodes(); ++s) {
-    diam = std::max(diam, eccentricity(g, static_cast<NodeId>(s)));
+  for (std::size_t base = 0; base < n; base += MultiSourceBfs::kBatchWidth) {
+    const auto stats = scan.run(g, static_cast<NodeId>(base));
+    // The graph is undirected: any source that fails to reach every node
+    // proves disconnection, so bail out without scanning the rest.
+    if (!stats.all_reach_all) return kUnreachable;
+    diam = std::max(diam, stats.max_finite_distance);
   }
   return diam;
 }
 
 bool is_bipartite(const Graph& g) {
   std::vector<std::int8_t> color(g.num_nodes(), -1);
-  std::queue<NodeId> frontier;
+  std::vector<NodeId> cur, next;
   for (std::size_t s = 0; s < g.num_nodes(); ++s) {
     if (color[s] != -1) continue;
     color[s] = 0;
-    frontier.push(static_cast<NodeId>(s));
-    while (!frontier.empty()) {
-      NodeId u = frontier.front();
-      frontier.pop();
-      for (NodeId v : g.neighbors(u)) {
-        if (color[v] == -1) {
-          color[v] = static_cast<std::int8_t>(1 - color[u]);
-          frontier.push(v);
-        } else if (color[v] == color[u]) {
-          return false;
+    cur.assign(1, static_cast<NodeId>(s));
+    while (!cur.empty()) {
+      next.clear();
+      for (const NodeId u : cur) {
+        for (const NodeId v : g.neighbors(u)) {
+          if (color[v] == -1) {
+            color[v] = static_cast<std::int8_t>(1 - color[u]);
+            next.push_back(v);
+          } else if (color[v] == color[u]) {
+            return false;
+          }
         }
       }
+      cur.swap(next);
     }
   }
   return true;

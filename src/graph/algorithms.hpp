@@ -1,24 +1,25 @@
 // Classical graph algorithms used throughout the library: BFS, connectivity,
 // diameter/eccentricity, and bipartiteness. All run on the immutable CSR
-// `Graph` and are deterministic.
+// `Graph` and are deterministic. Every traversal goes through `BfsWorkspace`
+// (flat frontier, epoch-stamped visited array); the overloads taking a
+// workspace let callers that issue many BFS runs amortize the scratch state.
 #pragma once
 
 #include <cstdint>
-#include <limits>
 #include <vector>
 
+#include "graph/bfs_workspace.hpp"
 #include "graph/graph.hpp"
 
 namespace ftdb {
 
-/// Distance value for unreachable nodes.
-inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
-
 /// Single-source shortest-path distances (hop counts) via BFS.
 std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source, BfsWorkspace& ws);
 
 /// BFS parent tree: parent[source] == source, parent[unreached] == kInvalidNode.
 std::vector<NodeId> bfs_parents(const Graph& g, NodeId source);
+std::vector<NodeId> bfs_parents(const Graph& g, NodeId source, BfsWorkspace& ws);
 
 /// Reconstructs a shortest path from `source` to `target`; empty if unreachable,
 /// [source] if source == target.
@@ -33,10 +34,11 @@ bool is_connected(const Graph& g);
 
 /// Largest finite eccentricity from `source` (max BFS distance to a reachable node).
 std::uint32_t eccentricity(const Graph& g, NodeId source);
+std::uint32_t eccentricity(const Graph& g, NodeId source, BfsWorkspace& ws);
 
-/// Exact diameter via all-sources BFS. Returns kUnreachable when disconnected.
-/// Intended for the moderate sizes used in the experiments (N up to ~10^5 with
-/// constant degree).
+/// Exact diameter via all-sources BFS sweeps over one shared workspace.
+/// Returns kUnreachable when disconnected. Serial; `analysis::parallel_all_pairs`
+/// is the engine for the large production-scale instances.
 std::uint32_t diameter(const Graph& g);
 
 /// True when the graph admits a proper 2-coloring.

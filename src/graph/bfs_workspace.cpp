@@ -1,0 +1,86 @@
+#include "graph/bfs_workspace.hpp"
+
+#include <algorithm>
+
+namespace ftdb {
+
+void BfsWorkspace::ensure(std::size_t n) {
+  if (stamp_.size() < n) stamp_.resize(n, 0);
+  ++epoch_;
+  if (epoch_ == 0) {  // stamp wrap-around after 2^32 sweeps: hard reset
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+}
+
+void BfsWorkspace::distances(const Graph& g, NodeId source,
+                             std::vector<std::uint32_t>& dist) {
+  dist.assign(g.num_nodes(), kUnreachable);
+  dist[source] = 0;
+  cur_.clear();
+  cur_.push_back(source);
+  std::uint32_t level = 0;
+  while (!cur_.empty()) {
+    ++level;
+    next_.clear();
+    for (const NodeId u : cur_) {
+      for (const NodeId v : g.neighbors(u)) {
+        if (dist[v] == kUnreachable) {
+          dist[v] = level;
+          next_.push_back(v);
+        }
+      }
+    }
+    cur_.swap(next_);
+  }
+}
+
+void BfsWorkspace::parents(const Graph& g, NodeId source, std::vector<NodeId>& parent) {
+  parent.assign(g.num_nodes(), kInvalidNode);
+  parent[source] = source;
+  cur_.clear();
+  cur_.push_back(source);
+  while (!cur_.empty()) {
+    next_.clear();
+    for (const NodeId u : cur_) {
+      for (const NodeId v : g.neighbors(u)) {
+        if (parent[v] == kInvalidNode) {
+          parent[v] = u;
+          next_.push_back(v);
+        }
+      }
+    }
+    cur_.swap(next_);
+  }
+}
+
+BfsWorkspace::SourceSweep BfsWorkspace::sweep(const Graph& g, NodeId source) {
+  ensure(g.num_nodes());
+  const std::uint32_t e = epoch_;
+  stamp_[source] = e;
+  cur_.clear();
+  cur_.push_back(source);
+  SourceSweep s;
+  s.reached = 1;
+  std::uint32_t level = 0;
+  while (!cur_.empty()) {
+    ++level;
+    next_.clear();
+    for (const NodeId u : cur_) {
+      for (const NodeId v : g.neighbors(u)) {
+        if (stamp_[v] != e) {
+          stamp_[v] = e;
+          next_.push_back(v);
+        }
+      }
+    }
+    if (next_.empty()) break;
+    s.reached += next_.size();
+    s.total_distance += static_cast<std::uint64_t>(level) * next_.size();
+    s.eccentricity = level;
+    cur_.swap(next_);
+  }
+  return s;
+}
+
+}  // namespace ftdb

@@ -1,0 +1,57 @@
+// Allocation-free breadth-first traversal.
+//
+// `BfsWorkspace` owns the scratch state a BFS needs — a flat two-vector
+// frontier (no std::queue, no deque churn) and an epoch-stamped visited
+// array, so a workspace that is reused across many sources (diameter,
+// routing tables, all-pairs scans) performs zero allocations and skips the
+// O(V) visited clear after the first call. Results are identical to the
+// classical queue-based BFS: the flat frontier preserves level order, and
+// sorted adjacency preserves the within-level visit order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftdb {
+
+/// Distance value for unreachable nodes.
+inline constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+
+class BfsWorkspace {
+ public:
+  /// Aggregates of one single-source sweep (no per-node output written).
+  struct SourceSweep {
+    std::uint64_t reached = 0;         ///< nodes reached, including the source
+    std::uint64_t total_distance = 0;  ///< sum of hop counts to reached nodes
+    std::uint32_t eccentricity = 0;    ///< max hop count to a reached node
+  };
+
+  /// Fills `dist` (resized to g.num_nodes()) with hop counts from `source`;
+  /// unreached nodes get kUnreachable. The output array doubles as the
+  /// visited marker, so the epoch stamps are untouched.
+  void distances(const Graph& g, NodeId source, std::vector<std::uint32_t>& dist);
+
+  /// Fills `parent` (resized to g.num_nodes()) with the BFS tree:
+  /// parent[source] == source, parent[unreached] == kInvalidNode.
+  void parents(const Graph& g, NodeId source, std::vector<NodeId>& parent);
+
+  /// Level-synchronous sweep that writes no per-node output at all — visited
+  /// bookkeeping lives in the epoch-stamped array, distance sums are
+  /// accumulated per level. This is the fast path for eccentricity/diameter
+  /// style queries where only aggregates matter.
+  SourceSweep sweep(const Graph& g, NodeId source);
+
+ private:
+  void ensure(std::size_t n);
+
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<NodeId> cur_;
+  std::vector<NodeId> next_;
+};
+
+}  // namespace ftdb

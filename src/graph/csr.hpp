@@ -1,0 +1,55 @@
+// Linear-time CSR assembly shared by GraphBuilder and DigraphBuilder.
+//
+// Half-edges are packed into 64-bit keys (owner in the high word, neighbor in
+// the low word) and ordered with a two-pass LSD counting sort over node-id
+// digits: a stable pass on the neighbor word followed by a stable pass on the
+// owner word leaves the keys sorted by (owner, neighbor) in O(E + V) time —
+// no comparison sort, no per-adjacency-list post-sort. The sorted keys are
+// then unpacked straight into the offsets/adjacency arrays.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftdb::csr {
+
+/// A directed half-edge: owner in bits [32, 64), neighbor in bits [0, 32).
+using HalfEdge = std::uint64_t;
+
+inline HalfEdge pack(NodeId owner, NodeId neighbor) {
+  return (static_cast<std::uint64_t>(owner) << 32) | neighbor;
+}
+
+inline NodeId owner_of(HalfEdge h) { return static_cast<NodeId>(h >> 32); }
+inline NodeId neighbor_of(HalfEdge h) { return static_cast<NodeId>(h); }
+
+/// Emits the undirected edge {u, v} as its two half-edges, dropping
+/// self-loops (the paper's convention). The single place that encodes what
+/// `build(..., dedup=true)` expects from generators.
+inline void emit_undirected(std::vector<HalfEdge>& halves, NodeId u, NodeId v) {
+  if (u == v) return;
+  halves.push_back(pack(u, v));
+  halves.push_back(pack(v, u));
+}
+
+/// A cleared, thread-local HalfEdge buffer for generators to emit into. The
+/// capacity is retained across calls, so steady-state graph construction
+/// performs no emission-side allocations. The reference is only valid until
+/// the next emission_buffer() call on the same thread.
+std::vector<HalfEdge>& emission_buffer();
+
+/// Sorts `halves` by (owner, neighbor) via the two-pass counting sort and
+/// unpacks them into CSR `offsets` (num_nodes + 1 entries) and `adjacency`.
+/// When `dedup` is set, identical (owner, neighbor) pairs collapse to one
+/// adjacency entry (the undirected simple-graph convention); otherwise
+/// parallel arcs are preserved (the multigraph convention).
+///
+/// Throws std::out_of_range when a half-edge names a node >= num_nodes.
+/// `halves` is consumed as scratch space and left in an unspecified state.
+void build(std::size_t num_nodes, std::vector<HalfEdge>& halves, bool dedup,
+           std::vector<std::size_t>& offsets, std::vector<NodeId>& adjacency);
+
+}  // namespace ftdb::csr

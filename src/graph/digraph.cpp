@@ -2,32 +2,34 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "graph/csr.hpp"
 
 namespace ftdb {
 
+DigraphBuilder::DigraphBuilder(std::size_t num_nodes) : num_nodes_(num_nodes) {}
+
+void DigraphBuilder::add_arc(NodeId u, NodeId v) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    throw std::out_of_range("DigraphBuilder::add_arc: endpoint out of range");
+  }
+  out_halves_.push_back(csr::pack(u, v));
+  in_halves_.push_back(csr::pack(v, u));
+}
+
+Digraph DigraphBuilder::build() && {
+  Digraph d;
+  csr::build(num_nodes_, out_halves_, /*dedup=*/false, d.out_offsets_, d.out_adj_);
+  csr::build(num_nodes_, in_halves_, /*dedup=*/false, d.in_offsets_, d.in_adj_);
+  return d;
+}
+
 Digraph::Digraph(std::size_t num_nodes, std::vector<std::pair<NodeId, NodeId>> arcs) {
-  for (const auto& [u, v] : arcs) {
-    if (u >= num_nodes || v >= num_nodes) throw std::out_of_range("Digraph: arc out of range");
-  }
-  std::sort(arcs.begin(), arcs.end());
-  out_offsets_.assign(num_nodes + 1, 0);
-  in_offsets_.assign(num_nodes + 1, 0);
-  for (const auto& [u, v] : arcs) {
-    ++out_offsets_[u + 1];
-    ++in_offsets_[v + 1];
-  }
-  for (std::size_t i = 1; i <= num_nodes; ++i) {
-    out_offsets_[i] += out_offsets_[i - 1];
-    in_offsets_[i] += in_offsets_[i - 1];
-  }
-  out_adj_.resize(arcs.size());
-  in_adj_.resize(arcs.size());
-  std::vector<std::size_t> out_cursor(out_offsets_.begin(), out_offsets_.end() - 1);
-  std::vector<std::size_t> in_cursor(in_offsets_.begin(), in_offsets_.end() - 1);
-  for (const auto& [u, v] : arcs) {
-    out_adj_[out_cursor[u]++] = v;
-    in_adj_[in_cursor[v]++] = u;
-  }
+  DigraphBuilder b(num_nodes);
+  b.reserve_arcs(arcs.size());
+  for (const auto& [u, v] : arcs) b.add_arc(u, v);
+  *this = std::move(b).build();
 }
 
 Graph Digraph::undirected_shadow() const {

@@ -12,6 +12,33 @@
 
 namespace ftdb {
 
+class Digraph;
+
+/// Accumulates arcs and produces an immutable `Digraph` in O(V + A) via the
+/// same two-pass counting sort the undirected `GraphBuilder` uses — the
+/// out-CSR is keyed by (src, dst), the in-CSR by (dst, src), and parallel
+/// arcs are preserved (multigraph convention).
+class DigraphBuilder {
+ public:
+  explicit DigraphBuilder(std::size_t num_nodes);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+
+  /// Records the arc u -> v. Endpoints must be < num_nodes(); self-loop arcs
+  /// are legal in the digraph view.
+  void add_arc(NodeId u, NodeId v);
+
+  void reserve_arcs(std::size_t n) { out_halves_.reserve(n); in_halves_.reserve(n); }
+
+  /// Finalizes into an immutable Digraph; the builder is consumed.
+  Digraph build() &&;
+
+ private:
+  std::size_t num_nodes_;
+  std::vector<std::uint64_t> out_halves_;
+  std::vector<std::uint64_t> in_halves_;
+};
+
 /// Immutable directed multigraph in CSR layout (parallel arcs permitted —
 /// the de Bruijn digraph of order h=1 has them).
 class Digraph {
@@ -44,6 +71,8 @@ class Digraph {
   std::vector<NodeId> euler_circuit() const;
 
  private:
+  friend class DigraphBuilder;
+
   std::vector<std::size_t> out_offsets_;
   std::vector<NodeId> out_adj_;
   std::vector<std::size_t> in_offsets_;

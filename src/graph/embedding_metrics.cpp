@@ -1,6 +1,6 @@
 #include "graph/embedding_metrics.hpp"
 
-#include <map>
+#include <algorithm>
 #include <stdexcept>
 
 #include "graph/algorithms.hpp"
@@ -26,9 +26,26 @@ EmbeddingMetrics measure_embedding(const Graph& pattern, const Graph& host,
                           : static_cast<double>(host.num_nodes()) /
                                 static_cast<double>(pattern.num_nodes());
 
-  std::map<std::pair<NodeId, NodeId>, std::uint32_t> host_edge_load;
+  // Per-host-edge load, indexed by the CSR position of the edge's half from
+  // its lower endpoint — a flat array instead of a tree map keyed on node
+  // pairs. Rank lookup is a binary search in the (sorted) adjacency list.
+  std::vector<std::size_t> edge_base(host.num_nodes() + 1, 0);
+  for (std::size_t v = 0; v < host.num_nodes(); ++v) {
+    edge_base[v + 1] = edge_base[v] + host.degree(static_cast<NodeId>(v));
+  }
+  std::vector<std::uint32_t> host_edge_load(edge_base[host.num_nodes()], 0);
+  auto bump_load = [&](NodeId a, NodeId b) {
+    const NodeId lo = std::min(a, b);
+    const NodeId hi = std::max(a, b);
+    const auto nb = host.neighbors(lo);
+    const auto it = std::lower_bound(nb.begin(), nb.end(), hi);
+    ++host_edge_load[edge_base[lo] + static_cast<std::size_t>(it - nb.begin())];
+  };
+
   std::uint64_t total_dilation = 0;
   std::uint64_t routed = 0;
+  BfsWorkspace ws;
+  std::vector<NodeId> parents;
   // Group pattern edges by source image to reuse BFS trees.
   for (std::size_t u = 0; u < pattern.num_nodes(); ++u) {
     bool any = false;
@@ -39,7 +56,7 @@ EmbeddingMetrics measure_embedding(const Graph& pattern, const Graph& host,
       }
     }
     if (!any) continue;
-    const auto parents = bfs_parents(host, phi[u]);
+    ws.parents(host, phi[u], parents);
     for (NodeId v : pattern.neighbors(static_cast<NodeId>(u))) {
       if (static_cast<NodeId>(u) >= v) continue;
       if (parents[phi[v]] == kInvalidNode) {
@@ -49,9 +66,7 @@ EmbeddingMetrics measure_embedding(const Graph& pattern, const Graph& host,
       // Walk the BFS tree back from phi[v] to phi[u].
       std::uint32_t length = 0;
       for (NodeId cur = phi[v]; cur != phi[u]; cur = parents[cur]) {
-        const NodeId next = parents[cur];
-        const auto key = cur < next ? std::make_pair(cur, next) : std::make_pair(next, cur);
-        ++host_edge_load[key];
+        bump_load(cur, parents[cur]);
         ++length;
       }
       metrics.dilation = std::max(metrics.dilation, length);
@@ -61,7 +76,7 @@ EmbeddingMetrics measure_embedding(const Graph& pattern, const Graph& host,
   }
   metrics.average_dilation =
       routed == 0 ? 0.0 : static_cast<double>(total_dilation) / static_cast<double>(routed);
-  for (const auto& [edge, load] : host_edge_load) {
+  for (const std::uint32_t load : host_edge_load) {
     metrics.congestion = std::max(metrics.congestion, load);
   }
   return metrics;

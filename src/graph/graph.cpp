@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "graph/csr.hpp"
+
 namespace ftdb {
 
 GraphBuilder::GraphBuilder(std::size_t num_nodes) : num_nodes_(num_nodes) {}
@@ -16,6 +18,26 @@ void GraphBuilder::add_edge(NodeId u, NodeId v) {
 }
 
 Graph GraphBuilder::build() const {
+  // Emit both directions of every non-loop edge and let the counting-sort CSR
+  // assembly order and dedup them in O(V + E).
+  std::vector<csr::HalfEdge>& halves = csr::emission_buffer();
+  halves.reserve(raw_edges_.size() * 2);
+  for (const Edge& e : raw_edges_) {
+    csr::emit_undirected(halves, e.u, e.v);  // self-loops dropped per the paper
+  }
+  Graph g;
+  csr::build(num_nodes_, halves, /*dedup=*/true, g.offsets_, g.adjacency_);
+  return g;
+}
+
+Graph GraphBuilder::from_half_edges(std::size_t num_nodes,
+                                    std::vector<std::uint64_t>& half_edges) {
+  Graph g;
+  csr::build(num_nodes, half_edges, /*dedup=*/true, g.offsets_, g.adjacency_);
+  return g;
+}
+
+Graph GraphBuilder::build_reference() const {
   // Canonicalize: order endpoints, drop self-loops, dedup.
   std::vector<Edge> edges;
   edges.reserve(raw_edges_.size());
@@ -70,12 +92,6 @@ std::size_t Graph::min_degree() const {
 double Graph::average_degree() const {
   if (num_nodes() == 0) return 0.0;
   return 2.0 * static_cast<double>(num_edges()) / static_cast<double>(num_nodes());
-}
-
-bool Graph::has_edge(NodeId u, NodeId v) const {
-  if (u >= num_nodes() || v >= num_nodes()) return false;
-  auto nb = neighbors(u);
-  return std::binary_search(nb.begin(), nb.end(), v);
 }
 
 std::vector<Edge> Graph::edges() const {

@@ -6,6 +6,7 @@
 // 0 .. num_nodes()-1.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -50,9 +51,24 @@ class GraphBuilder {
   /// Hint for the expected number of add_edge calls.
   void reserve_edges(std::size_t n) { raw_edges_.reserve(n); }
 
-  /// Finalizes into an immutable Graph. The builder may be reused afterwards
-  /// (it retains its edges); call `clear()` to start over.
+  /// Finalizes into an immutable Graph in O(V + E) via a two-pass counting
+  /// sort of packed half-edges (no comparison sort, no per-list re-sort).
+  /// The builder may be reused afterwards (it retains its edges); call
+  /// `clear()` to start over.
   Graph build() const;
+
+  /// The original comparison-sort construction, retained as the oracle for
+  /// the property tests: `build()` must produce a byte-identical CSR.
+  Graph build_reference() const;
+
+  /// Expert path for topology generators that already emit every undirected
+  /// edge as a pair of directed half-edges (csr::pack(u, v) and
+  /// csr::pack(v, u)) with no self-loops — typically into
+  /// csr::emission_buffer(). Skips the per-edge canonicalization pass
+  /// entirely; duplicates are still collapsed. `half_edges` is consumed as
+  /// scratch and left in an unspecified state.
+  static Graph from_half_edges(std::size_t num_nodes,
+                               std::vector<std::uint64_t>& half_edges);
 
   void clear() { raw_edges_.clear(); }
 
@@ -87,8 +103,13 @@ class Graph {
   std::size_t min_degree() const;
   double average_degree() const;
 
-  /// Binary search in the sorted adjacency list.
-  bool has_edge(NodeId u, NodeId v) const;
+  /// Binary search in the sorted adjacency list. Inline: this is the inner
+  /// loop of the fault-tolerance verifiers, which call it once per edge.
+  bool has_edge(NodeId u, NodeId v) const {
+    if (u >= num_nodes() || v >= num_nodes()) return false;
+    const auto nb = neighbors(u);
+    return std::binary_search(nb.begin(), nb.end(), v);
+  }
 
   /// All edges with u < v, in lexicographic order.
   std::vector<Edge> edges() const;

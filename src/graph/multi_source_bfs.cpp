@@ -1,0 +1,69 @@
+#include "graph/multi_source_bfs.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace ftdb {
+
+MultiSourceBfs::BatchStats MultiSourceBfs::run(const Graph& g, NodeId base) {
+  const std::size_t n = g.num_nodes();
+  const unsigned width =
+      static_cast<unsigned>(std::min<std::size_t>(kBatchWidth, n - base));
+
+  // `next_bits_` is zero outside the level loop by invariant (every touched
+  // slot is reset before the next level), so only `visited_` needs clearing.
+  std::fill(visited_.begin(), visited_.end(), 0);
+  frontier_.clear();
+  for (unsigned i = 0; i < width; ++i) {
+    const NodeId s = base + i;
+    visited_[s] = std::uint64_t{1} << i;
+    frontier_bits_[s] = std::uint64_t{1} << i;
+    frontier_.push_back(s);
+  }
+
+  std::uint64_t sum[kBatchWidth] = {};
+  std::uint32_t ecc[kBatchWidth] = {};
+  std::uint64_t reached[kBatchWidth] = {};
+  for (unsigned i = 0; i < width; ++i) reached[i] = 1;
+
+  std::uint32_t level = 0;
+  while (!frontier_.empty()) {
+    ++level;
+    touched_.clear();
+    for (const NodeId v : frontier_) {
+      const std::uint64_t m = frontier_bits_[v];
+      for (const NodeId u : g.neighbors(v)) {
+        if (next_bits_[u] == 0) touched_.push_back(u);
+        next_bits_[u] |= m;
+      }
+    }
+    next_frontier_.clear();
+    for (const NodeId u : touched_) {
+      std::uint64_t fresh = next_bits_[u] & ~visited_[u];
+      next_bits_[u] = 0;
+      if (fresh == 0) continue;
+      visited_[u] |= fresh;
+      frontier_bits_[u] = fresh;
+      next_frontier_.push_back(u);
+      while (fresh != 0) {
+        const unsigned b = static_cast<unsigned>(std::countr_zero(fresh));
+        fresh &= fresh - 1;
+        sum[b] += level;
+        ecc[b] = level;
+        ++reached[b];
+      }
+    }
+    frontier_.swap(next_frontier_);
+  }
+
+  BatchStats stats;
+  for (unsigned i = 0; i < width; ++i) {
+    stats.reachable_pairs += reached[i] - 1;
+    stats.total_distance += sum[i];
+    stats.max_finite_distance = std::max(stats.max_finite_distance, ecc[i]);
+    stats.all_reach_all = stats.all_reach_all && reached[i] == n;
+  }
+  return stats;
+}
+
+}  // namespace ftdb

@@ -1,7 +1,6 @@
 #include "sim/bus_engine.hpp"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
 
 #include "topology/labels.hpp"
@@ -10,12 +9,31 @@ namespace ftdb::sim {
 
 namespace {
 
-/// Earliest cycle >= `from` at which both resource and sender have capacity.
-std::uint64_t earliest_fit(std::vector<std::uint64_t>& resource_busy_until,
-                           std::size_t resource, std::map<std::uint64_t, unsigned>& sender_load,
-                           unsigned ports) {
+/// Per-sender port occupancy, stored as a flat vector indexed by cycle — the
+/// schedule horizon is bounded by the transfer count, so this replaces the
+/// former std::map<cycle, load> (a red-black tree allocation per probed
+/// cycle) with O(1) array reads in the hot scheduling loops.
+class SenderLoad {
+ public:
+  unsigned at(std::uint64_t t) const {
+    return t < load_.size() ? load_[t] : 0;
+  }
+
+  void add(std::uint64_t t) {
+    if (t >= load_.size()) load_.resize(std::max<std::size_t>(t + 1, load_.size() * 2), 0);
+    ++load_[t];
+  }
+
+ private:
+  std::vector<unsigned> load_;
+};
+
+/// Earliest cycle >= the resource's next free cycle at which the sender also
+/// has port capacity.
+std::uint64_t earliest_fit(const std::vector<std::uint64_t>& resource_busy_until,
+                           std::size_t resource, const SenderLoad& sender, unsigned ports) {
   std::uint64_t t = resource_busy_until[resource];
-  while (sender_load[t] >= ports) ++t;
+  while (sender.at(t) >= ports) ++t;
   return t;
 }
 
@@ -32,7 +50,7 @@ ScheduleResult schedule_point_to_point(const Graph& g, const std::vector<Transfe
     link_base[v + 1] = link_base[v] + g.degree(static_cast<NodeId>(v));
   }
   std::vector<std::uint64_t> link_free(link_base[g.num_nodes()], 0);
-  std::vector<std::map<std::uint64_t, unsigned>> sender_load(g.num_nodes());
+  std::vector<SenderLoad> sender_load(g.num_nodes());
 
   for (const Transfer& tr : transfers) {
     if (!g.has_edge(tr.src, tr.dst)) {
@@ -44,7 +62,7 @@ ScheduleResult schedule_point_to_point(const Graph& g, const std::vector<Transfe
     const std::size_t link = link_base[tr.src] + static_cast<std::size_t>(it - nb.begin());
     const std::uint64_t t = earliest_fit(link_free, link, sender_load[tr.src], ports);
     link_free[link] = t + 1;
-    ++sender_load[tr.src][t];
+    sender_load[tr.src].add(t);
     result.makespan = std::max(result.makespan, t + 1);
   }
   return result;
@@ -56,7 +74,7 @@ ScheduleResult schedule_bus(const BusGraph& fabric, const std::vector<Transfer>&
   ScheduleResult result;
   result.transfers = transfers.size();
   std::vector<std::uint64_t> bus_free(fabric.num_buses(), 0);
-  std::vector<std::map<std::uint64_t, unsigned>> sender_load(fabric.num_nodes());
+  std::vector<SenderLoad> sender_load(fabric.num_nodes());
 
   for (const Transfer& tr : transfers) {
     // Candidate buses: any bus where {src, dst} is a driver-member pair.
@@ -80,7 +98,7 @@ ScheduleResult schedule_bus(const BusGraph& fabric, const std::vector<Transfer>&
       continue;
     }
     bus_free[best_bus] = best_t + 1;
-    ++sender_load[tr.src][best_t];
+    sender_load[tr.src].add(best_t);
     result.makespan = std::max(result.makespan, best_t + 1);
   }
   return result;

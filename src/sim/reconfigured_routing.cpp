@@ -58,9 +58,11 @@ double max_route_stretch(const Machine& machine, std::uint64_t m, unsigned h) {
 
   double worst = 1.0;
   const std::size_t n = machine.num_logical();
+  BfsWorkspace ws;
+  std::vector<std::uint32_t> dist;
   for (NodeId src = 0; src < n; ++src) {
     const NodeId p_src = physical_to_survivor[machine.to_physical[src]];
-    const auto dist = bfs_distances(survivors.graph, p_src);
+    ws.distances(survivors.graph, p_src, dist);
     for (NodeId dst = 0; dst < n; ++dst) {
       if (src == dst) continue;
       const auto route = debruijn_route_on_machine(machine, m, h, src, dst);

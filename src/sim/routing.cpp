@@ -1,6 +1,5 @@
 #include "sim/routing.hpp"
 
-#include <queue>
 #include <stdexcept>
 
 #include "topology/labels.hpp"
@@ -11,23 +10,29 @@ RoutingTable::RoutingTable(const Graph& g)
     : n_(g.num_nodes()),
       table_(n_ * n_, kInvalidNode),
       dist_(n_ * n_, static_cast<std::uint32_t>(-1)) {
-  // BFS from each destination; next_hop(node) = the parent towards dest.
-  std::queue<NodeId> frontier;
+  // BFS from each destination, writing straight into this destination's slab
+  // row; next_hop(node) = the parent towards dest. One flat frontier pair is
+  // reused across all destinations — no queue, no per-destination scratch.
+  std::vector<NodeId> cur, next;
   for (std::size_t dest = 0; dest < n_; ++dest) {
     const std::size_t base = dest * n_;
     dist_[base + dest] = 0;
     table_[base + dest] = static_cast<NodeId>(dest);
-    frontier.push(static_cast<NodeId>(dest));
-    while (!frontier.empty()) {
-      const NodeId u = frontier.front();
-      frontier.pop();
-      for (NodeId v : g.neighbors(u)) {
-        if (dist_[base + v] == static_cast<std::uint32_t>(-1)) {
-          dist_[base + v] = dist_[base + u] + 1;
-          table_[base + v] = u;  // step from v towards dest goes through u
-          frontier.push(v);
+    cur.assign(1, static_cast<NodeId>(dest));
+    std::uint32_t level = 0;
+    while (!cur.empty()) {
+      ++level;
+      next.clear();
+      for (const NodeId u : cur) {
+        for (const NodeId v : g.neighbors(u)) {
+          if (dist_[base + v] == static_cast<std::uint32_t>(-1)) {
+            dist_[base + v] = level;
+            table_[base + v] = u;  // step from v towards dest goes through u
+            next.push_back(v);
+          }
         }
       }
+      cur.swap(next);
     }
   }
 }

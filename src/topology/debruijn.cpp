@@ -1,7 +1,9 @@
 #include "topology/debruijn.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "graph/csr.hpp"
 #include "topology/labels.hpp"
 
 namespace ftdb {
@@ -20,31 +22,46 @@ std::uint64_t debruijn_num_nodes(const DeBruijnParams& params) {
 
 Graph debruijn_graph_digit_definition(const DeBruijnParams& params) {
   const std::uint64_t n = debruijn_num_nodes(params);
-  GraphBuilder builder(n);
-  builder.reserve_edges(static_cast<std::size_t>(n) * params.base);
+  std::vector<csr::HalfEdge>& halves = csr::emission_buffer();
+  halves.reserve(static_cast<std::size_t>(n) * params.base * 2);
   for (std::uint64_t x = 0; x < n; ++x) {
     for (std::uint32_t r = 0; r < params.base; ++r) {
       // Forward shift [x_{h-2},...,x_0,r]; the reverse shifts are the same
-      // edge set viewed from the other endpoint, so adding forward edges from
-      // every node covers both directions.
+      // edge set viewed from the other endpoint, so emitting forward edges
+      // from every node covers both directions.
       const std::uint64_t y = labels::shift_in_low(x, params.base, params.digits, r);
-      builder.add_edge(static_cast<NodeId>(x), static_cast<NodeId>(y));
+      csr::emit_undirected(halves, static_cast<NodeId>(x), static_cast<NodeId>(y));
     }
   }
-  return builder.build();
+  return GraphBuilder::from_half_edges(n, halves);
 }
 
 Graph debruijn_graph(const DeBruijnParams& params) {
   const std::uint64_t n = debruijn_num_nodes(params);
-  GraphBuilder builder(n);
-  builder.reserve_edges(static_cast<std::size_t>(n) * params.base);
-  for (std::uint64_t x = 0; x < n; ++x) {
-    for (std::uint64_t r = 0; r < params.base; ++r) {
-      const std::uint64_t y = (x * params.base + r) % n;  // X(x, m, r, m^h)
-      builder.add_edge(static_cast<NodeId>(x), static_cast<NodeId>(y));
+  const std::uint64_t m = params.base;
+  std::vector<csr::HalfEdge>& halves = csr::emission_buffer();
+  halves.reserve(static_cast<std::size_t>(n) * m * 2);
+  auto emit = [&](std::uint64_t x, std::uint64_t y) {
+    csr::emit_undirected(halves, static_cast<NodeId>(x), static_cast<NodeId>(y));
+  };
+  if (m >= n) {  // degenerate h = 1 shapes: fall back to the plain modulus
+    for (std::uint64_t x = 0; x < n; ++x) {
+      for (std::uint64_t r = 0; r < m; ++r) emit(x, (x * m + r) % n);
+    }
+  } else {
+    // Fixed r, ascending x: y = X(x, m, r, n) advances by m per step, so the
+    // modulus reduces to a conditional subtract — no division in the loop.
+    // Emission order is irrelevant; the counting-sort CSR canonicalizes it.
+    for (std::uint64_t r = 0; r < m; ++r) {
+      std::uint64_t y = r;
+      for (std::uint64_t x = 0; x < n; ++x) {
+        emit(x, y);
+        y += m;
+        if (y >= n) y -= n;
+      }
     }
   }
-  return builder.build();
+  return GraphBuilder::from_half_edges(n, halves);
 }
 
 Graph debruijn_base2(unsigned h) { return debruijn_graph({.base = 2, .digits = h}); }
@@ -52,14 +69,14 @@ Graph debruijn_base2(unsigned h) { return debruijn_graph({.base = 2, .digits = h
 Digraph debruijn_digraph(std::uint64_t m, unsigned h) {
   if (m < 2 || h < 1) throw std::invalid_argument("debruijn_digraph: need m >= 2, h >= 1");
   const std::uint64_t n = labels::ipow_checked(m, h);
-  std::vector<std::pair<NodeId, NodeId>> arcs;
-  arcs.reserve(static_cast<std::size_t>(n) * m);
+  DigraphBuilder builder(n);
+  builder.reserve_arcs(static_cast<std::size_t>(n) * m);
   for (std::uint64_t x = 0; x < n; ++x) {
     for (std::uint64_t r = 0; r < m; ++r) {
-      arcs.emplace_back(static_cast<NodeId>(x), static_cast<NodeId>((x * m + r) % n));
+      builder.add_arc(static_cast<NodeId>(x), static_cast<NodeId>((x * m + r) % n));
     }
   }
-  return Digraph(n, std::move(arcs));
+  return std::move(builder).build();
 }
 
 std::vector<NodeId> debruijn_out_neighbors(const DeBruijnParams& params, NodeId x) {

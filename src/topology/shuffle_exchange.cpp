@@ -1,7 +1,9 @@
 #include "topology/shuffle_exchange.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "graph/csr.hpp"
 #include "topology/labels.hpp"
 
 namespace ftdb {
@@ -13,14 +15,15 @@ std::uint64_t shuffle_exchange_num_nodes(unsigned h) {
 
 Graph shuffle_exchange_graph(unsigned h) {
   const std::uint64_t n = shuffle_exchange_num_nodes(h);
-  GraphBuilder builder(n);
-  builder.reserve_edges(static_cast<std::size_t>(n) * 2);
+  std::vector<csr::HalfEdge>& halves = csr::emission_buffer();
+  halves.reserve(static_cast<std::size_t>(n) * 4);
   for (std::uint64_t x = 0; x < n; ++x) {
-    builder.add_edge(static_cast<NodeId>(x),
-                     static_cast<NodeId>(labels::rotate_left(x, 2, h)));
-    builder.add_edge(static_cast<NodeId>(x), static_cast<NodeId>(labels::exchange_bit0(x)));
+    csr::emit_undirected(halves, static_cast<NodeId>(x),
+                         static_cast<NodeId>(labels::rotate_left(x, 2, h)));
+    csr::emit_undirected(halves, static_cast<NodeId>(x),
+                         static_cast<NodeId>(labels::exchange_bit0(x)));
   }
-  return builder.build();
+  return GraphBuilder::from_half_edges(n, halves);
 }
 
 NodeId se_shuffle(NodeId x, unsigned h) {

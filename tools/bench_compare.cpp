@@ -1,0 +1,207 @@
+// bench_compare — diffs two BENCH_*.json files produced by bench_runner and
+// emits a markdown table of per-benchmark wall-time ratios plus the geomean
+// speedup. Exits non-zero when any shared benchmark regressed beyond the
+// threshold, so CI can gate on it:
+//
+//   bench_compare BENCH_seed.json BENCH_ci.json --stat mean --threshold 1.15
+//   bench_compare BENCH_pr2_pre.json BENCH_pr2.json --filter perf_construction
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/bench_json.hpp"
+
+namespace {
+
+using ftdb::analysis::JsonValue;
+
+struct Options {
+  std::string base_path;
+  std::string new_path;
+  std::string stat = "min";      // wall_seconds field to compare: min | mean | max
+  std::string filter;            // substring filter over benchmark names
+  double threshold = 1.15;       // regression flag when new > threshold * base
+};
+
+void usage(const char* argv0) {
+  std::cout << "usage: " << argv0 << " BASE.json NEW.json [options]\n"
+            << "  --stat min|mean|max   wall-time statistic to compare (default min)\n"
+            << "  --filter SUBSTR       only compare benchmarks whose name contains SUBSTR\n"
+            << "  --threshold R         flag a regression when new > R * base (default 1.15)\n"
+            << "\n"
+            << "Prints a markdown table (speedup = base/new; >1 is faster) and exits 1\n"
+            << "when any shared benchmark regressed beyond the threshold.\n";
+}
+
+std::optional<JsonValue> load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "bench_compare: cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    JsonValue doc = ftdb::analysis::json_parse(buf.str());
+    const JsonValue* schema = doc.find("schema");
+    if (schema == nullptr || schema->string != "ftdb-bench-v1") {
+      std::cerr << "bench_compare: " << path << " is not an ftdb-bench-v1 document\n";
+      return std::nullopt;
+    }
+    return doc;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_compare: " << path << ": " << e.what() << "\n";
+    return std::nullopt;
+  }
+}
+
+struct Sample {
+  std::string name;
+  double wall = 0.0;
+  bool ok = false;
+};
+
+std::vector<Sample> samples(const JsonValue& doc, const std::string& stat,
+                            const std::string& filter) {
+  std::vector<Sample> out;
+  for (const JsonValue& b : doc.at("benchmarks").array) {
+    Sample s;
+    s.name = b.at("name").string;
+    if (!filter.empty() && s.name.find(filter) == std::string::npos) continue;
+    s.ok = b.at("ok").boolean;
+    if (s.ok) s.wall = b.at("wall_seconds").at(stat).number;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string fmt_ms(double seconds) {
+  std::ostringstream o;
+  o.setf(std::ios::fixed);
+  o.precision(3);
+  o << seconds * 1e3;
+  return o.str();
+}
+
+std::string fmt_ratio(double r) {
+  std::ostringstream o;
+  o.setf(std::ios::fixed);
+  o.precision(2);
+  o << r << "x";
+  return o.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " requires an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--stat") {
+      opt.stat = next("--stat");
+    } else if (arg == "--filter") {
+      opt.filter = next("--filter");
+    } else if (arg == "--threshold") {
+      try {
+        opt.threshold = std::stod(next("--threshold"));
+      } catch (const std::exception&) {
+        std::cerr << "--threshold expects a number\n";
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(argv[0]);
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (opt.stat != "min" && opt.stat != "mean" && opt.stat != "max") {
+    std::cerr << "--stat must be min, mean or max\n";
+    return 2;
+  }
+  opt.base_path = positional[0];
+  opt.new_path = positional[1];
+
+  const auto base_doc = load(opt.base_path);
+  const auto new_doc = load(opt.new_path);
+  if (!base_doc || !new_doc) return 2;
+
+  // JsonValue::at throws on shape mismatches (schema-valid file missing
+  // "benchmarks"/"name"/"wall_seconds"...); report them like any other
+  // malformed input instead of std::terminate-ing.
+  std::vector<Sample> base, fresh;
+  try {
+    base = samples(*base_doc, opt.stat, opt.filter);
+    fresh = samples(*new_doc, opt.stat, opt.filter);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_compare: malformed bench document: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << "| benchmark | base " << opt.stat << " (ms) | new " << opt.stat
+            << " (ms) | speedup | status |\n";
+  std::cout << "|---|---|---|---|---|\n";
+
+  double log_sum = 0.0;
+  std::size_t shared = 0;
+  std::size_t regressions = 0;
+  for (const Sample& b : base) {
+    const auto it = std::find_if(fresh.begin(), fresh.end(),
+                                 [&](const Sample& s) { return s.name == b.name; });
+    if (it == fresh.end()) {
+      std::cout << "| " << b.name << " | " << fmt_ms(b.wall) << " | - | - | removed |\n";
+      continue;
+    }
+    if (!b.ok || !it->ok) {
+      std::cout << "| " << b.name << " | - | - | - | "
+                << (it->ok ? "base failed" : "FAILED") << " |\n";
+      if (!it->ok) ++regressions;
+      continue;
+    }
+    const double speedup = it->wall > 0.0 ? b.wall / it->wall : 0.0;
+    const bool regressed = it->wall > opt.threshold * b.wall;
+    if (speedup > 0.0) {
+      log_sum += std::log(speedup);
+      ++shared;
+    }
+    if (regressed) ++regressions;
+    std::cout << "| " << b.name << " | " << fmt_ms(b.wall) << " | " << fmt_ms(it->wall)
+              << " | " << fmt_ratio(speedup) << " | " << (regressed ? "REGRESSION" : "ok")
+              << " |\n";
+  }
+  for (const Sample& s : fresh) {
+    const bool known = std::any_of(base.begin(), base.end(),
+                                   [&](const Sample& b) { return b.name == s.name; });
+    if (!known) {
+      std::cout << "| " << s.name << " | - | " << fmt_ms(s.wall) << " | - | new |\n";
+    }
+  }
+
+  const double geomean = shared > 0 ? std::exp(log_sum / static_cast<double>(shared)) : 1.0;
+  std::cout << "\ngeomean speedup over " << shared << " shared benchmarks: "
+            << fmt_ratio(geomean) << " (threshold " << opt.threshold << "x, "
+            << regressions << " regression" << (regressions == 1 ? "" : "s") << ")\n";
+  return regressions == 0 ? 0 : 1;
+}

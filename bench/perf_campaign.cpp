@@ -1,0 +1,72 @@
+// PERF6: throughput of the fault-injection campaign engine — trials/second
+// for a representative grid cell per fault model, plus one mixed-grid run.
+// The campaign runner is the production workload multiplier (every scenario
+// re-runs construction, fault drawing, reconfiguration checks and survivor
+// metrics thousands of times), so its per-trial cost is the number to watch.
+#include "analysis/bench_registry.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/scenario.hpp"
+
+namespace {
+
+using ftdb::analysis::BenchContext;
+using namespace ftdb::campaign;
+
+ScenarioSpec base_spec(std::uint64_t trials) {
+  ScenarioSpec spec;
+  spec.name = "perf";
+  spec.seed = 99;
+  spec.trials = trials;
+  spec.topologies = {{TopologyFamily::DeBruijn, 2, 6}};
+  spec.spares = {3};
+  spec.metrics.diameter = true;
+  spec.metrics.stretch = false;
+  spec.metrics.mttf = true;
+  return spec;
+}
+
+void run_model(BenchContext& ctx, const FaultModelSpec& model, std::uint64_t trials) {
+  ScenarioSpec spec = base_spec(trials);
+  spec.fault_models = {model};
+  // Serial on purpose: wall times must not depend on sibling benchmarks'
+  // thread pools (the bench runner may already be running us in parallel).
+  const CampaignResult result = run_campaign(spec, {.threads = 1});
+  const ScenarioResult& r = result.scenarios.front();
+  ctx.report("trials", static_cast<double>(r.trials));
+  ctx.report("success_rate", r.success_rate());
+  ctx.report("mean_faults", r.fault_count.mean);
+}
+
+FTDB_BENCH(campaign_iid, "perf_campaign/iid_debruijn_h6_k3") {
+  run_model(ctx, {FaultModelKind::IidBernoulli, 0.02, 1.0, 100.0, 1.0}, 2000);
+}
+
+FTDB_BENCH(campaign_clustered, "perf_campaign/clustered_debruijn_h6_k3") {
+  run_model(ctx, {FaultModelKind::Clustered, 0.005, 1.0, 100.0, 1.0}, 2000);
+}
+
+FTDB_BENCH(campaign_weibull, "perf_campaign/weibull_debruijn_h6_k3") {
+  run_model(ctx, {FaultModelKind::Weibull, 0.0, 1.5, 500.0, 30.0}, 2000);
+}
+
+FTDB_BENCH(campaign_adversarial, "perf_campaign/adversarial_debruijn_h6_k3") {
+  run_model(ctx, {FaultModelKind::Adversarial, 0.02, 1.0, 100.0, 1.0}, 2000);
+}
+
+FTDB_BENCH(campaign_grid, "perf_campaign/grid_2topo_x3k_x2models") {
+  ScenarioSpec spec = base_spec(250);
+  spec.topologies = {{TopologyFamily::DeBruijn, 2, 5},
+                     {TopologyFamily::ShuffleExchange, 2, 5}};
+  spec.spares = {0, 2, 4};
+  spec.fault_models = {{FaultModelKind::IidBernoulli, 0.03, 1.0, 100.0, 1.0},
+                       {FaultModelKind::Adversarial, 0.03, 1.0, 100.0, 1.0}};
+  const CampaignResult result = run_campaign(spec, {.threads = 1});
+  ctx.report("scenarios", static_cast<double>(result.scenarios.size()));
+  double successes = 0;
+  for (const ScenarioResult& r : result.scenarios) {
+    successes += static_cast<double>(r.reconfig_success);
+  }
+  ctx.report("total_successes", successes);
+}
+
+}  // namespace

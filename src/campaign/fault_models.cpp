@@ -1,0 +1,181 @@
+#include "campaign/fault_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace ftdb::campaign {
+namespace {
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+/// Time of the (k+1)-st failure given every node's failure time; +inf when
+/// fewer than k+1 entries are finite.
+double exhaustion_time(std::vector<double>& times, unsigned spares) {
+  const std::size_t rank = spares;  // 0-based index of the (k+1)-st smallest
+  if (rank >= times.size()) return kNever;
+  std::nth_element(times.begin(), times.begin() + static_cast<std::ptrdiff_t>(rank),
+                   times.end());
+  return times[rank];
+}
+
+/// Geometric first-failure step from one uniform draw: P[T <= t] = 1-(1-p)^t,
+/// T >= 1. The same draw decides the step-1 fault set ({U < p} iff T == 1),
+/// which keeps the snapshot and the clock of the iid model consistent.
+double geometric_step(double u, double p) {
+  return std::floor(std::log1p(-u) / std::log1p(-p)) + 1.0;
+}
+
+class IidBernoulliModel final : public FaultModel {
+ public:
+  explicit IidBernoulliModel(double p) : p_(p) {}
+
+  std::string name() const override { return "iid"; }
+
+  FaultDraw draw(const Graph& fabric, unsigned spares, TrialRng& rng) const override {
+    const std::size_t n = fabric.num_nodes();
+    std::vector<NodeId> faulty;
+    std::vector<double> times(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      const double u = rng.next_unit();
+      if (u < p_) faulty.push_back(static_cast<NodeId>(v));
+      times[v] = geometric_step(u, p_);
+    }
+    FaultDraw out;
+    out.faults = FaultSet(n, std::move(faulty));
+    out.spare_exhaustion_time = exhaustion_time(times, spares);
+    return out;
+  }
+
+ private:
+  double p_;
+};
+
+class ClusteredModel final : public FaultModel {
+ public:
+  explicit ClusteredModel(double p) : p_(p) {}
+
+  std::string name() const override { return "clustered"; }
+
+  FaultDraw draw(const Graph& fabric, unsigned spares, TrialRng& rng) const override {
+    const std::size_t n = fabric.num_nodes();
+    // Seed clock per node; a seed firing at time t takes its neighborhood
+    // down at t+1, so a node dies at min(own seed, earliest neighbor seed+1).
+    std::vector<double> seed_time(n);
+    for (std::size_t v = 0; v < n; ++v) seed_time[v] = geometric_step(rng.next_unit(), p_);
+    std::vector<double> times(n);
+    std::vector<NodeId> faulty;
+    for (std::size_t v = 0; v < n; ++v) {
+      double t = seed_time[v];
+      bool neighbor_seed_now = false;
+      for (const NodeId u : fabric.neighbors(static_cast<NodeId>(v))) {
+        t = std::min(t, seed_time[u] + 1.0);
+        neighbor_seed_now = neighbor_seed_now || seed_time[u] == 1.0;
+      }
+      times[v] = t;
+      // Snapshot fault set: step-1 seeds plus their whole neighborhoods.
+      if (seed_time[v] == 1.0 || neighbor_seed_now) faulty.push_back(static_cast<NodeId>(v));
+    }
+    FaultDraw out;
+    out.faults = FaultSet(n, std::move(faulty));
+    out.spare_exhaustion_time = exhaustion_time(times, spares);
+    return out;
+  }
+
+ private:
+  double p_;
+};
+
+class WeibullModel final : public FaultModel {
+ public:
+  WeibullModel(double shape, double scale, double horizon)
+      : shape_(shape), scale_(scale), horizon_(horizon) {}
+
+  std::string name() const override { return "weibull"; }
+
+  FaultDraw draw(const Graph& fabric, unsigned spares, TrialRng& rng) const override {
+    const std::size_t n = fabric.num_nodes();
+    std::vector<double> times(n);
+    std::vector<NodeId> faulty;
+    for (std::size_t v = 0; v < n; ++v) {
+      // Inverse-CDF sample of Weibull(shape, scale).
+      const double t = scale_ * std::pow(-std::log1p(-rng.next_unit()), 1.0 / shape_);
+      times[v] = t;
+      if (t <= horizon_) faulty.push_back(static_cast<NodeId>(v));
+    }
+    FaultDraw out;
+    out.faults = FaultSet(n, std::move(faulty));
+    out.spare_exhaustion_time = exhaustion_time(times, spares);
+    return out;
+  }
+
+ private:
+  double shape_;
+  double scale_;
+  double horizon_;
+};
+
+class AdversarialModel final : public FaultModel {
+ public:
+  explicit AdversarialModel(double p) : p_(p) {}
+
+  std::string name() const override { return "adversarial"; }
+
+  void prepare(const Graph& fabric, unsigned /*spares*/) override {
+    // Attack order: highest degree first, ties broken towards lower ids.
+    // Computed once per scenario; draw() runs concurrently and only reads.
+    const std::size_t n = fabric.num_nodes();
+    order_.resize(n);
+    for (std::size_t v = 0; v < n; ++v) order_[v] = static_cast<NodeId>(v);
+    std::stable_sort(order_.begin(), order_.end(), [&](NodeId a, NodeId b) {
+      return fabric.degree(a) > fabric.degree(b);
+    });
+  }
+
+  FaultDraw draw(const Graph& fabric, unsigned spares, TrialRng& rng) const override {
+    const std::size_t n = fabric.num_nodes();
+    if (order_.size() != n) {
+      throw std::logic_error("AdversarialModel: draw() before prepare()");
+    }
+    // The attack budget is Binomial(n, p): the adversary converts the same
+    // expected failure mass as the iid model into worst-case placements.
+    std::size_t budget = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (rng.next_unit() < p_) ++budget;
+    }
+    std::vector<NodeId> faulty(order_.begin(),
+                               order_.begin() + static_cast<std::ptrdiff_t>(budget));
+    FaultDraw out;
+    out.faults = FaultSet(n, std::move(faulty));
+    // The i-th targeted node dies at step i, so spares run out at step k+1
+    // iff the budget covers it.
+    out.spare_exhaustion_time =
+        budget >= static_cast<std::size_t>(spares) + 1 ? static_cast<double>(spares) + 1.0
+                                                       : kNever;
+    return out;
+  }
+
+ private:
+  double p_;
+  std::vector<NodeId> order_;
+};
+
+}  // namespace
+
+std::unique_ptr<FaultModel> make_fault_model(const FaultModelSpec& spec) {
+  switch (spec.kind) {
+    case FaultModelKind::IidBernoulli:
+      return std::make_unique<IidBernoulliModel>(spec.p);
+    case FaultModelKind::Clustered:
+      return std::make_unique<ClusteredModel>(spec.p);
+    case FaultModelKind::Weibull:
+      return std::make_unique<WeibullModel>(spec.shape, spec.scale, spec.horizon);
+    case FaultModelKind::Adversarial:
+      return std::make_unique<AdversarialModel>(spec.p);
+  }
+  throw std::runtime_error("make_fault_model: unknown kind");
+}
+
+}  // namespace ftdb::campaign

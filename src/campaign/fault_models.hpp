@@ -1,0 +1,68 @@
+// Pluggable fault processes for campaign trials.
+//
+// Every model is a deterministic function of (fault-tolerant graph, spare
+// budget, per-trial RNG): it produces the set of faulty nodes for the trial
+// plus the time at which the (k+1)-st failure occurs under the model's clock
+// (the moment spares are exhausted and the machine dies — the per-trial
+// sample behind the empirical-MTTF column). Four processes are provided:
+//
+//  * iid        — every node fails independently with probability p (the
+//                 paper's analytic model; empirical survival must match the
+//                 binomial tail of ft/spares.hpp).
+//  * clustered  — "seed" nodes drawn with probability p take their whole
+//                 neighborhood down with them: faults = S u N(S). Spatially
+//                 correlated failures, the classic violation of the iid
+//                 assumption.
+//  * weibull    — wear-out: node lifetimes are Weibull(shape, scale) and the
+//                 fault set is everything dead by `horizon` time steps.
+//                 shape > 1 models aging (failure rate grows over time).
+//  * adversarial— targeted attack: an adversary with a Binomial(n, p) budget
+//                 removes the highest-degree nodes first (ties by lower id).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "campaign/rng.hpp"
+#include "campaign/scenario.hpp"
+#include "ft/reconfigure.hpp"
+#include "graph/graph.hpp"
+
+namespace ftdb::campaign {
+
+/// One trial's worth of randomness turned into failures.
+struct FaultDraw {
+  FaultSet faults;  ///< faulty nodes within the fault-tolerant fabric
+  /// Time of the (k+1)-st node failure under the model's clock — when the
+  /// spare budget is exhausted. +inf when fewer than k+1 nodes ever fail
+  /// (possible under the adversarial model); such trials are reported as
+  /// censored rather than averaged.
+  double spare_exhaustion_time = 0.0;
+};
+
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once per scenario, single-threaded, before any draw(); models
+  /// precompute per-fabric state here (e.g. the adversarial attack order).
+  /// draw() may afterwards run concurrently from many threads.
+  virtual void prepare(const Graph& fabric, unsigned spares) {
+    (void)fabric;
+    (void)spares;
+  }
+
+  /// Draws one trial. `fabric` is the fault-tolerant interconnect the faults
+  /// land on (the bus machine passes its realized point-to-point graph);
+  /// `spares` is the budget k the exhaustion clock counts against. Must be
+  /// a pure function of its arguments and the rng stream.
+  virtual FaultDraw draw(const Graph& fabric, unsigned spares, TrialRng& rng) const = 0;
+};
+
+/// Factory from the declarative spec. Throws std::runtime_error on
+/// parameters the parser's validation should have rejected.
+std::unique_ptr<FaultModel> make_fault_model(const FaultModelSpec& spec);
+
+}  // namespace ftdb::campaign

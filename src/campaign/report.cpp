@@ -1,0 +1,149 @@
+#include "campaign/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/bench_json.hpp"
+#include "analysis/table.hpp"
+
+namespace ftdb::campaign {
+
+using analysis::JsonValue;
+using analysis::JsonWriter;
+
+namespace {
+
+std::string fmt(double v, int precision = 4) {
+  if (!std::isfinite(v)) return "-";
+  return analysis::fmt_double(v, precision);
+}
+
+/// Mean of a streaming accumulator, or "-" when it saw no samples.
+std::string fmt_mean(const StreamingStats& s, int precision = 2) {
+  return s.count == 0 ? "-" : analysis::fmt_double(s.mean, precision);
+}
+
+/// RFC-4180 quoting: wrap when the cell holds a comma/quote/newline.
+std::string csv_quote(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_num(double v) {
+  if (!std::isfinite(v)) return "";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string campaign_report_json(const CampaignResult& result) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value("ftdb-campaign-v1");
+  w.key("spec");
+  write_scenario_spec(w, result.spec);
+  // Run telemetry (thread count, resumed-scenario count) stays out of the
+  // document on purpose: the report must be byte-identical across thread
+  // counts and checkpoint/resume boundaries.
+  w.key("scenarios");
+  w.begin_array();
+  for (const ScenarioResult& r : result.scenarios) write_scenario_result(w, r);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string campaign_report_csv(const CampaignResult& result) {
+  std::ostringstream out;
+  out << "scenario_index,label,target_nodes,fabric_nodes,target_diameter,trials,"
+         "reconfig_success,success_rate,wilson95_lo,wilson95_hi,analytic_survival,"
+         "over_budget,mean_faults,reconfigured_diameter_mean,degraded_diameter_mean,"
+         "degraded_disconnected,route_stretch_max,mttf_mean,analytic_mttf,mttf_censored\n";
+  for (const ScenarioResult& r : result.scenarios) {
+    const WilsonInterval ci = r.success_ci();
+    out << r.scenario_index << ',' << csv_quote(r.label) << ',' << r.target_nodes << ','
+        << r.fabric_nodes << ',' << r.target_diameter << ',' << r.trials << ','
+        << r.reconfig_success << ',' << csv_num(r.success_rate()) << ',' << csv_num(ci.lo)
+        << ',' << csv_num(ci.hi) << ',' << csv_num(r.analytic_survival) << ','
+        << r.over_budget << ',' << csv_num(r.fault_count.mean) << ','
+        << (r.reconfigured_diameter.count ? csv_num(r.reconfigured_diameter.mean) : "") << ','
+        << (r.degraded_diameter.count ? csv_num(r.degraded_diameter.mean) : "") << ','
+        << r.degraded_disconnected << ','
+        << (r.route_stretch.count ? csv_num(r.route_stretch.max) : "") << ','
+        << (r.mttf.count ? csv_num(r.mttf.mean) : "") << ',' << csv_num(r.analytic_mttf)
+        << ',' << r.mttf_censored << '\n';
+  }
+  return out.str();
+}
+
+std::string campaign_report_markdown(const CampaignResult& result) {
+  std::ostringstream out;
+  out << "# Campaign: " << result.spec.name << "\n\n"
+      << "seed " << result.spec.seed << ", " << result.spec.trials
+      << " trials per scenario, " << result.scenarios.size() << " scenarios\n\n";
+  analysis::Table t({"scenario", "trials", "ok", "rate", "wilson 95%", "analytic",
+                     "E[faults]", "diam", "mttf", "analytic mttf"});
+  for (const ScenarioResult& r : result.scenarios) {
+    const WilsonInterval ci = r.success_ci();
+    t.add_row({r.label, analysis::fmt_u64(r.trials), analysis::fmt_u64(r.reconfig_success),
+               fmt(r.success_rate()),
+               "[" + fmt(ci.lo) + ", " + fmt(ci.hi) + "]",
+               fmt(r.analytic_survival), fmt_mean(r.fault_count),
+               fmt_mean(r.reconfigured_diameter), fmt_mean(r.mttf, 1),
+               fmt(r.analytic_mttf, 1)});
+  }
+  out << t.render();
+  // Survival curves: only scenarios where the curve has more than one point
+  // say anything beyond the headline rate.
+  out << "\n## Survival by drawn fault count\n\n";
+  for (const ScenarioResult& r : result.scenarios) {
+    if (r.survival_curve.size() < 2) continue;
+    out << "- " << r.label << ":";
+    for (const SurvivalPoint& p : r.survival_curve) {
+      out << " " << p.faults << ":" << p.survived << "/" << p.trials;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::size_t validate_campaign_report(const std::string& json_text) {
+  const JsonValue doc = analysis::json_parse(json_text);
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || schema->string != "ftdb-campaign-v1") {
+    throw std::runtime_error("not an ftdb-campaign-v1 document");
+  }
+  const JsonValue& spec = doc.at("spec");
+  if (spec.kind != JsonValue::Kind::Object) throw std::runtime_error("spec must be an object");
+  const JsonValue& scenarios = doc.at("scenarios");
+  if (scenarios.kind != JsonValue::Kind::Array || scenarios.array.empty()) {
+    throw std::runtime_error("scenarios must be a non-empty array");
+  }
+  for (const JsonValue& s : scenarios.array) {
+    // parse_scenario_result throws on any missing/mistyped field.
+    const ScenarioResult r = parse_scenario_result(s);
+    if (r.trials == 0) throw std::runtime_error("scenario with zero trials");
+    if (r.reconfig_success > r.trials) {
+      throw std::runtime_error("scenario with more successes than trials");
+    }
+    std::uint64_t curve_trials = 0;
+    for (const SurvivalPoint& p : r.survival_curve) curve_trials += p.trials;
+    if (curve_trials != r.trials) {
+      throw std::runtime_error("survival curve does not partition the trials");
+    }
+  }
+  return scenarios.array.size();
+}
+
+}  // namespace ftdb::campaign

@@ -1,0 +1,590 @@
+#include "campaign/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "analysis/bench_json.hpp"
+#include "campaign/fault_models.hpp"
+#include "campaign/rng.hpp"
+#include "ft/bus_ft.hpp"
+#include "ft/ft_debruijn.hpp"
+#include "ft/ft_shuffle_exchange.hpp"
+#include "ft/spares.hpp"
+#include "ft/tolerance.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/bus_graph.hpp"
+#include "graph/subgraph.hpp"
+#include "sim/network.hpp"
+#include "sim/reconfigured_routing.hpp"
+#include "topology/debruijn.hpp"
+#include "topology/shuffle_exchange.hpp"
+
+namespace ftdb::campaign {
+
+using analysis::JsonValue;
+using analysis::JsonWriter;
+
+namespace {
+
+/// Trials per work unit. Fixed — the block partition is part of the
+/// deterministic reduction order, so it must not depend on the thread count.
+constexpr std::uint64_t kTrialBlock = 256;
+
+}  // namespace
+
+// --- streaming statistics ---------------------------------------------------
+
+void StreamingStats::add(double x) {
+  ++count;
+  const double delta = x - mean;
+  mean += delta / static_cast<double>(count);
+  m2 += delta * (x - mean);
+  min = std::min(min, x);
+  max = std::max(max, x);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  // Chan's pairwise update; merge order is fixed by the runner.
+  const double total = static_cast<double>(count) + static_cast<double>(other.count);
+  const double delta = other.mean - mean;
+  mean += delta * (static_cast<double>(other.count) / total);
+  m2 += other.m2 +
+        delta * delta * (static_cast<double>(count) * static_cast<double>(other.count) / total);
+  count += other.count;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+double StreamingStats::variance() const {
+  return count < 2 ? 0.0 : m2 / static_cast<double>(count - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+WilsonInterval wilson_interval(std::uint64_t successes, std::uint64_t trials, double z) {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = phat + z2 / (2.0 * n);
+  const double half = z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
+  return {std::max(0.0, (center - half) / denom), std::min(1.0, (center + half) / denom)};
+}
+
+double ScenarioResult::success_rate() const {
+  return trials == 0 ? 0.0
+                     : static_cast<double>(reconfig_success) / static_cast<double>(trials);
+}
+
+WilsonInterval ScenarioResult::success_ci(double z) const {
+  return wilson_interval(reconfig_success, trials, z);
+}
+
+void ScenarioResult::merge(const ScenarioResult& other) {
+  trials += other.trials;
+  reconfig_success += other.reconfig_success;
+  over_budget += other.over_budget;
+  fault_count.merge(other.fault_count);
+  reconfigured_diameter.merge(other.reconfigured_diameter);
+  degraded_diameter.merge(other.degraded_diameter);
+  degraded_disconnected += other.degraded_disconnected;
+  route_stretch.merge(other.route_stretch);
+  mttf.merge(other.mttf);
+  mttf_censored += other.mttf_censored;
+  // Merge the sorted sparse survival curves.
+  std::vector<SurvivalPoint> merged;
+  merged.reserve(survival_curve.size() + other.survival_curve.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < survival_curve.size() || j < other.survival_curve.size()) {
+    if (j == other.survival_curve.size() ||
+        (i < survival_curve.size() && survival_curve[i].faults < other.survival_curve[j].faults)) {
+      merged.push_back(survival_curve[i++]);
+    } else if (i == survival_curve.size() ||
+               other.survival_curve[j].faults < survival_curve[i].faults) {
+      merged.push_back(other.survival_curve[j++]);
+    } else {
+      SurvivalPoint p = survival_curve[i++];
+      p.trials += other.survival_curve[j].trials;
+      p.survived += other.survival_curve[j].survived;
+      ++j;
+      merged.push_back(p);
+    }
+  }
+  survival_curve = std::move(merged);
+}
+
+// --- scenario execution ------------------------------------------------------
+
+namespace {
+
+/// Immutable per-scenario state shared (read-only) by all worker threads.
+struct ScenarioContext {
+  ScenarioCase cell;
+  Graph target;
+  Graph fabric;                     // point-to-point FT graph / realized bus graph
+  std::optional<BusGraph> bus;      // set for the bus family
+  std::unique_ptr<FaultModel> model;
+  std::uint32_t target_diameter = 0;
+  std::uint64_t seed = 0;
+  MetricSet metrics;
+};
+
+ScenarioContext build_context(const ScenarioSpec& spec, const ScenarioCase& cell) {
+  ScenarioContext ctx;
+  ctx.cell = cell;
+  ctx.seed = spec.seed;
+  ctx.metrics = spec.metrics;
+  const unsigned h = cell.topology.digits;
+  const unsigned k = cell.spares;
+  switch (cell.topology.family) {
+    case TopologyFamily::DeBruijn:
+      ctx.target = debruijn_graph({.base = cell.topology.base, .digits = h});
+      ctx.fabric = ft_debruijn_graph({.base = cell.topology.base, .digits = h, .spares = k});
+      break;
+    case TopologyFamily::ShuffleExchange: {
+      // Route 2 (natural labeling): self-contained, no VF2 search needed.
+      ctx.target = shuffle_exchange_graph(h);
+      ctx.fabric = ft_shuffle_exchange_natural(h, k).ft_graph;
+      break;
+    }
+    case TopologyFamily::Bus: {
+      ctx.bus = bus_ft_debruijn_base2(h, k);
+      ctx.target = debruijn_base2(h);
+      // Fault models and graph metrics act on the point-to-point connectivity
+      // the restricted driver<->member discipline realizes.
+      ctx.fabric = ctx.bus->realized_graph();
+      break;
+    }
+  }
+  ctx.model = make_fault_model(cell.fault_model);
+  ctx.model->prepare(ctx.fabric, k);
+  ctx.target_diameter = diameter(ctx.target);
+  return ctx;
+}
+
+/// Runs one trial and folds it straight into `acc`.
+void run_trial(const ScenarioContext& ctx, std::uint64_t trial_idx, ScenarioResult& acc,
+               std::vector<std::uint64_t>& dense_hist,
+               std::vector<std::uint64_t>& dense_survived) {
+  TrialRng rng = TrialRng::for_trial(ctx.seed, ctx.cell.index, trial_idx);
+  const FaultDraw draw = ctx.model->draw(ctx.fabric, ctx.cell.spares, rng);
+  const std::uint64_t faults = draw.faults.count();
+
+  const bool within_budget = faults <= ctx.cell.spares;
+  const bool success =
+      within_budget &&
+      (ctx.bus ? bus_monotone_embedding_survives(ctx.target, *ctx.bus, draw.faults)
+               : monotone_embedding_survives(ctx.target, ctx.fabric, draw.faults));
+
+  ++acc.trials;
+  acc.fault_count.add(static_cast<double>(faults));
+  if (!within_budget) ++acc.over_budget;
+  if (success) ++acc.reconfig_success;
+
+  if (dense_hist.size() <= faults) {
+    dense_hist.resize(faults + 1, 0);
+    dense_survived.resize(faults + 1, 0);
+  }
+  ++dense_hist[faults];
+  if (success) ++dense_survived[faults];
+
+  const bool want_stretch =
+      ctx.metrics.stretch && success && ctx.cell.topology.family == TopologyFamily::DeBruijn;
+  if ((ctx.metrics.diameter && success) || want_stretch) {
+    // One reconfigured machine serves both post-fault metrics (Machine copies
+    // the fabric CSR, so building it twice per trial would double the cost
+    // of the hot loop).
+    const sim::Machine machine =
+        sim::Machine::reconfigured(ctx.fabric, draw.faults, ctx.target.num_nodes());
+    if (ctx.metrics.diameter) {
+      // Measure (not assume) the paper's claim: the reconfigured machine
+      // presents the intact target, so its logical diameter must equal the
+      // target's.
+      const std::uint32_t d = diameter(machine.live_logical_graph(ctx.target));
+      if (d != kUnreachable) acc.reconfigured_diameter.add(static_cast<double>(d));
+    }
+    if (want_stretch) {
+      acc.route_stretch.add(
+          sim::max_route_stretch(machine, ctx.cell.topology.base, ctx.cell.topology.digits));
+    }
+  } else if (ctx.metrics.diameter) {
+    // Degraded machine: whatever the survivors still form.
+    const InducedSubgraph survivors =
+        induced_subgraph_excluding(ctx.fabric, draw.faults.nodes());
+    const std::uint32_t d =
+        survivors.graph.num_nodes() == 0 ? kUnreachable : diameter(survivors.graph);
+    if (d == kUnreachable) {
+      ++acc.degraded_disconnected;
+    } else {
+      acc.degraded_diameter.add(static_cast<double>(d));
+    }
+  }
+
+  if (ctx.metrics.mttf) {
+    if (std::isfinite(draw.spare_exhaustion_time)) {
+      acc.mttf.add(draw.spare_exhaustion_time);
+    } else {
+      ++acc.mttf_censored;
+    }
+  }
+}
+
+/// Sparse survival curve from the dense per-block counters.
+void fold_histogram(ScenarioResult& acc, const std::vector<std::uint64_t>& dense_hist,
+                    const std::vector<std::uint64_t>& dense_survived) {
+  for (std::size_t f = 0; f < dense_hist.size(); ++f) {
+    if (dense_hist[f] == 0) continue;
+    acc.survival_curve.push_back({f, dense_hist[f], dense_survived[f]});
+  }
+}
+
+/// Exact E[time of the (k+1)-st failure] when all n fabric nodes fail
+/// independently with probability p per step: summing the survival function,
+/// E = sum_{t >= 0} P[at most k of n failed by step t], with per-node
+/// failure probability 1 - (1-p)^t by step t. This is the true expectation
+/// of the empirical draw (simultaneous failures allowed) — deliberately not
+/// sim::analytic_mttf, which models failures one at a time and overshoots
+/// once n*p stops being small.
+///
+/// The sum needs on the order of the MTTF itself in iterations, so a cap
+/// bounds the work; past it we return NaN (report renders "-") rather than a
+/// silently truncated number next to the empirical column it validates.
+double exact_iid_mttf(std::uint64_t n, unsigned spares, double p) {
+  long double expectation = 0.0L;
+  long double log_alive = 0.0L;  // log of per-node survival prob (1-p)^t
+  const long double log_1mp = std::log1p(static_cast<long double>(-p));
+  for (std::uint64_t t = 0; t < 2000000; ++t) {
+    const long double q_fail = -std::expm1(log_alive);
+    const long double alive = binomial_cdf(n, spares, q_fail);
+    expectation += alive;
+    if (alive < 1e-13L && t > 0) return static_cast<double>(expectation);
+    log_alive += log_1mp;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioCase& cell,
+                            unsigned threads) {
+  const ScenarioContext ctx = build_context(spec, cell);
+
+  const std::uint64_t num_blocks = (spec.trials + kTrialBlock - 1) / kTrialBlock;
+  std::vector<ScenarioResult> partials(num_blocks);
+
+  unsigned workers = threads == 0 ? std::max(1u, std::thread::hardware_concurrency()) : threads;
+  workers = static_cast<unsigned>(std::min<std::uint64_t>(workers, num_blocks));
+
+  std::atomic<std::uint64_t> next_block{0};
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+  auto worker = [&] {
+    try {
+      std::vector<std::uint64_t> dense_hist;
+      std::vector<std::uint64_t> dense_survived;
+      for (;;) {
+        const std::uint64_t b = next_block.fetch_add(1);
+        if (b >= num_blocks) return;
+        dense_hist.clear();
+        dense_survived.clear();
+        const std::uint64_t lo = b * kTrialBlock;
+        const std::uint64_t hi = std::min(spec.trials, lo + kTrialBlock);
+        for (std::uint64_t t = lo; t < hi; ++t) {
+          run_trial(ctx, t, partials[b], dense_hist, dense_survived);
+        }
+        fold_histogram(partials[b], dense_hist, dense_survived);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(failure_mutex);
+      if (!failure) failure = std::current_exception();
+    }
+  };
+
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (failure) std::rethrow_exception(failure);
+
+  ScenarioResult result;
+  result.scenario_index = cell.index;
+  result.label = cell.label();
+  result.target_nodes = ctx.target.num_nodes();
+  result.fabric_nodes = ctx.fabric.num_nodes();
+  result.target_diameter = ctx.target_diameter;
+  for (const ScenarioResult& p : partials) result.merge(p);  // fixed block order
+
+  if (cell.fault_model.kind == FaultModelKind::IidBernoulli) {
+    result.analytic_survival = static_cast<double>(
+        survival_probability(result.target_nodes, cell.spares,
+                             static_cast<long double>(cell.fault_model.p)));
+    result.analytic_mttf =
+        exact_iid_mttf(result.fabric_nodes, cell.spares, cell.fault_model.p);
+  }
+  return result;
+}
+
+void write_file_atomically(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("campaign: cannot write " + tmp);
+    out << content;
+    if (!out.flush()) throw std::runtime_error("campaign: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("campaign: cannot rename " + tmp + " to " + path);
+  }
+}
+
+// --- result (de)serialization ------------------------------------------------
+
+void write_stats(JsonWriter& w, const StreamingStats& s) {
+  w.begin_object();
+  w.key("count");
+  w.value(s.count);
+  w.key("mean");
+  w.value(s.mean);
+  w.key("m2");
+  w.value(s.m2);
+  if (s.count > 0) {
+    w.key("min");
+    w.value(s.min);
+    w.key("max");
+    w.value(s.max);
+  }
+  w.end_object();
+}
+
+double number_or_nan(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->is_null()) return std::numeric_limits<double>::quiet_NaN();
+  return v->number;
+}
+
+std::uint64_t uint_of(const JsonValue& obj, const std::string& key) {
+  return static_cast<std::uint64_t>(obj.at(key).number);
+}
+
+StreamingStats parse_stats(const JsonValue& obj) {
+  StreamingStats s;
+  s.count = uint_of(obj, "count");
+  s.mean = obj.at("mean").number;
+  s.m2 = obj.at("m2").number;
+  if (s.count > 0) {
+    s.min = obj.at("min").number;
+    s.max = obj.at("max").number;
+  }
+  return s;
+}
+
+}  // namespace
+
+// Exposed through runner.hpp for report.cpp's use as well.
+void write_scenario_result(JsonWriter& w, const ScenarioResult& r) {
+  w.begin_object();
+  w.key("scenario_index");
+  w.value(static_cast<std::uint64_t>(r.scenario_index));
+  w.key("label");
+  w.value(r.label);
+  w.key("target_nodes");
+  w.value(r.target_nodes);
+  w.key("fabric_nodes");
+  w.value(r.fabric_nodes);
+  w.key("target_diameter");
+  w.value(static_cast<std::uint64_t>(r.target_diameter));
+  w.key("trials");
+  w.value(r.trials);
+  w.key("reconfig_success");
+  w.value(r.reconfig_success);
+  w.key("over_budget");
+  w.value(r.over_budget);
+  w.key("fault_count");
+  write_stats(w, r.fault_count);
+  w.key("reconfigured_diameter");
+  write_stats(w, r.reconfigured_diameter);
+  w.key("degraded_diameter");
+  write_stats(w, r.degraded_diameter);
+  w.key("degraded_disconnected");
+  w.value(r.degraded_disconnected);
+  w.key("route_stretch");
+  write_stats(w, r.route_stretch);
+  w.key("mttf");
+  write_stats(w, r.mttf);
+  w.key("mttf_censored");
+  w.value(r.mttf_censored);
+  w.key("survival_curve");
+  w.begin_array();
+  for (const SurvivalPoint& p : r.survival_curve) {
+    w.begin_object();
+    w.key("faults");
+    w.value(p.faults);
+    w.key("trials");
+    w.value(p.trials);
+    w.key("survived");
+    w.value(p.survived);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("analytic_survival");
+  w.value(r.analytic_survival);  // NaN -> null
+  w.key("analytic_mttf");
+  w.value(r.analytic_mttf);
+  // Derived convenience fields (ignored by parse_scenario_result).
+  const WilsonInterval ci = r.success_ci();
+  w.key("success_rate");
+  w.value(r.success_rate());
+  w.key("success_ci95_lo");
+  w.value(ci.lo);
+  w.key("success_ci95_hi");
+  w.value(ci.hi);
+  w.end_object();
+}
+
+ScenarioResult parse_scenario_result(const JsonValue& obj) {
+  ScenarioResult r;
+  r.scenario_index = uint_of(obj, "scenario_index");
+  r.label = obj.at("label").string;
+  r.target_nodes = uint_of(obj, "target_nodes");
+  r.fabric_nodes = uint_of(obj, "fabric_nodes");
+  r.target_diameter = static_cast<std::uint32_t>(uint_of(obj, "target_diameter"));
+  r.trials = uint_of(obj, "trials");
+  r.reconfig_success = uint_of(obj, "reconfig_success");
+  r.over_budget = uint_of(obj, "over_budget");
+  r.fault_count = parse_stats(obj.at("fault_count"));
+  r.reconfigured_diameter = parse_stats(obj.at("reconfigured_diameter"));
+  r.degraded_diameter = parse_stats(obj.at("degraded_diameter"));
+  r.degraded_disconnected = uint_of(obj, "degraded_disconnected");
+  r.route_stretch = parse_stats(obj.at("route_stretch"));
+  r.mttf = parse_stats(obj.at("mttf"));
+  r.mttf_censored = uint_of(obj, "mttf_censored");
+  for (const JsonValue& p : obj.at("survival_curve").array) {
+    r.survival_curve.push_back({uint_of(p, "faults"), uint_of(p, "trials"),
+                                uint_of(p, "survived")});
+  }
+  r.analytic_survival = number_or_nan(obj, "analytic_survival");
+  r.analytic_mttf = number_or_nan(obj, "analytic_mttf");
+  return r;
+}
+
+std::string checkpoint_to_json(const ScenarioSpec& spec,
+                               const std::vector<ScenarioResult>& completed) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value("ftdb-campaign-checkpoint-v1");
+  // Hex string, not a JSON number: 64-bit fingerprints do not survive the
+  // parser's double representation.
+  char fp[32];
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(spec_fingerprint(spec)));
+  w.key("fingerprint");
+  w.value(fp);
+  w.key("completed");
+  w.begin_array();
+  for (const ScenarioResult& r : completed) write_scenario_result(w, r);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+Checkpoint parse_checkpoint(const std::string& json_text) {
+  const JsonValue doc = analysis::json_parse(json_text);
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || schema->string != "ftdb-campaign-checkpoint-v1") {
+    throw std::runtime_error("campaign: not an ftdb-campaign-checkpoint-v1 document");
+  }
+  Checkpoint ckpt;
+  ckpt.fingerprint = std::strtoull(doc.at("fingerprint").string.c_str(), nullptr, 16);
+  for (const JsonValue& r : doc.at("completed").array) {
+    ckpt.completed.push_back(parse_scenario_result(r));
+  }
+  return ckpt;
+}
+
+// --- the campaign loop -------------------------------------------------------
+
+CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& options) {
+  if (spec.trials == 0) throw std::runtime_error("campaign: trials must be positive");
+  const std::vector<ScenarioCase> cells = expand_grid(spec);
+  if (cells.empty()) throw std::runtime_error("campaign: empty scenario grid");
+
+  CampaignResult result;
+  result.spec = spec;
+  result.scenarios.resize(cells.size());
+  std::vector<bool> done(cells.size(), false);
+
+  if (options.resume && !options.checkpoint_path.empty()) {
+    std::ifstream in(options.checkpoint_path, std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const Checkpoint ckpt = parse_checkpoint(buf.str());
+      if (ckpt.fingerprint != spec_fingerprint(spec)) {
+        throw std::runtime_error(
+            "campaign: checkpoint was produced by a different spec (fingerprint mismatch)");
+      }
+      for (const ScenarioResult& r : ckpt.completed) {
+        if (r.scenario_index >= cells.size()) {
+          throw std::runtime_error("campaign: checkpoint scenario index out of range");
+        }
+        result.scenarios[r.scenario_index] = r;
+        done[r.scenario_index] = true;
+        ++result.resumed_scenarios;
+      }
+    }
+  }
+
+  auto completed_so_far = [&] {
+    std::vector<ScenarioResult> completed;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (done[i]) completed.push_back(result.scenarios[i]);
+    }
+    return completed;
+  };
+
+  auto last_checkpoint = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (done[i]) continue;
+    result.scenarios[i] = run_scenario(spec, cells[i], options.threads);
+    done[i] = true;
+    if (options.progress != nullptr) {
+      const ScenarioResult& r = result.scenarios[i];
+      (*options.progress) << "[" << (i + 1) << "/" << cells.size() << "] " << r.label
+                          << ": success " << r.reconfig_success << "/" << r.trials << "\n";
+    }
+    if (!options.checkpoint_path.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      const double elapsed = std::chrono::duration<double>(now - last_checkpoint).count();
+      if (elapsed >= options.checkpoint_every_seconds || i + 1 == cells.size()) {
+        write_file_atomically(options.checkpoint_path,
+                              checkpoint_to_json(spec, completed_so_far()));
+        last_checkpoint = now;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ftdb::campaign

@@ -1,0 +1,150 @@
+// The campaign execution engine.
+//
+// Scenarios (grid cells) run one after another; within a scenario the trials
+// are cut into fixed blocks of kTrialBlock and the blocks are sharded across
+// a plain std::thread pool (the bench_runner discipline). Every trial's
+// randomness is counter-based — TrialRng::for_trial(seed, scenario, trial) —
+// and per-block partial statistics are merged in block order, so the result
+// is byte-identical for any thread count. Statistics stream through Welford
+// accumulators (no per-trial storage), success rates carry Wilson score
+// intervals, and fault-count survival curves are recorded per scenario.
+//
+// Long campaigns checkpoint completed scenarios to JSON; --resume loads the
+// checkpoint, skips the finished cells, and (because trials are counter-
+// based) finishes the campaign with exactly the report an uninterrupted run
+// would have produced.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/bench_json.hpp"
+#include "campaign/scenario.hpp"
+
+namespace ftdb::campaign {
+
+/// Welford/Chan streaming moments with min/max. Deterministic under the
+/// runner's fixed block partition + in-order merge.
+struct StreamingStats {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void add(double x);
+  void merge(const StreamingStats& other);
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+};
+
+/// Wilson score interval for a binomial proportion (default z: 95%).
+struct WilsonInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+WilsonInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                               double z = 1.959963984540054);
+
+/// One point of a scenario's empirical survival curve: of the trials that
+/// drew exactly `faults` faults, how many reconfigured successfully.
+struct SurvivalPoint {
+  std::uint64_t faults = 0;
+  std::uint64_t trials = 0;
+  std::uint64_t survived = 0;
+};
+
+/// Everything measured for one grid cell.
+struct ScenarioResult {
+  std::size_t scenario_index = 0;
+  std::string label;
+  std::uint64_t target_nodes = 0;   ///< N
+  std::uint64_t fabric_nodes = 0;   ///< N + k (bus machine: node count of the fabric)
+  std::uint32_t target_diameter = 0;
+
+  std::uint64_t trials = 0;
+  std::uint64_t reconfig_success = 0;  ///< monotone embedding survived the draw
+  std::uint64_t over_budget = 0;       ///< trials that drew more than k faults
+  StreamingStats fault_count;          ///< faults per trial
+
+  // diameter metric --------------------------------------------------------
+  /// Diameter of the live logical graph on successful trials — the paper
+  /// says this must equal target_diameter, and here it is measured, not
+  /// assumed.
+  StreamingStats reconfigured_diameter;
+  /// Diameter of the survivor-induced fabric subgraph on failed trials
+  /// (finite values only)...
+  StreamingStats degraded_diameter;
+  /// ...and how many failed trials left the survivors disconnected.
+  std::uint64_t degraded_disconnected = 0;
+
+  // stretch metric (de Bruijn family only) ---------------------------------
+  StreamingStats route_stretch;
+
+  // mttf metric -------------------------------------------------------------
+  /// Time of the (k+1)-st failure per trial (finite draws only).
+  StreamingStats mttf;
+  std::uint64_t mttf_censored = 0;  ///< trials whose model never exhausts the spares
+
+  /// Empirical survival curve by drawn fault count (sorted by faults).
+  std::vector<SurvivalPoint> survival_curve;
+
+  // analytic companions (iid model only; NaN otherwise) ---------------------
+  double analytic_survival = std::numeric_limits<double>::quiet_NaN();
+  double analytic_mttf = std::numeric_limits<double>::quiet_NaN();
+
+  double success_rate() const;
+  WilsonInterval success_ci(double z = 1.959963984540054) const;
+
+  /// Merges a same-scenario partial (used block-by-block by the runner).
+  void merge(const ScenarioResult& other);
+};
+
+struct CampaignOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency() (min 1).
+  unsigned threads = 0;
+  /// Checkpoint file; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Minimum seconds between checkpoint writes (0 = after every scenario).
+  double checkpoint_every_seconds = 0.0;
+  /// Load checkpoint_path (if it exists) and skip its completed scenarios.
+  bool resume = false;
+  /// Optional sink for one progress line per completed scenario.
+  std::ostream* progress = nullptr;
+};
+
+struct CampaignResult {
+  ScenarioSpec spec;
+  std::vector<ScenarioResult> scenarios;  ///< in grid order
+  std::uint64_t resumed_scenarios = 0;    ///< cells loaded from the checkpoint
+};
+
+/// Runs the whole campaign. Throws std::runtime_error on unusable specs or
+/// an incompatible checkpoint.
+CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& options = {});
+
+// --- checkpoint / result serialization (shared with report.cpp) ------------
+
+/// Writes one ScenarioResult as a JSON object (all raw accumulator fields;
+/// round-trips exactly through parse_scenario_result — the %.17g doubles the
+/// writer emits reparse to the same bits).
+void write_scenario_result(analysis::JsonWriter& w, const ScenarioResult& r);
+ScenarioResult parse_scenario_result(const analysis::JsonValue& obj);
+
+/// Serializes completed scenario results ("ftdb-campaign-checkpoint-v1").
+std::string checkpoint_to_json(const ScenarioSpec& spec,
+                               const std::vector<ScenarioResult>& completed);
+
+struct Checkpoint {
+  std::uint64_t fingerprint = 0;
+  std::vector<ScenarioResult> completed;
+};
+
+/// Parses a checkpoint document; throws std::runtime_error when malformed.
+Checkpoint parse_checkpoint(const std::string& json_text);
+
+}  // namespace ftdb::campaign

@@ -1,0 +1,353 @@
+#include "campaign/scenario.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "analysis/bench_json.hpp"
+#include "campaign/rng.hpp"
+
+namespace ftdb::campaign {
+
+using analysis::JsonValue;
+using analysis::JsonWriter;
+
+namespace {
+
+std::string fmt_g(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw std::runtime_error("campaign spec: " + what);
+}
+
+double number_field(const JsonValue& obj, const std::string& key, double fallback,
+                    bool required = false) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    if (required) bad_spec("missing required field \"" + key + "\"");
+    return fallback;
+  }
+  if (v->kind != JsonValue::Kind::Number) bad_spec("field \"" + key + "\" must be a number");
+  return v->number;
+}
+
+std::uint64_t uint_field(const JsonValue& obj, const std::string& key, std::uint64_t fallback,
+                         bool required = false) {
+  const double d = number_field(obj, key, static_cast<double>(fallback), required);
+  if (d < 0 || d != std::floor(d)) bad_spec("field \"" + key + "\" must be a non-negative integer");
+  return static_cast<std::uint64_t>(d);
+}
+
+/// A grid dimension given either as one number or as an array of numbers.
+std::vector<std::uint64_t> uint_list_field(const JsonValue& obj, const std::string& key,
+                                           std::vector<std::uint64_t> fallback,
+                                           bool required = false) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    if (required) bad_spec("missing required field \"" + key + "\"");
+    return fallback;
+  }
+  std::vector<std::uint64_t> out;
+  const auto take = [&](const JsonValue& item) {
+    if (item.kind != JsonValue::Kind::Number || item.number < 0 ||
+        item.number != std::floor(item.number)) {
+      bad_spec("field \"" + key + "\" must hold non-negative integers");
+    }
+    out.push_back(static_cast<std::uint64_t>(item.number));
+  };
+  if (v->kind == JsonValue::Kind::Array) {
+    if (v->array.empty()) bad_spec("field \"" + key + "\" must not be empty");
+    for (const JsonValue& item : v->array) take(item);
+  } else {
+    take(*v);
+  }
+  return out;
+}
+
+TopologyFamily parse_family(const std::string& s) {
+  if (s == "debruijn") return TopologyFamily::DeBruijn;
+  if (s == "shuffle_exchange") return TopologyFamily::ShuffleExchange;
+  if (s == "bus") return TopologyFamily::Bus;
+  bad_spec("unknown topology family \"" + s + "\" (expected debruijn, shuffle_exchange or bus)");
+}
+
+FaultModelKind parse_kind(const std::string& s) {
+  if (s == "iid") return FaultModelKind::IidBernoulli;
+  if (s == "clustered") return FaultModelKind::Clustered;
+  if (s == "weibull") return FaultModelKind::Weibull;
+  if (s == "adversarial") return FaultModelKind::Adversarial;
+  bad_spec("unknown fault model \"" + s + "\" (expected iid, clustered, weibull or adversarial)");
+}
+
+void check_probability(double p, const std::string& context) {
+  if (!(p > 0.0) || !(p < 1.0)) bad_spec(context + ": p must be in (0, 1)");
+}
+
+}  // namespace
+
+const char* topology_family_name(TopologyFamily family) {
+  switch (family) {
+    case TopologyFamily::DeBruijn: return "debruijn";
+    case TopologyFamily::ShuffleExchange: return "shuffle_exchange";
+    case TopologyFamily::Bus: return "bus";
+  }
+  return "?";
+}
+
+const char* fault_model_kind_name(FaultModelKind kind) {
+  switch (kind) {
+    case FaultModelKind::IidBernoulli: return "iid";
+    case FaultModelKind::Clustered: return "clustered";
+    case FaultModelKind::Weibull: return "weibull";
+    case FaultModelKind::Adversarial: return "adversarial";
+  }
+  return "?";
+}
+
+std::uint64_t TopologySpec::target_nodes() const {
+  const std::uint64_t m = family == TopologyFamily::DeBruijn ? base : 2;
+  std::uint64_t n = 1;
+  for (unsigned i = 0; i < digits; ++i) {
+    if (n > (std::uint64_t{1} << 62) / m) bad_spec("topology size overflows");
+    n *= m;
+  }
+  return n;
+}
+
+std::string TopologySpec::label() const {
+  if (family == TopologyFamily::DeBruijn) {
+    return "debruijn(m=" + std::to_string(base) + ",h=" + std::to_string(digits) + ")";
+  }
+  return std::string(topology_family_name(family)) + "(h=" + std::to_string(digits) + ")";
+}
+
+std::string FaultModelSpec::label() const {
+  switch (kind) {
+    case FaultModelKind::IidBernoulli: return "iid(p=" + fmt_g(p) + ")";
+    case FaultModelKind::Clustered: return "clustered(p=" + fmt_g(p) + ")";
+    case FaultModelKind::Weibull:
+      return "weibull(shape=" + fmt_g(shape) + ",scale=" + fmt_g(scale) +
+             ",horizon=" + fmt_g(horizon) + ")";
+    case FaultModelKind::Adversarial: return "adversarial(p=" + fmt_g(p) + ")";
+  }
+  return "?";
+}
+
+std::string ScenarioCase::label() const {
+  return topology.label() + " k=" + std::to_string(spares) + " " + fault_model.label();
+}
+
+std::vector<ScenarioCase> expand_grid(const ScenarioSpec& spec) {
+  std::vector<ScenarioCase> cells;
+  cells.reserve(spec.topologies.size() * spec.spares.size() * spec.fault_models.size());
+  for (const TopologySpec& topo : spec.topologies) {
+    for (const unsigned k : spec.spares) {
+      for (const FaultModelSpec& model : spec.fault_models) {
+        ScenarioCase cell;
+        cell.index = cells.size();
+        cell.topology = topo;
+        cell.spares = k;
+        cell.fault_model = model;
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return cells;
+}
+
+ScenarioSpec parse_scenario_spec(const std::string& json_text) {
+  const JsonValue doc = analysis::json_parse(json_text);
+  if (doc.kind != JsonValue::Kind::Object) bad_spec("document must be a JSON object");
+
+  ScenarioSpec spec;
+  if (const JsonValue* name = doc.find("name")) {
+    if (name->kind != JsonValue::Kind::String) bad_spec("\"name\" must be a string");
+    spec.name = name->string;
+  }
+  spec.seed = uint_field(doc, "seed", spec.seed);
+  spec.trials = uint_field(doc, "trials", spec.trials);
+  if (spec.trials == 0) bad_spec("\"trials\" must be positive");
+
+  const JsonValue* topologies = doc.find("topologies");
+  if (topologies == nullptr || topologies->kind != JsonValue::Kind::Array ||
+      topologies->array.empty()) {
+    bad_spec("\"topologies\" must be a non-empty array");
+  }
+  for (const JsonValue& t : topologies->array) {
+    if (t.kind != JsonValue::Kind::Object) bad_spec("topology entries must be objects");
+    const JsonValue* family = t.find("family");
+    if (family == nullptr || family->kind != JsonValue::Kind::String) {
+      bad_spec("topology entries need a string \"family\"");
+    }
+    TopologySpec proto;
+    proto.family = parse_family(family->string);
+    if (proto.family != TopologyFamily::DeBruijn && t.find("base") != nullptr) {
+      // Reject rather than silently collapse a base sweep to base 2.
+      bad_spec("\"base\" only applies to the debruijn family");
+    }
+    // `base` and `digits` may each be a scalar or a list; the entry expands
+    // over their cartesian product, which is how "grid over m, h" is spelled.
+    const auto bases = proto.family == TopologyFamily::DeBruijn
+                           ? uint_list_field(t, "base", {2})
+                           : std::vector<std::uint64_t>{2};
+    const auto digit_values = uint_list_field(t, "digits", {}, /*required=*/true);
+    for (const std::uint64_t m : bases) {
+      if (m < 2) bad_spec("topology base must be >= 2");
+      for (const std::uint64_t h : digit_values) {
+        if (h < 1 || h > 30) bad_spec("topology digits must be in [1, 30]");
+        TopologySpec topo = proto;
+        topo.base = m;
+        topo.digits = static_cast<unsigned>(h);
+        (void)topo.target_nodes();  // validates the size fits
+        spec.topologies.push_back(topo);
+      }
+    }
+  }
+
+  for (const std::uint64_t k : uint_list_field(doc, "spares", {}, /*required=*/true)) {
+    if (k > 4096) bad_spec("spare level too large (k <= 4096)");
+    spec.spares.push_back(static_cast<unsigned>(k));
+  }
+
+  const JsonValue* models = doc.find("fault_models");
+  if (models == nullptr || models->kind != JsonValue::Kind::Array || models->array.empty()) {
+    bad_spec("\"fault_models\" must be a non-empty array");
+  }
+  for (const JsonValue& m : models->array) {
+    if (m.kind != JsonValue::Kind::Object) bad_spec("fault model entries must be objects");
+    const JsonValue* kind = m.find("kind");
+    if (kind == nullptr || kind->kind != JsonValue::Kind::String) {
+      bad_spec("fault model entries need a string \"kind\"");
+    }
+    FaultModelSpec model;
+    model.kind = parse_kind(kind->string);
+    model.p = number_field(m, "p", model.p);
+    model.shape = number_field(m, "shape", model.shape);
+    model.scale = number_field(m, "scale", model.scale);
+    model.horizon = number_field(m, "horizon", model.horizon);
+    if (model.kind != FaultModelKind::Weibull) check_probability(model.p, kind->string);
+    if (model.kind == FaultModelKind::Weibull) {
+      if (!(model.shape > 0.0)) bad_spec("weibull: shape must be positive");
+      if (!(model.scale > 0.0)) bad_spec("weibull: scale must be positive");
+      if (!(model.horizon > 0.0)) bad_spec("weibull: horizon must be positive");
+    }
+    spec.fault_models.push_back(model);
+  }
+
+  if (const JsonValue* metrics = doc.find("metrics")) {
+    if (metrics->kind != JsonValue::Kind::Array) bad_spec("\"metrics\" must be an array");
+    spec.metrics = MetricSet{false, false, false};
+    for (const JsonValue& m : metrics->array) {
+      if (m.kind != JsonValue::Kind::String) bad_spec("metric names must be strings");
+      if (m.string == "diameter") {
+        spec.metrics.diameter = true;
+      } else if (m.string == "stretch") {
+        spec.metrics.stretch = true;
+      } else if (m.string == "mttf") {
+        spec.metrics.mttf = true;
+      } else {
+        bad_spec("unknown metric \"" + m.string + "\" (expected diameter, stretch or mttf)");
+      }
+    }
+  }
+  return spec;
+}
+
+std::string scenario_spec_to_json(const ScenarioSpec& spec) {
+  JsonWriter w;
+  write_scenario_spec(w, spec);
+  return w.str();
+}
+
+void write_scenario_spec(JsonWriter& w, const ScenarioSpec& spec) {
+  w.begin_object();
+  w.key("name");
+  w.value(spec.name);
+  w.key("seed");
+  w.value(spec.seed);
+  w.key("trials");
+  w.value(spec.trials);
+  w.key("topologies");
+  w.begin_array();
+  for (const TopologySpec& t : spec.topologies) {
+    w.begin_object();
+    w.key("family");
+    w.value(topology_family_name(t.family));
+    if (t.family == TopologyFamily::DeBruijn) {
+      w.key("base");
+      w.value(t.base);
+    }
+    w.key("digits");
+    w.value(static_cast<std::uint64_t>(t.digits));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("spares");
+  w.begin_array();
+  for (const unsigned k : spec.spares) w.value(static_cast<std::uint64_t>(k));
+  w.end_array();
+  w.key("fault_models");
+  w.begin_array();
+  for (const FaultModelSpec& m : spec.fault_models) {
+    w.begin_object();
+    w.key("kind");
+    w.value(fault_model_kind_name(m.kind));
+    if (m.kind == FaultModelKind::Weibull) {
+      w.key("shape");
+      w.value(m.shape);
+      w.key("scale");
+      w.value(m.scale);
+      w.key("horizon");
+      w.value(m.horizon);
+    } else {
+      w.key("p");
+      w.value(m.p);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("metrics");
+  w.begin_array();
+  if (spec.metrics.diameter) w.value("diameter");
+  if (spec.metrics.stretch) w.value("stretch");
+  if (spec.metrics.mttf) w.value("mttf");
+  w.end_array();
+  w.end_object();
+}
+
+std::uint64_t spec_fingerprint(const ScenarioSpec& spec) {
+  const std::string canon = scenario_spec_to_json(spec);
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : canon) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return splitmix64_mix(h);
+}
+
+std::string example_spec_json() {
+  return R"({
+  "name": "example",
+  "seed": 2026,
+  "trials": 200,
+  "topologies": [
+    {"family": "debruijn", "base": 2, "digits": 4},
+    {"family": "shuffle_exchange", "digits": 4}
+  ],
+  "spares": [0, 2, 4],
+  "fault_models": [
+    {"kind": "iid", "p": 0.05},
+    {"kind": "clustered", "p": 0.02},
+    {"kind": "weibull", "shape": 1.5, "scale": 400.0, "horizon": 60.0},
+    {"kind": "adversarial", "p": 0.05}
+  ],
+  "metrics": ["diameter", "mttf"]
+}
+)";
+}
+
+}  // namespace ftdb::campaign

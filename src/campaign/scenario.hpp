@@ -1,0 +1,105 @@
+// Declarative campaign specifications.
+//
+// A campaign sweeps a grid of scenarios: topology family instances (de
+// Bruijn B_{m,h}, shuffle-exchange SE_h, the Section V bus machine) crossed
+// with spare budgets k and fault models, each cell evaluated over a fixed
+// number of Monte Carlo trials. The spec is plain JSON (parsed with the
+// in-tree bench_json parser) so sweeps are versionable artifacts, and the
+// expansion into concrete scenario cells is deterministic: scenario index in
+// the expanded list is part of every trial's RNG derivation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/bench_json.hpp"
+
+namespace ftdb::campaign {
+
+enum class TopologyFamily { DeBruijn, ShuffleExchange, Bus };
+
+const char* topology_family_name(TopologyFamily family);
+
+/// One concrete topology instance. `base` is only meaningful for the de
+/// Bruijn family (the bus machine and SE_h are base-2 constructions).
+struct TopologySpec {
+  TopologyFamily family = TopologyFamily::DeBruijn;
+  std::uint64_t base = 2;  // m
+  unsigned digits = 3;     // h
+
+  /// Target size N = m^h (respectively 2^h).
+  std::uint64_t target_nodes() const;
+  std::string label() const;
+};
+
+enum class FaultModelKind { IidBernoulli, Clustered, Weibull, Adversarial };
+
+const char* fault_model_kind_name(FaultModelKind kind);
+
+/// Parameters for one fault process (see fault_models.hpp for semantics).
+struct FaultModelSpec {
+  FaultModelKind kind = FaultModelKind::IidBernoulli;
+  double p = 0.01;        // iid / clustered seed / adversarial budget probability
+  double shape = 1.0;     // Weibull shape (>= ~0.1)
+  double scale = 100.0;   // Weibull characteristic life (time steps)
+  double horizon = 1.0;   // Weibull observation window: faults = {T_v <= horizon}
+  std::string label() const;
+};
+
+/// Which per-trial metrics to evaluate beyond reconfiguration success (which
+/// is always measured). The heavier the metric, the more it costs per trial.
+struct MetricSet {
+  bool diameter = true;  ///< diameter of the post-fault (reconfigured or degraded) machine
+  bool stretch = false;  ///< max shift-routing stretch (de Bruijn family only; O(N^2))
+  bool mttf = true;      ///< time of the (k+1)-st failure under the model's clock
+};
+
+/// The full campaign: the cartesian grid topologies x spares x fault_models,
+/// `trials` Monte Carlo trials per cell.
+struct ScenarioSpec {
+  std::string name = "campaign";
+  std::uint64_t seed = 2026;
+  std::uint64_t trials = 1000;
+  std::vector<TopologySpec> topologies;
+  std::vector<unsigned> spares;
+  std::vector<FaultModelSpec> fault_models;
+  MetricSet metrics;
+};
+
+/// One expanded grid cell. `index` is the cell's position in expansion order
+/// (topology-major, then spares, then fault model) — the scenario counter in
+/// the per-trial RNG derivation, so reordering the spec reshuffles results by
+/// design and editing one dimension leaves other cells' trials unchanged.
+struct ScenarioCase {
+  std::size_t index = 0;
+  TopologySpec topology;
+  unsigned spares = 0;
+  FaultModelSpec fault_model;
+
+  std::string label() const;
+};
+
+std::vector<ScenarioCase> expand_grid(const ScenarioSpec& spec);
+
+/// Parses a campaign spec document; throws std::runtime_error with a
+/// field-level message on malformed or out-of-range input.
+ScenarioSpec parse_scenario_spec(const std::string& json_text);
+
+/// Canonical JSON form of the spec (stable field order; reparsing yields an
+/// equivalent spec). Embedded in reports and checkpoints.
+std::string scenario_spec_to_json(const ScenarioSpec& spec);
+
+/// Same, but nested into an in-flight writer (report.cpp embeds the spec in
+/// the campaign report document).
+void write_scenario_spec(analysis::JsonWriter& w, const ScenarioSpec& spec);
+
+/// FNV-1a hash of the canonical JSON — the compatibility stamp checked when
+/// resuming from a checkpoint.
+std::uint64_t spec_fingerprint(const ScenarioSpec& spec);
+
+/// A small ready-to-run example spec (also used by the CI smoke job): two
+/// topology families x three spare levels x four fault models.
+std::string example_spec_json();
+
+}  // namespace ftdb::campaign

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "graph/algorithms.hpp"
+#include "graph/multi_source_bfs.hpp"
 
 namespace ftdb {
 
@@ -44,34 +45,60 @@ EmbeddingMetrics measure_embedding(const Graph& pattern, const Graph& host,
 
   std::uint64_t total_dilation = 0;
   std::uint64_t routed = 0;
-  BfsWorkspace ws;
-  std::vector<NodeId> parents;
-  // Group pattern edges by source image to reuse BFS trees.
+  // Pattern nodes with at least one forward edge are the BFS sources; the
+  // bit-parallel batch kernel produces 64 of their full host distance
+  // vectors per CSR sweep (phi is injective, so batch sources are distinct).
+  std::vector<NodeId> source_nodes;
   for (std::size_t u = 0; u < pattern.num_nodes(); ++u) {
-    bool any = false;
     for (NodeId v : pattern.neighbors(static_cast<NodeId>(u))) {
       if (static_cast<NodeId>(u) < v) {
-        any = true;
+        source_nodes.push_back(static_cast<NodeId>(u));
         break;
       }
     }
-    if (!any) continue;
-    ws.parents(host, phi[u], parents);
-    for (NodeId v : pattern.neighbors(static_cast<NodeId>(u))) {
-      if (static_cast<NodeId>(u) >= v) continue;
-      if (parents[phi[v]] == kInvalidNode) {
-        ++metrics.broken_edges;
-        continue;
+  }
+  const std::size_t hn = host.num_nodes();
+  MultiSourceBfs scan(hn);
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> batch;
+  for (std::size_t base = 0; base < source_nodes.size();
+       base += MultiSourceBfs::kBatchWidth) {
+    const std::size_t end =
+        std::min(source_nodes.size(), base + MultiSourceBfs::kBatchWidth);
+    batch.clear();
+    for (std::size_t i = base; i < end; ++i) batch.push_back(phi[source_nodes[i]]);
+    scan.run_batch(host, batch, &dist);
+    for (std::size_t i = base; i < end; ++i) {
+      const NodeId u = source_nodes[i];
+      const std::uint32_t* row = dist.data() + (i - base) * hn;
+      for (NodeId v : pattern.neighbors(u)) {
+        if (u >= v) continue;
+        const std::uint32_t length = row[phi[v]];
+        if (length == kUnreachable) {
+          ++metrics.broken_edges;
+          continue;
+        }
+        // Walk one shortest path by steepest descent on the distance row,
+        // taking the lowest-id predecessor at every hop (deterministic; any
+        // shortest path is a valid witness for the load accounting).
+        for (NodeId cur = phi[v]; cur != phi[u];) {
+          NodeId step = kInvalidNode;
+          for (const NodeId w : host.neighbors(cur)) {
+            if (row[w] + 1 == row[cur]) {
+              step = w;
+              break;
+            }
+          }
+          if (step == kInvalidNode) {
+            throw std::logic_error("measure_embedding: broken distance descent");
+          }
+          bump_load(cur, step);
+          cur = step;
+        }
+        metrics.dilation = std::max(metrics.dilation, length);
+        total_dilation += length;
+        ++routed;
       }
-      // Walk the BFS tree back from phi[v] to phi[u].
-      std::uint32_t length = 0;
-      for (NodeId cur = phi[v]; cur != phi[u]; cur = parents[cur]) {
-        bump_load(cur, parents[cur]);
-        ++length;
-      }
-      metrics.dilation = std::max(metrics.dilation, length);
-      total_dilation += length;
-      ++routed;
     }
   }
   metrics.average_dilation =

@@ -2,23 +2,43 @@
 
 #include <algorithm>
 #include <bit>
+#include <stdexcept>
+
+#include "graph/bfs_workspace.hpp"  // kUnreachable, the distance sentinel
 
 namespace ftdb {
 
 MultiSourceBfs::BatchStats MultiSourceBfs::run(const Graph& g, NodeId base) {
   const std::size_t n = g.num_nodes();
-  const unsigned width =
-      static_cast<unsigned>(std::min<std::size_t>(kBatchWidth, n - base));
+  const unsigned width = static_cast<unsigned>(std::min<std::size_t>(kBatchWidth, n - base));
+  NodeId sources[kBatchWidth];
+  for (unsigned i = 0; i < width; ++i) sources[i] = base + i;
+  return run_batch(g, {sources, width});
+}
+
+MultiSourceBfs::BatchStats MultiSourceBfs::run_batch(const Graph& g,
+                                                     std::span<const NodeId> sources,
+                                                     std::vector<std::uint32_t>* distances) {
+  const std::size_t n = g.num_nodes();
+  const unsigned width = static_cast<unsigned>(sources.size());
+  if (width == 0 || width > kBatchWidth) {
+    throw std::invalid_argument("MultiSourceBfs: batch must hold 1..64 sources");
+  }
 
   // `next_bits_` is zero outside the level loop by invariant (every touched
   // slot is reset before the next level), so only `visited_` needs clearing.
   std::fill(visited_.begin(), visited_.end(), 0);
+  if (distances != nullptr) distances->assign(width * n, kUnreachable);
   frontier_.clear();
   for (unsigned i = 0; i < width; ++i) {
-    const NodeId s = base + i;
+    const NodeId s = sources[i];
+    if (s >= n || visited_[s] != 0) {
+      throw std::invalid_argument("MultiSourceBfs: sources must be distinct and in range");
+    }
     visited_[s] = std::uint64_t{1} << i;
     frontier_bits_[s] = std::uint64_t{1} << i;
     frontier_.push_back(s);
+    if (distances != nullptr) (*distances)[i * n + s] = 0;
   }
 
   std::uint64_t sum[kBatchWidth] = {};
@@ -51,6 +71,7 @@ MultiSourceBfs::BatchStats MultiSourceBfs::run(const Graph& g, NodeId base) {
         sum[b] += level;
         ecc[b] = level;
         ++reached[b];
+        if (distances != nullptr) (*distances)[b * n + u] = level;
       }
     }
     frontier_.swap(next_frontier_);

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -35,6 +36,16 @@ class MultiSourceBfs {
 
   /// Runs the batch of sources [base, min(base + kBatchWidth, num_nodes)).
   BatchStats run(const Graph& g, NodeId base);
+
+  /// Runs an explicit batch of up to kBatchWidth *distinct* sources
+  /// (sources[i] rides bit i) and, when `distances` is non-null, writes the
+  /// full distance vector of every source in the one pass:
+  /// (*distances)[i * num_nodes + v] = d(sources[i], v), kUnreachable when
+  /// unreached. This is the batch counterpart of BfsWorkspace::distances —
+  /// callers that need whole rows of the distance matrix (route-stretch
+  /// audits, embedding metrics) get 64 rows per CSR sweep instead of one.
+  BatchStats run_batch(const Graph& g, std::span<const NodeId> sources,
+                       std::vector<std::uint32_t>* distances = nullptr);
 
  private:
   std::vector<std::uint64_t> visited_;        // mask of sources that reached v

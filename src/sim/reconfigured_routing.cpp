@@ -1,8 +1,10 @@
 #include "sim/reconfigured_routing.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "graph/algorithms.hpp"
+#include "graph/multi_source_bfs.hpp"
 #include "graph/subgraph.hpp"
 
 namespace ftdb::sim {
@@ -58,20 +60,32 @@ double max_route_stretch(const Machine& machine, std::uint64_t m, unsigned h) {
 
   double worst = 1.0;
   const std::size_t n = machine.num_logical();
-  BfsWorkspace ws;
+  const std::size_t sn = survivors.graph.num_nodes();
+  // Shortest paths come from the bit-parallel batch kernel: 64 logical
+  // sources share one sweep of the survivor CSR instead of one BFS each.
+  MultiSourceBfs scan(sn);
   std::vector<std::uint32_t> dist;
-  for (NodeId src = 0; src < n; ++src) {
-    const NodeId p_src = physical_to_survivor[machine.to_physical[src]];
-    ws.distances(survivors.graph, p_src, dist);
-    for (NodeId dst = 0; dst < n; ++dst) {
-      if (src == dst) continue;
-      const auto route = debruijn_route_on_machine(machine, m, h, src, dst);
-      const NodeId p_dst = physical_to_survivor[machine.to_physical[dst]];
-      const std::uint32_t shortest = dist[p_dst];
-      if (shortest == 0 || shortest == kUnreachable) continue;
-      const double stretch =
-          static_cast<double>(route.size() - 1) / static_cast<double>(shortest);
-      worst = std::max(worst, stretch);
+  std::vector<NodeId> batch;
+  for (NodeId base = 0; base < n; base += MultiSourceBfs::kBatchWidth) {
+    const NodeId end =
+        static_cast<NodeId>(std::min<std::size_t>(n, base + MultiSourceBfs::kBatchWidth));
+    batch.clear();
+    for (NodeId src = base; src < end; ++src) {
+      batch.push_back(physical_to_survivor[machine.to_physical[src]]);
+    }
+    scan.run_batch(survivors.graph, batch, &dist);
+    for (NodeId src = base; src < end; ++src) {
+      const std::uint32_t* row = dist.data() + static_cast<std::size_t>(src - base) * sn;
+      for (NodeId dst = 0; dst < n; ++dst) {
+        if (src == dst) continue;
+        const auto route = debruijn_route_on_machine(machine, m, h, src, dst);
+        const NodeId p_dst = physical_to_survivor[machine.to_physical[dst]];
+        const std::uint32_t shortest = row[p_dst];
+        if (shortest == 0 || shortest == kUnreachable) continue;
+        const double stretch =
+            static_cast<double>(route.size() - 1) / static_cast<double>(shortest);
+        worst = std::max(worst, stretch);
+      }
     }
   }
   return worst;

@@ -7,9 +7,7 @@
 namespace ftdb::sim {
 
 RoutingTable::RoutingTable(const Graph& g)
-    : n_(g.num_nodes()),
-      table_(n_ * n_, kInvalidNode),
-      dist_(n_ * n_, static_cast<std::uint32_t>(-1)) {
+    : n_(g.num_nodes()), table_(n_ * n_, kInvalidNode), dist_(n_ * n_, kNoPath) {
   // BFS from each destination, writing straight into this destination's slab
   // row; next_hop(node) = the parent towards dest. One flat frontier pair is
   // reused across all destinations — no queue, no per-destination scratch.
@@ -19,13 +17,16 @@ RoutingTable::RoutingTable(const Graph& g)
     dist_[base + dest] = 0;
     table_[base + dest] = static_cast<NodeId>(dest);
     cur.assign(1, static_cast<NodeId>(dest));
-    std::uint32_t level = 0;
+    std::uint16_t level = 0;
     while (!cur.empty()) {
+      if (level == kNoPath - 1) {
+        throw std::length_error("RoutingTable: distance exceeds the uint16 slab");
+      }
       ++level;
       next.clear();
       for (const NodeId u : cur) {
         for (const NodeId v : g.neighbors(u)) {
-          if (dist_[base + v] == static_cast<std::uint32_t>(-1)) {
+          if (dist_[base + v] == kNoPath) {
             dist_[base + v] = level;
             table_[base + v] = u;  // step from v towards dest goes through u
             next.push_back(v);

@@ -20,18 +20,24 @@ namespace ftdb::sim {
 
 /// Dense next-hop tables: next_hop(dest, node) = neighbor of `node` one step
 /// closer to `dest`, or kInvalidNode when unreachable. Memory is N^2; intended
-/// for the simulator's N <= a few thousand.
+/// for the simulator's N <= a few thousand. Distances live in a uint16 slab
+/// (half the N^2 footprint of the next-hop table): hop counts on these
+/// machines are tiny, and the constructor throws if a graph ever exceeds
+/// 65534 hops rather than wrapping.
 class RoutingTable {
  public:
   explicit RoutingTable(const Graph& g);
 
   NodeId next_hop(NodeId dest, NodeId node) const { return table_[index(dest, node)]; }
 
-  std::uint32_t distance(NodeId dest, NodeId node) const { return dist_[index(dest, node)]; }
-
-  bool reachable(NodeId dest, NodeId node) const {
-    return dist_[index(dest, node)] != static_cast<std::uint32_t>(-1);
+  /// Hop count, or uint32(-1) when unreachable (the BFS convention callers
+  /// compare against; the sentinel is widened from the internal uint16).
+  std::uint32_t distance(NodeId dest, NodeId node) const {
+    const std::uint16_t d = dist_[index(dest, node)];
+    return d == kNoPath ? static_cast<std::uint32_t>(-1) : d;
   }
+
+  bool reachable(NodeId dest, NodeId node) const { return dist_[index(dest, node)] != kNoPath; }
 
   std::size_t num_nodes() const { return n_; }
 
@@ -39,12 +45,14 @@ class RoutingTable {
   std::vector<NodeId> path(NodeId from, NodeId dest) const;
 
  private:
+  static constexpr std::uint16_t kNoPath = 0xffff;
+
   std::size_t index(NodeId dest, NodeId node) const {
     return static_cast<std::size_t>(dest) * n_ + node;
   }
   std::size_t n_;
   std::vector<NodeId> table_;
-  std::vector<std::uint32_t> dist_;
+  std::vector<std::uint16_t> dist_;
 };
 
 /// Shift-register route in B_{m,h} from src to dst, as a node sequence

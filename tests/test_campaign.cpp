@@ -1,0 +1,387 @@
+// Campaign engine tests: spec parsing, fault-model properties, streaming
+// statistics, scheduling-independent determinism, checkpoint/resume
+// identity, and the statistical-sanity check tying the iid model's empirical
+// survival back to the paper's binomial tail (ft/spares.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <random>
+
+#include "campaign/fault_models.hpp"
+#include "campaign/report.hpp"
+#include "campaign/rng.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/scenario.hpp"
+#include "ft/ft_debruijn.hpp"
+#include "ft/spares.hpp"
+#include "topology/debruijn.hpp"
+
+namespace ftdb::campaign {
+namespace {
+
+ScenarioSpec small_spec() {
+  ScenarioSpec spec;
+  spec.name = "test";
+  spec.seed = 7;
+  spec.trials = 200;
+  spec.topologies = {{TopologyFamily::DeBruijn, 2, 4}, {TopologyFamily::ShuffleExchange, 2, 3}};
+  spec.spares = {0, 2};
+  spec.fault_models = {{FaultModelKind::IidBernoulli, 0.05, 1.0, 100.0, 1.0},
+                       {FaultModelKind::Adversarial, 0.05, 1.0, 100.0, 1.0}};
+  spec.metrics = {true, false, true};
+  return spec;
+}
+
+TEST(TrialRng, CounterBasedStreamsAreStable) {
+  TrialRng a = TrialRng::for_trial(42, 3, 17);
+  TrialRng b = TrialRng::for_trial(42, 3, 17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  // Different counters diverge immediately.
+  TrialRng c = TrialRng::for_trial(42, 3, 18);
+  TrialRng d = TrialRng::for_trial(42, 4, 17);
+  TrialRng e = TrialRng::for_trial(43, 3, 17);
+  TrialRng base = TrialRng::for_trial(42, 3, 17);
+  const std::uint64_t first = base.next_u64();
+  EXPECT_NE(first, c.next_u64());
+  EXPECT_NE(first, d.next_u64());
+  EXPECT_NE(first, e.next_u64());
+}
+
+TEST(TrialRng, UnitDrawsAreInRange) {
+  TrialRng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(StreamingStats, MatchesDirectMomentsAndMergeIsExactOnSplit) {
+  std::mt19937_64 rng(5);
+  std::vector<double> xs(257);
+  double sum = 0.0;
+  for (double& x : xs) {
+    x = std::uniform_real_distribution<double>(-3.0, 7.0)(rng);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - mean) * (x - mean);
+  const double variance = ss / static_cast<double>(xs.size() - 1);
+
+  StreamingStats whole;
+  for (const double x : xs) whole.add(x);
+  EXPECT_NEAR(whole.mean, mean, 1e-12);
+  EXPECT_NEAR(whole.variance(), variance, 1e-10);
+
+  StreamingStats left, right;
+  for (std::size_t i = 0; i < xs.size(); ++i) (i < 100 ? left : right).add(xs[i]);
+  left.merge(right);
+  EXPECT_EQ(left.count, whole.count);
+  EXPECT_NEAR(left.mean, whole.mean, 1e-12);
+  EXPECT_NEAR(left.m2, whole.m2, 1e-9);
+  EXPECT_EQ(left.min, whole.min);
+  EXPECT_EQ(left.max, whole.max);
+}
+
+TEST(WilsonInterval, BracketsTheRateAndTightensWithN) {
+  const WilsonInterval small = wilson_interval(8, 10);
+  const WilsonInterval large = wilson_interval(800, 1000);
+  EXPECT_LT(small.lo, 0.8);
+  EXPECT_GT(small.hi, 0.8);
+  EXPECT_LT(large.lo, 0.8);
+  EXPECT_GT(large.hi, 0.8);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+  // Degenerate corners stay inside [0, 1].
+  EXPECT_EQ(wilson_interval(0, 0).lo, 0.0);
+  EXPECT_EQ(wilson_interval(0, 0).hi, 1.0);
+  EXPECT_GE(wilson_interval(0, 50).lo, 0.0);
+  EXPECT_LE(wilson_interval(50, 50).hi, 1.0);
+}
+
+TEST(ScenarioSpec, ParseExampleAndRoundTrip) {
+  const ScenarioSpec spec = parse_scenario_spec(example_spec_json());
+  EXPECT_EQ(spec.name, "example");
+  EXPECT_EQ(spec.trials, 200u);
+  EXPECT_EQ(spec.topologies.size(), 2u);
+  EXPECT_EQ(spec.spares.size(), 3u);
+  EXPECT_EQ(spec.fault_models.size(), 4u);
+  EXPECT_TRUE(spec.metrics.diameter);
+  EXPECT_FALSE(spec.metrics.stretch);
+  EXPECT_TRUE(spec.metrics.mttf);
+  // Canonical JSON reparses to the same canonical JSON (fixed point).
+  const std::string canon = scenario_spec_to_json(spec);
+  EXPECT_EQ(canon, scenario_spec_to_json(parse_scenario_spec(canon)));
+  EXPECT_EQ(spec_fingerprint(spec), spec_fingerprint(parse_scenario_spec(canon)));
+}
+
+TEST(ScenarioSpec, GridDimensionsExpand) {
+  const ScenarioSpec spec = parse_scenario_spec(R"({
+    "topologies": [{"family": "debruijn", "base": [2, 3], "digits": [3, 4]}],
+    "spares": [0, 1, 2],
+    "fault_models": [{"kind": "iid", "p": 0.1}]
+  })");
+  EXPECT_EQ(spec.topologies.size(), 4u);  // 2 bases x 2 digit values
+  const auto cells = expand_grid(spec);
+  ASSERT_EQ(cells.size(), 12u);
+  for (std::size_t i = 0; i < cells.size(); ++i) EXPECT_EQ(cells[i].index, i);
+}
+
+TEST(ScenarioSpec, RejectsMalformedInput) {
+  EXPECT_THROW(parse_scenario_spec("not json"), std::runtime_error);
+  EXPECT_THROW(parse_scenario_spec(R"({"spares": [1]})"), std::runtime_error);
+  EXPECT_THROW(parse_scenario_spec(R"({
+    "topologies": [{"family": "torus", "digits": 3}],
+    "spares": [1], "fault_models": [{"kind": "iid", "p": 0.1}]
+  })"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_spec(R"({
+    "topologies": [{"family": "debruijn", "digits": 3}],
+    "spares": [1], "fault_models": [{"kind": "iid", "p": 1.5}]
+  })"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario_spec(R"({
+    "topologies": [{"family": "debruijn", "digits": 3}],
+    "spares": [1], "fault_models": [{"kind": "iid", "p": 0.1}],
+    "metrics": ["latency"]
+  })"),
+               std::runtime_error);
+  // "base" on a base-2-only family must be rejected, not silently dropped.
+  EXPECT_THROW(parse_scenario_spec(R"({
+    "topologies": [{"family": "shuffle_exchange", "base": [3, 4], "digits": 4}],
+    "spares": [1], "fault_models": [{"kind": "iid", "p": 0.1}]
+  })"),
+               std::runtime_error);
+}
+
+TEST(FaultModels, DrawsAreDeterministicPerTrialKey) {
+  const Graph fabric = ft_debruijn_base2(4, 2);
+  for (const FaultModelKind kind :
+       {FaultModelKind::IidBernoulli, FaultModelKind::Clustered, FaultModelKind::Weibull,
+        FaultModelKind::Adversarial}) {
+    FaultModelSpec spec;
+    spec.kind = kind;
+    spec.p = 0.08;
+    spec.shape = 1.3;
+    spec.scale = 50.0;
+    spec.horizon = 10.0;
+    const auto model = make_fault_model(spec);
+    model->prepare(fabric, 2);
+    TrialRng r1 = TrialRng::for_trial(9, 0, 5);
+    TrialRng r2 = TrialRng::for_trial(9, 0, 5);
+    const FaultDraw a = model->draw(fabric, 2, r1);
+    const FaultDraw b = model->draw(fabric, 2, r2);
+    EXPECT_EQ(a.faults.nodes(), b.faults.nodes()) << fault_model_kind_name(kind);
+    EXPECT_EQ(a.spare_exhaustion_time, b.spare_exhaustion_time);
+  }
+}
+
+TEST(FaultModels, IidFaultCountTracksExpectation) {
+  const Graph fabric = ft_debruijn_base2(5, 3);  // 35 nodes
+  const auto model = make_fault_model({FaultModelKind::IidBernoulli, 0.1, 1.0, 1.0, 1.0});
+  model->prepare(fabric, 3);
+  double total = 0.0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    TrialRng rng = TrialRng::for_trial(11, 0, static_cast<std::uint64_t>(t));
+    total += static_cast<double>(model->draw(fabric, 3, rng).faults.count());
+  }
+  const double expected = 0.1 * static_cast<double>(fabric.num_nodes());
+  EXPECT_NEAR(total / trials, expected, 0.3);  // sd of the mean ~ 0.03
+}
+
+TEST(FaultModels, ClusteredFaultsAreSeedNeighborhoodUnions) {
+  const Graph fabric = ft_debruijn_base2(4, 2);
+  const auto model = make_fault_model({FaultModelKind::Clustered, 0.05, 1.0, 1.0, 1.0});
+  model->prepare(fabric, 2);
+  for (int t = 0; t < 50; ++t) {
+    TrialRng rng = TrialRng::for_trial(3, 0, static_cast<std::uint64_t>(t));
+    const FaultDraw draw = model->draw(fabric, 2, rng);
+    // The fault set is S u N(S) for some seed set S, so whenever it is
+    // non-empty at least one faulty node (a seed) has its entire closed
+    // neighborhood faulty.
+    if (draw.faults.count() > 0) {
+      bool some_full_neighborhood = false;
+      for (const NodeId f : draw.faults.nodes()) {
+        bool full = true;
+        for (const NodeId u : fabric.neighbors(f)) full = full && draw.faults.is_faulty(u);
+        some_full_neighborhood = some_full_neighborhood || full;
+      }
+      EXPECT_TRUE(some_full_neighborhood) << "no plausible seed in fault set, trial " << t;
+    }
+  }
+}
+
+TEST(FaultModels, AdversarialTargetsHighestDegreesFirst) {
+  const Graph fabric = ft_debruijn_base2(4, 2);
+  const auto model = make_fault_model({FaultModelKind::Adversarial, 0.15, 1.0, 1.0, 1.0});
+  model->prepare(fabric, 2);
+  // Expected attack order: degrees descending, ties by id.
+  std::vector<NodeId> order(fabric.num_nodes());
+  for (std::size_t v = 0; v < order.size(); ++v) order[v] = static_cast<NodeId>(v);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](NodeId a, NodeId b) { return fabric.degree(a) > fabric.degree(b); });
+  for (int t = 0; t < 20; ++t) {
+    TrialRng rng = TrialRng::for_trial(4, 0, static_cast<std::uint64_t>(t));
+    const FaultDraw draw = model->draw(fabric, 2, rng);
+    std::vector<NodeId> expected(order.begin(),
+                                 order.begin() + static_cast<std::ptrdiff_t>(draw.faults.count()));
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(draw.faults.nodes(), expected);
+  }
+}
+
+TEST(FaultModels, WeibullHorizonMonotone) {
+  const Graph fabric = ft_debruijn_base2(4, 1);
+  const auto narrow = make_fault_model({FaultModelKind::Weibull, 0.0, 1.5, 100.0, 10.0});
+  const auto wide = make_fault_model({FaultModelKind::Weibull, 0.0, 1.5, 100.0, 60.0});
+  for (int t = 0; t < 50; ++t) {
+    TrialRng r1 = TrialRng::for_trial(6, 0, static_cast<std::uint64_t>(t));
+    TrialRng r2 = TrialRng::for_trial(6, 0, static_cast<std::uint64_t>(t));
+    const FaultDraw a = narrow->draw(fabric, 1, r1);
+    const FaultDraw b = wide->draw(fabric, 1, r2);
+    // Same lifetimes, wider window: the narrow fault set is contained in the
+    // wide one, and the exhaustion clock is identical.
+    for (const NodeId f : a.faults.nodes()) EXPECT_TRUE(b.faults.is_faulty(f));
+    EXPECT_EQ(a.spare_exhaustion_time, b.spare_exhaustion_time);
+  }
+}
+
+TEST(Campaign, ReportIsIndependentOfThreadCount) {
+  const ScenarioSpec spec = small_spec();
+  CampaignOptions serial;
+  serial.threads = 1;
+  CampaignOptions pooled;
+  pooled.threads = 3;
+  const std::string a = campaign_report_json(run_campaign(spec, serial));
+  const std::string b = campaign_report_json(run_campaign(spec, pooled));
+  EXPECT_EQ(a, b);  // byte-identical, not merely statistically equal
+}
+
+TEST(Campaign, ResumeFromCheckpointReproducesTheFullReport) {
+  const ScenarioSpec spec = small_spec();
+  const CampaignResult full = run_campaign(spec, {.threads = 2});
+  ASSERT_EQ(full.scenarios.size(), 8u);
+
+  // Craft a mid-campaign checkpoint: only the first three scenarios done.
+  const std::vector<ScenarioResult> partial(full.scenarios.begin(), full.scenarios.begin() + 3);
+  const std::string ckpt_path = ::testing::TempDir() + "/ftdb_campaign_ckpt.json";
+  {
+    std::ofstream out(ckpt_path, std::ios::binary | std::ios::trunc);
+    out << checkpoint_to_json(spec, partial);
+  }
+  CampaignOptions resume_opts;
+  resume_opts.threads = 2;
+  resume_opts.checkpoint_path = ckpt_path;
+  resume_opts.resume = true;
+  const CampaignResult resumed = run_campaign(spec, resume_opts);
+  EXPECT_EQ(resumed.resumed_scenarios, 3u);
+  EXPECT_EQ(campaign_report_json(resumed), campaign_report_json(full));
+  EXPECT_EQ(campaign_report_markdown(resumed), campaign_report_markdown(full));
+  EXPECT_EQ(campaign_report_csv(resumed), campaign_report_csv(full));
+}
+
+TEST(Campaign, CheckpointFingerprintMismatchIsRejected) {
+  const ScenarioSpec spec = small_spec();
+  ScenarioSpec other = spec;
+  other.seed += 1;
+  const std::string ckpt_path = ::testing::TempDir() + "/ftdb_campaign_ckpt2.json";
+  {
+    std::ofstream out(ckpt_path, std::ios::binary | std::ios::trunc);
+    out << checkpoint_to_json(other, {});
+  }
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.checkpoint_path = ckpt_path;
+  opts.resume = true;
+  EXPECT_THROW(run_campaign(spec, opts), std::runtime_error);
+}
+
+TEST(Campaign, EmpiricalSurvivalMatchesBinomialTail) {
+  // Statistical sanity: under the iid model the paper's guarantee makes
+  // machine survival exactly P[Binomial(N+k, p) <= k]; the empirical rate's
+  // 99.9% Wilson interval must cover the analytic value.
+  ScenarioSpec spec;
+  spec.name = "stat";
+  spec.seed = 1234;
+  spec.trials = 4000;
+  spec.topologies = {{TopologyFamily::DeBruijn, 2, 4}};
+  spec.spares = {2};
+  spec.fault_models = {{FaultModelKind::IidBernoulli, 0.06, 1.0, 1.0, 1.0}};
+  spec.metrics = {false, false, false};
+  const CampaignResult result = run_campaign(spec, {.threads = 2});
+  ASSERT_EQ(result.scenarios.size(), 1u);
+  const ScenarioResult& r = result.scenarios.front();
+  const double analytic = static_cast<double>(survival_probability(16, 2, 0.06L));
+  EXPECT_NEAR(r.analytic_survival, analytic, 1e-12);
+  const WilsonInterval ci = r.success_ci(3.29);  // z for 99.9%
+  EXPECT_GE(analytic, ci.lo) << "rate " << r.success_rate();
+  EXPECT_LE(analytic, ci.hi) << "rate " << r.success_rate();
+  // Survival curve partitions the trials and is consistent with the
+  // theorem: every under-budget draw survives, every over-budget one dies.
+  std::uint64_t total = 0;
+  for (const SurvivalPoint& p : r.survival_curve) {
+    total += p.trials;
+    if (p.faults <= 2) {
+      EXPECT_EQ(p.survived, p.trials) << "faults=" << p.faults;
+    } else {
+      EXPECT_EQ(p.survived, 0u) << "faults=" << p.faults;
+    }
+  }
+  EXPECT_EQ(total, spec.trials);
+}
+
+TEST(Campaign, ReconfiguredDiameterMatchesTargetOnEverySuccess) {
+  ScenarioSpec spec;
+  spec.seed = 99;
+  spec.trials = 300;
+  spec.topologies = {{TopologyFamily::DeBruijn, 2, 4}};
+  spec.spares = {2};
+  spec.fault_models = {{FaultModelKind::IidBernoulli, 0.05, 1.0, 1.0, 1.0}};
+  spec.metrics = {true, false, false};
+  const CampaignResult result = run_campaign(spec, {.threads = 1});
+  const ScenarioResult& r = result.scenarios.front();
+  ASSERT_GT(r.reconfig_success, 0u);
+  EXPECT_EQ(r.reconfigured_diameter.count, r.reconfig_success);
+  // The paper's reconfiguration is dilation-1: measured diameter is exactly
+  // the target diameter on every successful trial (zero variance).
+  EXPECT_EQ(r.reconfigured_diameter.min, static_cast<double>(r.target_diameter));
+  EXPECT_EQ(r.reconfigured_diameter.max, static_cast<double>(r.target_diameter));
+}
+
+TEST(Campaign, BusFamilyRunsAndBoundsDegree) {
+  ScenarioSpec spec;
+  spec.seed = 5;
+  spec.trials = 100;
+  spec.topologies = {{TopologyFamily::Bus, 2, 3}};
+  spec.spares = {1};
+  spec.fault_models = {{FaultModelKind::IidBernoulli, 0.05, 1.0, 1.0, 1.0}};
+  spec.metrics = {true, false, true};
+  const CampaignResult result = run_campaign(spec, {.threads = 1});
+  const ScenarioResult& r = result.scenarios.front();
+  EXPECT_EQ(r.trials, 100u);
+  EXPECT_EQ(r.target_nodes, 8u);
+  EXPECT_EQ(r.fabric_nodes, 9u);  // 2^3 + 1
+  EXPECT_GT(r.reconfig_success, 0u);
+}
+
+TEST(CampaignReport, ValidateAcceptsOwnOutputAndRejectsGarbage) {
+  const CampaignResult result = run_campaign(small_spec(), {.threads = 2});
+  const std::string json = campaign_report_json(result);
+  EXPECT_EQ(validate_campaign_report(json), result.scenarios.size());
+  EXPECT_THROW(validate_campaign_report("{}"), std::runtime_error);
+  EXPECT_THROW(validate_campaign_report(R"({"schema": "ftdb-bench-v1"})"), std::runtime_error);
+}
+
+TEST(CampaignReport, CsvQuotesLabelsAndHasHeader) {
+  const CampaignResult result = run_campaign(small_spec(), {.threads = 2});
+  const std::string csv = campaign_report_csv(result);
+  EXPECT_EQ(csv.rfind("scenario_index,label,", 0), 0u);
+  // Labels contain commas, so every data row must carry quoted labels.
+  EXPECT_NE(csv.find("\"debruijn(m=2,h=4) k=0 iid(p=0.05)\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftdb::campaign

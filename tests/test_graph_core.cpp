@@ -383,4 +383,67 @@ TEST(ParallelAllPairs, DiameterAgreesWithSerialSweeps) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// MultiSourceBfs::run_batch distance output vs the queue BFS oracle
+// ---------------------------------------------------------------------------
+
+TEST(MultiSourceBatchDistances, MatchesQueueBfsOnRandomGraphsAndArbitrarySources) {
+  std::mt19937_64 rng(777);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph g = random_multigraph(rng, 90, nullptr);
+    const std::size_t n = g.num_nodes();
+    if (n == 0) continue;
+    // An arbitrary (non-contiguous, unsorted) batch of distinct sources.
+    std::vector<NodeId> all(n);
+    for (std::size_t v = 0; v < n; ++v) all[v] = static_cast<NodeId>(v);
+    std::shuffle(all.begin(), all.end(), rng);
+    const std::size_t width = 1 + rng() % std::min<std::size_t>(n, 64);
+    const std::vector<NodeId> sources(all.begin(),
+                                      all.begin() + static_cast<std::ptrdiff_t>(width));
+    MultiSourceBfs scan(n);
+    std::vector<std::uint32_t> dist;
+    scan.run_batch(g, sources, &dist);
+    ASSERT_EQ(dist.size(), width * n);
+    for (std::size_t i = 0; i < width; ++i) {
+      const auto ref = queue_bfs_distances(g, sources[i]);
+      for (std::size_t v = 0; v < n; ++v) {
+        ASSERT_EQ(dist[i * n + v], ref[v])
+            << "trial " << trial << " source " << sources[i] << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(MultiSourceBatchDistances, RejectsBadBatches) {
+  const Graph g = debruijn_base2(3);
+  MultiSourceBfs scan(g.num_nodes());
+  EXPECT_THROW(scan.run_batch(g, std::vector<NodeId>{}), std::invalid_argument);
+  EXPECT_THROW(scan.run_batch(g, std::vector<NodeId>{0, 0}), std::invalid_argument);
+  EXPECT_THROW(scan.run_batch(g, std::vector<NodeId>{99}), std::invalid_argument);
+}
+
+TEST(MultiSourceBatchDistances, ContiguousRunStillMatchesAggregates) {
+  // run() is now a thin wrapper over run_batch; its aggregates must agree
+  // with per-source sweeps.
+  const Graph g = ft_debruijn_base2(5, 3);
+  MultiSourceBfs scan(g.num_nodes());
+  const auto stats = scan.run(g, 0);
+  std::uint64_t pairs = 0;
+  std::uint64_t total = 0;
+  std::uint32_t ecc = 0;
+  for (NodeId s = 0; s < 35; ++s) {
+    const auto ref = queue_bfs_distances(g, s);
+    for (const std::uint32_t d : ref) {
+      if (d == kUnreachable || d == 0) continue;
+      ++pairs;
+      total += d;
+      ecc = std::max(ecc, d);
+    }
+  }
+  EXPECT_EQ(stats.reachable_pairs, pairs);
+  EXPECT_EQ(stats.total_distance, total);
+  EXPECT_EQ(stats.max_finite_distance, ecc);
+  EXPECT_TRUE(stats.all_reach_all);
+}
+
 }  // namespace

@@ -27,6 +27,8 @@ struct Options {
   std::string stat = "min";      // wall_seconds field to compare: min | mean | max
   std::string filter;            // substring filter over benchmark names
   double threshold = 1.15;       // regression flag when new > threshold * base
+  double metric_threshold = 1e-9;  // relative drift flag on reported metrics
+  bool fail_on_drift = false;    // metric drift also affects the exit code
 };
 
 void usage(const char* argv0) {
@@ -34,9 +36,14 @@ void usage(const char* argv0) {
             << "  --stat min|mean|max   wall-time statistic to compare (default min)\n"
             << "  --filter SUBSTR       only compare benchmarks whose name contains SUBSTR\n"
             << "  --threshold R         flag a regression when new > R * base (default 1.15)\n"
+            << "  --metric-threshold R  flag metric drift when |new-base| > R * |base|\n"
+            << "                        (default 1e-9; metrics are seeded and should be exact)\n"
+            << "  --fail-on-drift       exit 1 on metric drift too, not just wall regressions\n"
             << "\n"
-            << "Prints a markdown table (speedup = base/new; >1 is faster) and exits 1\n"
-            << "when any shared benchmark regressed beyond the threshold.\n";
+            << "Prints a markdown table (speedup = base/new; >1 is faster) plus a semantic\n"
+            << "drift section diffing the *reported metrics* (cycle counts, makespans,\n"
+            << "success rates...) of shared benchmarks, and exits 1 when any shared\n"
+            << "benchmark regressed beyond the threshold.\n";
 }
 
 std::optional<JsonValue> load(const std::string& path) {
@@ -65,6 +72,7 @@ struct Sample {
   std::string name;
   double wall = 0.0;
   bool ok = false;
+  std::vector<std::pair<std::string, double>> metrics;  // insertion order
 };
 
 std::vector<Sample> samples(const JsonValue& doc, const std::string& stat,
@@ -75,10 +83,80 @@ std::vector<Sample> samples(const JsonValue& doc, const std::string& stat,
     s.name = b.at("name").string;
     if (!filter.empty() && s.name.find(filter) == std::string::npos) continue;
     s.ok = b.at("ok").boolean;
-    if (s.ok) s.wall = b.at("wall_seconds").at(stat).number;
+    if (s.ok) {
+      s.wall = b.at("wall_seconds").at(stat).number;
+      if (const JsonValue* metrics = b.find("metrics")) {
+        for (const auto& [key, value] : metrics->object) {
+          if (value.kind == JsonValue::Kind::Number) s.metrics.emplace_back(key, value.number);
+        }
+      }
+    }
     out.push_back(std::move(s));
   }
   return out;
+}
+
+const double* find_metric(const Sample& s, const std::string& key) {
+  for (const auto& [k, v] : s.metrics) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string fmt_g17(double v) {
+  std::ostringstream o;
+  o.precision(17);  // max_digits10: drifted values never render identically
+  o << v;
+  return o.str();
+}
+
+/// Diffs the reported metrics of the shared ok/ok benchmark pairs. Wall times
+/// drift with the machine; *metrics* are seeded simulation outputs (cycle
+/// counts, makespans, success rates) and a change means the code computes
+/// something different — semantic drift worth flagging even when timing gates
+/// pass. Returns the number of drifted/added/removed metric entries.
+std::size_t report_metric_drift(const std::vector<Sample>& base,
+                                const std::vector<Sample>& fresh, double rel_threshold) {
+  struct Row {
+    std::string bench, metric, base_v, new_v, status;
+  };
+  std::vector<Row> rows;
+  std::size_t compared = 0;
+  for (const Sample& b : base) {
+    const auto it = std::find_if(fresh.begin(), fresh.end(),
+                                 [&](const Sample& s) { return s.name == b.name; });
+    if (it == fresh.end() || !b.ok || !it->ok) continue;
+    for (const auto& [key, bv] : b.metrics) {
+      const double* nv = find_metric(*it, key);
+      if (nv == nullptr) {
+        rows.push_back({b.name, key, fmt_g17(bv), "-", "removed"});
+        continue;
+      }
+      ++compared;
+      const double denom = std::max(std::abs(bv), 1e-300);
+      if (std::abs(*nv - bv) > rel_threshold * denom) {
+        rows.push_back({b.name, key, fmt_g17(bv), fmt_g17(*nv), "DRIFT"});
+      }
+    }
+    for (const auto& [key, nv] : it->metrics) {
+      if (find_metric(b, key) == nullptr) {
+        rows.push_back({b.name, key, "-", fmt_g17(nv), "new"});
+      }
+    }
+  }
+  std::cout << "\n## metric drift\n\n";
+  if (rows.empty()) {
+    std::cout << "no semantic drift across " << compared << " shared metrics\n";
+    return 0;
+  }
+  std::cout << "| benchmark | metric | base | new | status |\n|---|---|---|---|---|\n";
+  for (const Row& r : rows) {
+    std::cout << "| " << r.bench << " | " << r.metric << " | " << r.base_v << " | "
+              << r.new_v << " | " << r.status << " |\n";
+  }
+  std::cout << "\n" << rows.size() << " metric change" << (rows.size() == 1 ? "" : "s")
+            << " across " << compared << " shared metrics\n";
+  return rows.size();
 }
 
 std::string fmt_ms(double seconds) {
@@ -122,6 +200,15 @@ int main(int argc, char** argv) {
         std::cerr << "--threshold expects a number\n";
         return 2;
       }
+    } else if (arg == "--metric-threshold") {
+      try {
+        opt.metric_threshold = std::stod(next("--metric-threshold"));
+      } catch (const std::exception&) {
+        std::cerr << "--metric-threshold expects a number\n";
+        return 2;
+      }
+    } else if (arg == "--fail-on-drift") {
+      opt.fail_on_drift = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -203,5 +290,9 @@ int main(int argc, char** argv) {
   std::cout << "\ngeomean speedup over " << shared << " shared benchmarks: "
             << fmt_ratio(geomean) << " (threshold " << opt.threshold << "x, "
             << regressions << " regression" << (regressions == 1 ? "" : "s") << ")\n";
-  return regressions == 0 ? 0 : 1;
+
+  const std::size_t drift = report_metric_drift(base, fresh, opt.metric_threshold);
+  if (regressions > 0) return 1;
+  if (opt.fail_on_drift && drift > 0) return 1;
+  return 0;
 }

@@ -1,0 +1,168 @@
+// ftdb_campaign — Monte Carlo fault-injection campaigns from the command
+// line. A campaign spec (JSON) declares a grid of topologies x spare budgets
+// x fault models; the engine runs the trials across a thread pool and emits
+// deterministic JSON/CSV/markdown reports (byte-identical for any --threads
+// value, and across --checkpoint / --resume boundaries).
+//
+//   ftdb_campaign example-spec > demo.json
+//   ftdb_campaign run --spec demo.json --out report.json --md report.md
+//   ftdb_campaign run --spec big.json --checkpoint big.ckpt --checkpoint-every 30
+//   ftdb_campaign run --spec big.json --checkpoint big.ckpt --resume   # pick up
+//   ftdb_campaign validate report.json
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/scenario.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  ftdb_campaign run --spec FILE [options]\n"
+         "  ftdb_campaign example-spec\n"
+         "  ftdb_campaign validate REPORT.json\n"
+         "\n"
+         "run options:\n"
+         "  --spec FILE             campaign spec JSON (required)\n"
+         "  --out FILE              write the JSON report (default: stdout)\n"
+         "  --csv FILE              also write a CSV report\n"
+         "  --md FILE               also write a markdown report\n"
+         "  --threads N             worker threads (0 = hardware, default 0)\n"
+         "  --checkpoint FILE       write scenario-level checkpoints to FILE\n"
+         "  --checkpoint-every SEC  min seconds between checkpoint writes (default 0)\n"
+         "  --resume                load --checkpoint and skip completed scenarios\n"
+         "  --quiet                 no per-scenario progress on stderr\n";
+  return 2;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out.flush());
+}
+
+int run_command(const std::vector<std::string>& args) {
+  using namespace ftdb::campaign;
+  std::string spec_path;
+  std::string out_path;
+  std::string csv_path;
+  std::string md_path;
+  CampaignOptions options;
+  bool quiet = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::cerr << "ftdb_campaign: " << arg << " requires an argument\n";
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (arg == "--spec") {
+      spec_path = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--csv") {
+      csv_path = next();
+    } else if (arg == "--md") {
+      md_path = next();
+    } else if (arg == "--threads") {
+      options.threads = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--checkpoint") {
+      options.checkpoint_path = next();
+    } else if (arg == "--checkpoint-every") {
+      options.checkpoint_every_seconds = std::stod(next());
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::cerr << "ftdb_campaign: unknown option " << arg << "\n";
+      return usage();
+    }
+  }
+  if (spec_path.empty()) {
+    std::cerr << "ftdb_campaign: run needs --spec\n";
+    return usage();
+  }
+  const auto spec_text = read_file(spec_path);
+  if (!spec_text) {
+    std::cerr << "ftdb_campaign: cannot read " << spec_path << "\n";
+    return 2;
+  }
+  if (!quiet) options.progress = &std::cerr;
+
+  const ScenarioSpec spec = parse_scenario_spec(*spec_text);
+  const CampaignResult result = run_campaign(spec, options);
+
+  const std::string report = campaign_report_json(result);
+  if (out_path.empty()) {
+    std::cout << report;
+  } else if (!write_file(out_path, report)) {
+    std::cerr << "ftdb_campaign: cannot write " << out_path << "\n";
+    return 2;
+  }
+  if (!csv_path.empty() && !write_file(csv_path, campaign_report_csv(result))) {
+    std::cerr << "ftdb_campaign: cannot write " << csv_path << "\n";
+    return 2;
+  }
+  if (!md_path.empty() && !write_file(md_path, campaign_report_markdown(result))) {
+    std::cerr << "ftdb_campaign: cannot write " << md_path << "\n";
+    return 2;
+  }
+  if (!quiet) {
+    std::cerr << "campaign \"" << spec.name << "\": " << result.scenarios.size()
+              << " scenarios x " << spec.trials << " trials done";
+    if (result.resumed_scenarios > 0) {
+      std::cerr << " (" << result.resumed_scenarios << " resumed from checkpoint)";
+    }
+    std::cerr << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "example-spec" && args.empty()) {
+      std::cout << ftdb::campaign::example_spec_json();
+      return 0;
+    }
+    if (cmd == "validate" && args.size() == 1) {
+      const auto text = read_file(args[0]);
+      if (!text) {
+        std::cerr << "ftdb_campaign: cannot read " << args[0] << "\n";
+        return 2;
+      }
+      const std::size_t n = ftdb::campaign::validate_campaign_report(*text);
+      std::cout << args[0] << ": valid ftdb-campaign-v1 report, " << n << " scenarios\n";
+      return 0;
+    }
+    if (cmd == "run") return run_command(args);
+  } catch (const std::exception& e) {
+    std::cerr << "ftdb_campaign: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,121 @@
+// perf_routing: the Router backends head-to-head — build time, next-hop
+// latency, and the memory story that motivates the whole abstraction.
+//
+// The build_* entries construct each backend on B_{2,10} (1024 nodes; the
+// table slab is ~6 MB there, the compressed runs ~100 KB, the implicit
+// router 0 bytes). The next_hop_* entries walk full canonical routes for a
+// fixed random pair sample, so wall_seconds / hops is the per-hop latency of
+// the backend — the latency the engine's forwarding loop pays.
+//
+// implicit_b2_h18 is the scale demonstration: a healthy de Bruijn machine at
+// N = 2^18 routes through the auto-selected implicit backend with zero
+// router-owned memory, where the table backend's slab would be
+// N^2 * 6 bytes ≈ 412 GB (reported as table_equivalent_bytes). No N^2
+// allocation happens anywhere in the entry.
+#include <chrono>
+
+#include "analysis/bench_registry.hpp"
+#include "sim/router.hpp"
+#include "topology/debruijn.hpp"
+
+namespace {
+
+using ftdb::analysis::BenchContext;
+using ftdb::sim::Router;
+using ftdb::sim::RouterBackend;
+using ftdb::sim::RouterOptions;
+
+constexpr unsigned kSmallH = 10;
+
+RouterOptions forced(RouterOptions::Backend backend) {
+  RouterOptions options;
+  options.backend = backend;
+  return options;
+}
+
+void build_bench(BenchContext& ctx, RouterOptions::Backend backend, int iterations) {
+  const ftdb::Graph g = ftdb::debruijn_base2(kSmallH);
+  std::size_t memory = 0;
+  std::size_t selected_implicit = 0;
+  for (int i = 0; i < iterations; ++i) {
+    const auto router = ftdb::sim::make_router(g, forced(backend));
+    memory = router->memory_bytes();
+    selected_implicit = router->backend() == RouterBackend::Implicit ? 1 : 0;
+  }
+  ctx.report("iterations", iterations);
+  ctx.report("nodes", static_cast<double>(g.num_nodes()));
+  ctx.report("router_memory_bytes", static_cast<double>(memory));
+  ctx.report("implicit_selected", static_cast<double>(selected_implicit));
+}
+
+FTDB_BENCH(build_table, "perf_routing/build_table_b2_h10") {
+  build_bench(ctx, RouterOptions::Backend::Table, 5);
+}
+
+FTDB_BENCH(build_compressed, "perf_routing/build_compressed_b2_h10") {
+  build_bench(ctx, RouterOptions::Backend::Compressed, 5);
+}
+
+FTDB_BENCH(build_implicit, "perf_routing/build_implicit_b2_h10") {
+  // Auto selection: the cost here is the shape detection plus an O(1) object.
+  build_bench(ctx, RouterOptions::Backend::Auto, 5);
+}
+
+/// Routes `pairs` random (src, dst) pairs hop by hop through next_hop() —
+/// the forwarding loop's access pattern — and reports per-hop latency.
+void next_hop_bench(BenchContext& ctx, const ftdb::Graph& g, const Router& router,
+                    std::size_t pairs) {
+  const std::size_t n = g.num_nodes();
+  std::uint64_t hops = 0;
+  std::uint64_t checksum = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const auto src = static_cast<ftdb::NodeId>(ctx.rng()() % n);
+    const auto dst = static_cast<ftdb::NodeId>(ctx.rng()() % n);
+    ftdb::NodeId cur = src;
+    while (cur != dst) {
+      cur = router.next_hop(dst, cur);
+      ++hops;
+      checksum += cur;
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  ctx.report("pairs", static_cast<double>(pairs));
+  ctx.report("hops", static_cast<double>(hops));
+  ctx.report("ns_per_hop", hops == 0 ? 0.0 : ns / static_cast<double>(hops));
+  ctx.report("checksum", static_cast<double>(checksum));
+  ctx.report("router_memory_bytes", static_cast<double>(router.memory_bytes()));
+}
+
+void next_hop_small(BenchContext& ctx, RouterOptions::Backend backend) {
+  const ftdb::Graph g = ftdb::debruijn_base2(kSmallH);
+  const auto router = ftdb::sim::make_router(g, forced(backend));
+  next_hop_bench(ctx, g, *router, 20000);
+}
+
+FTDB_BENCH(next_hop_table, "perf_routing/next_hop_table_b2_h10") {
+  next_hop_small(ctx, RouterOptions::Backend::Table);
+}
+
+FTDB_BENCH(next_hop_compressed, "perf_routing/next_hop_compressed_b2_h10") {
+  next_hop_small(ctx, RouterOptions::Backend::Compressed);
+}
+
+FTDB_BENCH(next_hop_implicit, "perf_routing/next_hop_implicit_b2_h10") {
+  next_hop_small(ctx, RouterOptions::Backend::Implicit);
+}
+
+FTDB_BENCH(implicit_h18, "perf_routing/implicit_b2_h18") {
+  const ftdb::Graph g = ftdb::debruijn_base2(18);  // N = 262144
+  const auto router = ftdb::sim::make_router(g);   // auto: must go implicit
+  ctx.report("implicit_selected",
+             router->backend() == RouterBackend::Implicit ? 1.0 : 0.0);
+  const double n = static_cast<double>(g.num_nodes());
+  ctx.report("nodes", n);
+  ctx.report("table_equivalent_bytes", n * n * 6.0);
+  next_hop_bench(ctx, g, *router, 2000);
+}
+
+}  // namespace

@@ -162,6 +162,41 @@ class AdversarialModel final : public FaultModel {
   std::vector<NodeId> order_;
 };
 
+class BlockModel final : public FaultModel {
+ public:
+  BlockModel(double p, std::uint64_t max_width) : p_(p), max_width_(max_width) {}
+
+  std::string name() const override { return "block"; }
+
+  FaultDraw draw(const Graph& fabric, unsigned spares, TrialRng& rng) const override {
+    const std::size_t n = fabric.num_nodes();
+    FaultDraw out;
+    if (n == 0) {
+      out.spare_exhaustion_time = kNever;
+      return out;
+    }
+    // Fixed draw order (onset, width, offset) keeps the trial stream stable
+    // no matter what the draws turn out to be.
+    const double onset = geometric_step(rng.next_unit(), p_);
+    const std::uint64_t width = 1 + rng.next_u64() % std::min<std::uint64_t>(max_width_, n);
+    const std::uint64_t offset = rng.next_u64() % n;
+    std::vector<NodeId> faulty;
+    faulty.reserve(width);
+    for (std::uint64_t i = 0; i < width; ++i) {
+      faulty.push_back(static_cast<NodeId>((offset + i) % n));
+    }
+    out.faults = FaultSet(n, std::move(faulty));
+    // The whole block dies at once, so spares are exhausted at the onset iff
+    // the block outweighs them; otherwise never.
+    out.spare_exhaustion_time = width >= static_cast<std::uint64_t>(spares) + 1 ? onset : kNever;
+    return out;
+  }
+
+ private:
+  double p_;
+  std::uint64_t max_width_;
+};
+
 }  // namespace
 
 std::unique_ptr<FaultModel> make_fault_model(const FaultModelSpec& spec) {
@@ -174,6 +209,8 @@ std::unique_ptr<FaultModel> make_fault_model(const FaultModelSpec& spec) {
       return std::make_unique<WeibullModel>(spec.shape, spec.scale, spec.horizon);
     case FaultModelKind::Adversarial:
       return std::make_unique<AdversarialModel>(spec.p);
+    case FaultModelKind::Block:
+      return std::make_unique<BlockModel>(spec.p, spec.width);
   }
   throw std::runtime_error("make_fault_model: unknown kind");
 }

@@ -18,6 +18,16 @@
 //                 shape > 1 models aging (failure rate grows over time).
 //  * adversarial— targeted attack: an adversary with a Binomial(n, p) budget
 //                 removes the highest-degree nodes first (ties by lower id).
+//  * block      — correlated rack/pod failure: one contiguous (cyclic) block
+//                 of node labels, with uniform random offset and uniform
+//                 width in [1, max_width], dies together at a geometric onset
+//                 time with per-step probability p. The fault set is the
+//                 block itself (the trial asks whether the machine absorbs
+//                 losing the rack); the clock says when the rack dies.
+//                 Interesting because the monotone embedding absorbs exactly
+//                 offset-bounded label shifts — a contiguous block is the
+//                 most benign placement of its mass, the antithesis of the
+//                 adversarial model.
 #pragma once
 
 #include <memory>

@@ -223,8 +223,25 @@ void run_trial(const ScenarioContext& ctx, std::uint64_t trial_idx, ScenarioResu
       if (d != kUnreachable) acc.reconfigured_diameter.add(static_cast<double>(d));
     }
     if (want_stretch) {
-      acc.route_stretch.add(
-          sim::max_route_stretch(machine, ctx.cell.topology.base, ctx.cell.topology.digits));
+      if (ctx.metrics.stretch_sample_pairs == 0) {
+        acc.route_stretch.add(
+            sim::max_route_stretch(machine, ctx.cell.topology.base, ctx.cell.topology.digits));
+      } else {
+        // Counter-based pair sample: drawn from the trial's own RNG stream
+        // (after the fault draw), so the report stays byte-identical across
+        // thread counts and checkpoint/resume. Self-pairs are dropped rather
+        // than redrawn to keep the stream consumption fixed.
+        const std::uint64_t n_nodes = ctx.target.num_nodes();
+        std::vector<std::pair<NodeId, NodeId>> pairs;
+        pairs.reserve(ctx.metrics.stretch_sample_pairs);
+        for (std::uint64_t i = 0; i < ctx.metrics.stretch_sample_pairs; ++i) {
+          const NodeId s = static_cast<NodeId>(rng.next_u64() % n_nodes);
+          const NodeId d = static_cast<NodeId>(rng.next_u64() % n_nodes);
+          if (s != d) pairs.emplace_back(s, d);
+        }
+        acc.route_stretch.add(sim::max_route_stretch_sampled(
+            machine, ctx.cell.topology.base, ctx.cell.topology.digits, pairs));
+      }
     }
   } else if (ctx.metrics.diameter) {
     // Degraded machine: whatever the survivors still form.
@@ -341,6 +358,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioCase& cell,
                              static_cast<long double>(cell.fault_model.p)));
     result.analytic_mttf =
         exact_iid_mttf(result.fabric_nodes, cell.spares, cell.fault_model.p);
+  } else if (cell.fault_model.kind == FaultModelKind::Weibull) {
+    // The model draws full Weibull lifetimes, so the empirical MTTF column is
+    // exactly the (k+1)-st order statistic this closed form computes.
+    result.analytic_mttf = weibull_mttf(result.fabric_nodes, cell.spares,
+                                        cell.fault_model.shape, cell.fault_model.scale);
   }
   return result;
 }

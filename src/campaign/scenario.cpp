@@ -80,7 +80,9 @@ FaultModelKind parse_kind(const std::string& s) {
   if (s == "clustered") return FaultModelKind::Clustered;
   if (s == "weibull") return FaultModelKind::Weibull;
   if (s == "adversarial") return FaultModelKind::Adversarial;
-  bad_spec("unknown fault model \"" + s + "\" (expected iid, clustered, weibull or adversarial)");
+  if (s == "block") return FaultModelKind::Block;
+  bad_spec("unknown fault model \"" + s +
+           "\" (expected iid, clustered, weibull, adversarial or block)");
 }
 
 void check_probability(double p, const std::string& context) {
@@ -104,6 +106,7 @@ const char* fault_model_kind_name(FaultModelKind kind) {
     case FaultModelKind::Clustered: return "clustered";
     case FaultModelKind::Weibull: return "weibull";
     case FaultModelKind::Adversarial: return "adversarial";
+    case FaultModelKind::Block: return "block";
   }
   return "?";
 }
@@ -133,6 +136,8 @@ std::string FaultModelSpec::label() const {
       return "weibull(shape=" + fmt_g(shape) + ",scale=" + fmt_g(scale) +
              ",horizon=" + fmt_g(horizon) + ")";
     case FaultModelKind::Adversarial: return "adversarial(p=" + fmt_g(p) + ")";
+    case FaultModelKind::Block:
+      return "block(p=" + fmt_g(p) + ",w=" + std::to_string(width) + ")";
   }
   return "?";
 }
@@ -229,11 +234,15 @@ ScenarioSpec parse_scenario_spec(const std::string& json_text) {
     model.shape = number_field(m, "shape", model.shape);
     model.scale = number_field(m, "scale", model.scale);
     model.horizon = number_field(m, "horizon", model.horizon);
+    model.width = uint_field(m, "width", model.width);
     if (model.kind != FaultModelKind::Weibull) check_probability(model.p, kind->string);
     if (model.kind == FaultModelKind::Weibull) {
       if (!(model.shape > 0.0)) bad_spec("weibull: shape must be positive");
       if (!(model.scale > 0.0)) bad_spec("weibull: scale must be positive");
       if (!(model.horizon > 0.0)) bad_spec("weibull: horizon must be positive");
+    }
+    if (model.kind == FaultModelKind::Block && model.width < 1) {
+      bad_spec("block: width must be >= 1");
     }
     spec.fault_models.push_back(model);
   }
@@ -254,6 +263,7 @@ ScenarioSpec parse_scenario_spec(const std::string& json_text) {
       }
     }
   }
+  spec.metrics.stretch_sample_pairs = uint_field(doc, "stretch_sample_pairs", 0);
   return spec;
 }
 
@@ -306,6 +316,10 @@ void write_scenario_spec(JsonWriter& w, const ScenarioSpec& spec) {
     } else {
       w.key("p");
       w.value(m.p);
+      if (m.kind == FaultModelKind::Block) {
+        w.key("width");
+        w.value(m.width);
+      }
     }
     w.end_object();
   }
@@ -316,6 +330,12 @@ void write_scenario_spec(JsonWriter& w, const ScenarioSpec& spec) {
   if (spec.metrics.stretch) w.value("stretch");
   if (spec.metrics.mttf) w.value("mttf");
   w.end_array();
+  // Only a set knob enters the canonical form, so pre-knob specs keep their
+  // fingerprints (and checkpoints) unchanged.
+  if (spec.metrics.stretch_sample_pairs != 0) {
+    w.key("stretch_sample_pairs");
+    w.value(spec.metrics.stretch_sample_pairs);
+  }
   w.end_object();
 }
 
@@ -343,7 +363,8 @@ std::string example_spec_json() {
     {"kind": "iid", "p": 0.05},
     {"kind": "clustered", "p": 0.02},
     {"kind": "weibull", "shape": 1.5, "scale": 400.0, "horizon": 60.0},
-    {"kind": "adversarial", "p": 0.05}
+    {"kind": "adversarial", "p": 0.05},
+    {"kind": "block", "p": 0.05, "width": 3}
   ],
   "metrics": ["diameter", "mttf"]
 }

@@ -33,17 +33,18 @@ struct TopologySpec {
   std::string label() const;
 };
 
-enum class FaultModelKind { IidBernoulli, Clustered, Weibull, Adversarial };
+enum class FaultModelKind { IidBernoulli, Clustered, Weibull, Adversarial, Block };
 
 const char* fault_model_kind_name(FaultModelKind kind);
 
 /// Parameters for one fault process (see fault_models.hpp for semantics).
 struct FaultModelSpec {
   FaultModelKind kind = FaultModelKind::IidBernoulli;
-  double p = 0.01;        // iid / clustered seed / adversarial budget probability
+  double p = 0.01;        // iid / clustered seed / adversarial budget / block onset probability
   double shape = 1.0;     // Weibull shape (>= ~0.1)
   double scale = 100.0;   // Weibull characteristic life (time steps)
   double horizon = 1.0;   // Weibull observation window: faults = {T_v <= horizon}
+  std::uint64_t width = 4;  // block model: maximum block width (>= 1)
   std::string label() const;
 };
 
@@ -51,8 +52,14 @@ struct FaultModelSpec {
 /// is always measured). The heavier the metric, the more it costs per trial.
 struct MetricSet {
   bool diameter = true;  ///< diameter of the post-fault (reconfigured or degraded) machine
-  bool stretch = false;  ///< max shift-routing stretch (de Bruijn family only; O(N^2))
+  bool stretch = false;  ///< max logical-route stretch (de Bruijn family only)
   bool mttf = true;      ///< time of the (k+1)-st failure under the model's clock
+  /// When nonzero, the stretch metric is evaluated on this many counter-based
+  /// random (src, dst) pairs per trial instead of all N^2 — what keeps
+  /// stretch affordable on big-N sweeps. Reports stay byte-identical across
+  /// thread counts and checkpoint/resume because the pairs come from the
+  /// trial's own RNG stream.
+  std::uint64_t stretch_sample_pairs = 0;
 };
 
 /// The full campaign: the cartesian grid topologies x spares x fault_models,

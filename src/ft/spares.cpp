@@ -1,6 +1,8 @@
 #include "ft/spares.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace ftdb {
 
@@ -39,6 +41,97 @@ std::uint64_t ours_port_cost(std::uint64_t m, std::uint64_t target_nodes, unsign
 
 std::uint64_t bus_port_cost(std::uint64_t target_nodes, unsigned spares) {
   return (target_nodes + spares) * (2ull * spares + 3);
+}
+
+namespace {
+
+/// The beta-function closed form, safe while the alternating sum keeps
+/// enough long-double digits (caller checks).
+long double weibull_mttf_closed_form(std::uint64_t n, unsigned k, long double shape,
+                                     long double scale) {
+  const std::uint64_t r = static_cast<std::uint64_t>(k) + 1;
+  const long double s = 1.0L + 1.0L / shape;
+  // log of r * C(n, r); the summands carry log C(k, j) - s*log(n-k+j).
+  const long double log_pref = std::log(static_cast<long double>(r)) +
+                               std::lgammal(static_cast<long double>(n) + 1.0L) -
+                               std::lgammal(static_cast<long double>(r) + 1.0L) -
+                               std::lgammal(static_cast<long double>(n - r) + 1.0L);
+  // Factor the largest summand magnitude out so exp() stays in range.
+  long double max_log = -std::numeric_limits<long double>::infinity();
+  for (unsigned j = 0; j <= k; ++j) {
+    const long double log_t = std::lgammal(static_cast<long double>(k) + 1.0L) -
+                              std::lgammal(static_cast<long double>(j) + 1.0L) -
+                              std::lgammal(static_cast<long double>(k - j) + 1.0L) -
+                              s * std::log(static_cast<long double>(n - k + j));
+    max_log = std::max(max_log, log_t);
+  }
+  long double sum = 0.0L;
+  for (unsigned j = 0; j <= k; ++j) {
+    const long double log_t = std::lgammal(static_cast<long double>(k) + 1.0L) -
+                              std::lgammal(static_cast<long double>(j) + 1.0L) -
+                              std::lgammal(static_cast<long double>(k - j) + 1.0L) -
+                              s * std::log(static_cast<long double>(n - k + j));
+    const long double term = std::exp(log_t - max_log);
+    sum += (j % 2 == 0) ? term : -term;
+  }
+  return scale * std::tgammal(s) * std::exp(log_pref + max_log) * sum;
+}
+
+/// P[T_(k+1:n) > t] for Weibull(shape, scale) lifetimes.
+long double weibull_survival(std::uint64_t n, unsigned k, long double shape, long double scale,
+                             long double t) {
+  const long double u = std::pow(t / scale, shape);
+  const long double q = -std::expm1(-u);  // per-node failure probability by t
+  return binomial_cdf(n, k, q);
+}
+
+long double simpson(std::uint64_t n, unsigned k, long double shape, long double scale,
+                    long double a, long double fa, long double b, long double fb,
+                    long double fm, long double whole, int depth) {
+  const long double m = 0.5L * (a + b);
+  const long double lm = 0.5L * (a + m);
+  const long double rm = 0.5L * (m + b);
+  const long double flm = weibull_survival(n, k, shape, scale, lm);
+  const long double frm = weibull_survival(n, k, shape, scale, rm);
+  const long double left = (m - a) / 6.0L * (fa + 4.0L * flm + fm);
+  const long double right = (b - m) / 6.0L * (fm + 4.0L * frm + fb);
+  if (depth <= 0 || std::fabs(left + right - whole) < 1e-12L * (std::fabs(whole) + 1e-30L)) {
+    return left + right;
+  }
+  return simpson(n, k, shape, scale, a, fa, m, fm, flm, left, depth - 1) +
+         simpson(n, k, shape, scale, m, fm, b, fb, frm, right, depth - 1);
+}
+
+long double weibull_mttf_quadrature(std::uint64_t n, unsigned k, long double shape,
+                                    long double scale) {
+  // Upper limit: double past the (k+1)/n failure quantile until the survival
+  // function is numerically dead.
+  const long double q_star =
+      std::min(0.999L, static_cast<long double>(k + 1) / static_cast<long double>(n));
+  long double hi = scale * std::pow(-std::log1p(-q_star), 1.0L / shape);
+  hi = std::max(hi, scale * 1e-3L);
+  while (weibull_survival(n, k, shape, scale, hi) > 1e-18L && hi < scale * 1e9L) hi *= 2.0L;
+  const long double fa = weibull_survival(n, k, shape, scale, 0.0L);
+  const long double fb = weibull_survival(n, k, shape, scale, hi);
+  const long double fm = weibull_survival(n, k, shape, scale, 0.5L * hi);
+  const long double whole = hi / 6.0L * (fa + 4.0L * fm + fb);
+  return simpson(n, k, shape, scale, 0.0L, fa, hi, fb, fm, whole, 40);
+}
+
+}  // namespace
+
+double weibull_mttf(std::uint64_t n, unsigned k, double shape, double scale) {
+  if (n == 0 || k >= n || !(shape > 0.0) || !(scale > 0.0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  // Cancellation estimate for the alternating sum: ~ n^k / k! of precision.
+  const long double loss =
+      static_cast<long double>(k) * std::log(static_cast<long double>(n)) -
+      std::lgammal(static_cast<long double>(k) + 1.0L);
+  const long double value =
+      loss < 20.0L ? weibull_mttf_closed_form(n, k, shape, scale)
+                   : weibull_mttf_quadrature(n, k, shape, scale);
+  return static_cast<double>(value);
 }
 
 }  // namespace ftdb

@@ -29,4 +29,22 @@ std::uint64_t ours_port_cost(std::uint64_t m, std::uint64_t target_nodes, unsign
 /// Port cost of the bus construction of Section V: (N+k) * (2k+3).
 std::uint64_t bus_port_cost(std::uint64_t target_nodes, unsigned spares);
 
+/// Analytic MTTF under Weibull wear-out: E[time of the (k+1)-st failure]
+/// when the n fabric nodes have iid Weibull(shape, scale) lifetimes — the
+/// closed-form order-statistic mean via the beta function,
+///
+///   E[T_(r:n)] = scale * Gamma(1 + 1/shape) * r * C(n, r) *
+///                sum_{j=0}^{r-1} (-1)^j C(r-1, j) (n - r + 1 + j)^{-(1+1/shape)}
+///
+/// with r = k+1 (each summand is a beta-integral moment of the j-th
+/// exceedance). The alternating sum cancels roughly n^k / k! of precision, so
+/// it is evaluated in long double only while that loss is far inside range;
+/// beyond it the same quantity is integrated without cancellation as
+/// E = integral of P[T_(k+1) > t] dt = integral of
+/// binomial_cdf(n, k, 1 - e^{-(t/scale)^shape}) dt by adaptive Simpson.
+/// Returns NaN when k >= n (spares can never be exhausted). This fills the
+/// analytic-MTTF column of the campaign report for the weibull fault model,
+/// companion to the iid model's exact expectation.
+double weibull_mttf(std::uint64_t n, unsigned k, double shape, double scale);
+
 }  // namespace ftdb

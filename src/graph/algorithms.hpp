@@ -47,4 +47,23 @@ bool is_bipartite(const Graph& g);
 /// Degree histogram: hist[d] = number of nodes of degree d.
 std::vector<std::size_t> degree_histogram(const Graph& g);
 
+/// The library's canonical shortest-path step: the lowest-id neighbor of
+/// `cur` that is strictly closer per `dist_of` (i.e. dist_of(w) + 1 ==
+/// dist_of(cur)); kInvalidNode when no neighbor qualifies. CSR adjacency is
+/// sorted, so "first match" is the minimum id. Every routing backend (BFS
+/// next-hop tables, the run-length compressed tables, the algebraic implicit
+/// router) and the embedding metrics' path descent share this one rule —
+/// that is what makes their shortest paths hop-for-hop identical. `dist_of`
+/// must return an unsigned type whose "unreachable" sentinel is the maximum
+/// value, so unreachable neighbors wrap to 0 and never match a positive
+/// dist_of(cur).
+template <class DistOf>
+NodeId canonical_descent_step(const Graph& g, NodeId cur, DistOf&& dist_of) {
+  const auto here = dist_of(cur);  // hoisted: dist_of may be an O(h^2) formula
+  for (const NodeId w : g.neighbors(cur)) {
+    if (dist_of(w) + 1 == here) return w;
+  }
+  return kInvalidNode;
+}
+
 }  // namespace ftdb

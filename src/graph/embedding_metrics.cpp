@@ -78,17 +78,12 @@ EmbeddingMetrics measure_embedding(const Graph& pattern, const Graph& host,
           ++metrics.broken_edges;
           continue;
         }
-        // Walk one shortest path by steepest descent on the distance row,
-        // taking the lowest-id predecessor at every hop (deterministic; any
-        // shortest path is a valid witness for the load accounting).
+        // Walk one shortest path by steepest descent on the distance row —
+        // the library-wide canonical min-id rule, so the witness path here is
+        // hop-for-hop the one every sim::Router backend would route.
         for (NodeId cur = phi[v]; cur != phi[u];) {
-          NodeId step = kInvalidNode;
-          for (const NodeId w : host.neighbors(cur)) {
-            if (row[w] + 1 == row[cur]) {
-              step = w;
-              break;
-            }
-          }
+          const NodeId step =
+              canonical_descent_step(host, cur, [&](NodeId w) { return row[w]; });
           if (step == kInvalidNode) {
             throw std::logic_error("measure_embedding: broken distance descent");
           }

@@ -21,7 +21,7 @@ SimStats run_packets(const Machine& machine, const Graph& target,
                      const std::vector<Packet>& packets, const EngineOptions& options) {
   SimStats stats;
   const Graph live = machine.live_logical_graph(target);
-  const RoutingTable table(live);
+  const std::unique_ptr<Router> router = make_router(live, options.router);
 
   // Directed link ids: per node, one queue per (sorted) neighbor.
   const std::size_t n = live.num_nodes();
@@ -49,7 +49,7 @@ SimStats run_packets(const Machine& machine, const Graph& target,
   std::vector<std::pair<NodeId, InFlight>> arrivals;
 
   auto enqueue_towards = [&](NodeId at, InFlight pkt) {
-    const NodeId hop = table.next_hop(pkt.dst, at);
+    const NodeId hop = router->next_hop(pkt.dst, at);
     queues[link_id(at, hop)].push_back(pkt);
   };
 
@@ -62,7 +62,7 @@ SimStats run_packets(const Machine& machine, const Graph& target,
     while (next_packet < sorted.size() && sorted[next_packet].inject_cycle <= cycle) {
       const Packet& p = sorted[next_packet++];
       ++stats.injected;
-      if (!node_live(p.src) || !node_live(p.dst) || !table.reachable(p.dst, p.src)) {
+      if (!node_live(p.src) || !node_live(p.dst) || !router->reachable(p.dst, p.src)) {
         ++stats.undeliverable;
         continue;
       }

@@ -13,6 +13,7 @@
 
 #include "graph/graph.hpp"
 #include "sim/network.hpp"
+#include "sim/router.hpp"
 #include "sim/routing.hpp"
 
 namespace ftdb::sim {
@@ -51,14 +52,19 @@ struct SimStats {
 struct EngineOptions {
   /// Stop after this many cycles even if packets remain (0 = run to drain).
   std::uint64_t max_cycles = 0;
+  /// Routing backend selection for the live logical graph. The default Auto
+  /// routes healthy (and dilation-1 reconfigured) de Bruijn / shuffle-exchange
+  /// machines through the O(1)-memory implicit router, so simulations scale
+  /// to N where a table slab would be gigabytes.
+  RouterOptions router;
 };
 
 /// Runs a batch of logical packets over the machine's *live* logical topology
-/// (physical links between live nodes, viewed logically). Routes are shortest
-/// paths on that live graph, computed at injection. Packets whose endpoints
-/// are dead or disconnected count as undeliverable — this is how the fragility
-/// of the bare target materializes, while a reconfigured FT machine always
-/// presents the full target graph.
+/// (physical links between live nodes, viewed logically). Routes are canonical
+/// shortest paths on that live graph (sim/router.hpp), stepped per-hop at
+/// forwarding time. Packets whose endpoints are dead or disconnected count as
+/// undeliverable — this is how the fragility of the bare target materializes,
+/// while a reconfigured FT machine always presents the full target graph.
 SimStats run_packets(const Machine& machine, const Graph& target,
                      const std::vector<Packet>& packets, const EngineOptions& options = {});
 

@@ -6,6 +6,7 @@
 #include "graph/algorithms.hpp"
 #include "graph/multi_source_bfs.hpp"
 #include "graph/subgraph.hpp"
+#include "topology/debruijn.hpp"
 
 namespace ftdb::sim {
 
@@ -46,21 +47,44 @@ std::vector<NodeId> se_route_on_machine(const Machine& machine, unsigned h,
   return physical_route(machine, shuffle_exchange_route(h, logical_src, logical_dst));
 }
 
-double max_route_stretch(const Machine& machine, std::uint64_t m, unsigned h) {
-  // Shortest paths in the survivor-induced physical graph.
+std::unique_ptr<Router> machine_logical_router(const Machine& machine, const Graph& target,
+                                               const RouterOptions& options) {
+  return make_router(machine.live_logical_graph(target), options);
+}
+
+namespace {
+
+/// Survivor-induced physical graph plus the physical -> survivor relabeling —
+/// the denominator side of every stretch metric.
+struct SurvivorView {
+  InducedSubgraph survivors;
+  std::vector<NodeId> physical_to_survivor;
+};
+
+SurvivorView make_survivor_view(const Machine& machine) {
+  SurvivorView view;
   std::vector<NodeId> live_nodes;
   for (std::size_t v = 0; v < machine.physical.num_nodes(); ++v) {
     if (!machine.dead[v]) live_nodes.push_back(static_cast<NodeId>(v));
   }
-  const InducedSubgraph survivors = induced_subgraph(machine.physical, live_nodes);
-  std::vector<NodeId> physical_to_survivor(machine.physical.num_nodes(), kInvalidNode);
-  for (std::size_t i = 0; i < survivors.to_original.size(); ++i) {
-    physical_to_survivor[survivors.to_original[i]] = static_cast<NodeId>(i);
+  view.survivors = induced_subgraph(machine.physical, live_nodes);
+  view.physical_to_survivor.assign(machine.physical.num_nodes(), kInvalidNode);
+  for (std::size_t i = 0; i < view.survivors.to_original.size(); ++i) {
+    view.physical_to_survivor[view.survivors.to_original[i]] = static_cast<NodeId>(i);
   }
+  return view;
+}
+
+}  // namespace
+
+double max_route_stretch(const Machine& machine, std::uint64_t m, unsigned h) {
+  const Graph target = debruijn_graph({.base = m, .digits = h});
+  const std::unique_ptr<Router> router = machine_logical_router(machine, target);
+  const SurvivorView view = make_survivor_view(machine);
 
   double worst = 1.0;
   const std::size_t n = machine.num_logical();
-  const std::size_t sn = survivors.graph.num_nodes();
+  const std::size_t sn = view.survivors.graph.num_nodes();
   // Shortest paths come from the bit-parallel batch kernel: 64 logical
   // sources share one sweep of the survivor CSR instead of one BFS each.
   MultiSourceBfs scan(sn);
@@ -71,20 +95,77 @@ double max_route_stretch(const Machine& machine, std::uint64_t m, unsigned h) {
         static_cast<NodeId>(std::min<std::size_t>(n, base + MultiSourceBfs::kBatchWidth));
     batch.clear();
     for (NodeId src = base; src < end; ++src) {
-      batch.push_back(physical_to_survivor[machine.to_physical[src]]);
+      batch.push_back(view.physical_to_survivor[machine.to_physical[src]]);
     }
-    scan.run_batch(survivors.graph, batch, &dist);
+    scan.run_batch(view.survivors.graph, batch, &dist);
     for (NodeId src = base; src < end; ++src) {
       const std::uint32_t* row = dist.data() + static_cast<std::size_t>(src - base) * sn;
       for (NodeId dst = 0; dst < n; ++dst) {
         if (src == dst) continue;
-        const auto route = debruijn_route_on_machine(machine, m, h, src, dst);
-        const NodeId p_dst = physical_to_survivor[machine.to_physical[dst]];
+        const std::uint32_t logical = router->distance(dst, src);
+        if (logical == static_cast<std::uint32_t>(-1)) continue;
+        const NodeId p_dst = view.physical_to_survivor[machine.to_physical[dst]];
         const std::uint32_t shortest = row[p_dst];
         if (shortest == 0 || shortest == kUnreachable) continue;
-        const double stretch =
-            static_cast<double>(route.size() - 1) / static_cast<double>(shortest);
+        const double stretch = static_cast<double>(logical) / static_cast<double>(shortest);
         worst = std::max(worst, stretch);
+      }
+    }
+  }
+  return worst;
+}
+
+double max_route_stretch_sampled(const Machine& machine, std::uint64_t m, unsigned h,
+                                 const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+  const Graph target = debruijn_graph({.base = m, .digits = h});
+  const std::unique_ptr<Router> router = machine_logical_router(machine, target);
+  const SurvivorView view = make_survivor_view(machine);
+
+  // Group the sample by source so that up to 64 distinct sources share one
+  // survivor-CSR sweep, exactly like the full audit.
+  std::vector<std::pair<NodeId, NodeId>> sorted = pairs;
+  std::sort(sorted.begin(), sorted.end());
+
+  double worst = 1.0;
+  const std::size_t n = machine.num_logical();
+  const std::size_t sn = view.survivors.graph.num_nodes();
+  MultiSourceBfs scan(sn);
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> batch;
+  struct Group {
+    NodeId src;
+    std::size_t begin;
+    std::size_t end;
+  };
+  std::vector<Group> groups;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    batch.clear();
+    groups.clear();
+    while (i < sorted.size() && batch.size() < MultiSourceBfs::kBatchWidth) {
+      const NodeId src = sorted[i].first;
+      if (src >= n) throw std::out_of_range("max_route_stretch_sampled: source out of range");
+      std::size_t j = i;
+      while (j < sorted.size() && sorted[j].first == src) ++j;
+      groups.push_back({src, i, j});
+      batch.push_back(view.physical_to_survivor[machine.to_physical[src]]);
+      i = j;
+    }
+    scan.run_batch(view.survivors.graph, batch, &dist);
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      const std::uint32_t* row = dist.data() + gi * sn;
+      for (std::size_t p = groups[gi].begin; p < groups[gi].end; ++p) {
+        const NodeId src = sorted[p].first;
+        const NodeId dst = sorted[p].second;
+        if (dst >= n) {
+          throw std::out_of_range("max_route_stretch_sampled: destination out of range");
+        }
+        if (src == dst) continue;
+        const std::uint32_t logical = router->distance(dst, src);
+        if (logical == static_cast<std::uint32_t>(-1)) continue;
+        const std::uint32_t shortest = row[view.physical_to_survivor[machine.to_physical[dst]]];
+        if (shortest == 0 || shortest == kUnreachable) continue;
+        worst = std::max(worst, static_cast<double>(logical) / static_cast<double>(shortest));
       }
     }
   }

@@ -6,10 +6,13 @@
 // against the physical fabric.
 #pragma once
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/network.hpp"
+#include "sim/router.hpp"
 #include "sim/routing.hpp"
 
 namespace ftdb::sim {
@@ -34,13 +37,33 @@ std::vector<NodeId> debruijn_route_on_machine(const Machine& machine, std::uint6
 std::vector<NodeId> se_route_on_machine(const Machine& machine, unsigned h,
                                         NodeId logical_src, NodeId logical_dst);
 
-/// Route-stretch audit: for every (src, dst) pair, compares the algorithmic
-/// logical route length against the shortest path in the *physical* survivor
-/// graph. On a dilation-1 embedding the algorithmic route is never shorter
-/// than the physical shortest path; the maximum ratio quantifies the price of
-/// running the unmodified logical algorithm. Returns the maximum over all
-/// pairs (1.0 means the logical algorithm is physically optimal everywhere it
-/// was logically optimal).
+/// The routing engine a machine carrying `target` actually runs: a Router
+/// over the live logical graph. With the default Auto options this composes
+/// the implicit digit-shift algebra with the monotone logical->physical
+/// relabeling — the implicit backend is selected exactly when the realized
+/// machine still presents an intact de Bruijn / shuffle-exchange shape (the
+/// dilation-1 case of Theorems 1/2), and falls back to compressed/table
+/// routing otherwise.
+std::unique_ptr<Router> machine_logical_router(const Machine& machine, const Graph& target,
+                                               const RouterOptions& options = {});
+
+/// Route-stretch audit: for every (src, dst) pair, compares the deployed
+/// routing engine's logical route length (machine_logical_router — implicit
+/// shift algebra on dilation-1 machines) against the shortest path in the
+/// *physical* survivor graph, which may cut through spare nodes the logical
+/// machine does not use. The logical route is never shorter than the physical
+/// shortest path; the maximum ratio quantifies the price of routing in
+/// logical space. Returns the maximum over all pairs (1.0 = the logical
+/// engine is physically optimal everywhere). Pairs with no live logical route
+/// are skipped.
 double max_route_stretch(const Machine& machine, std::uint64_t m, unsigned h);
+
+/// Sampled variant for big-N sweeps: the same ratio maximized over the given
+/// (logical src, logical dst) pairs only. Deterministic for a fixed pair
+/// list, so campaign reports stay byte-identical across thread counts and
+/// checkpoint/resume as long as the pairs are drawn from the trial's
+/// counter-based RNG. Self-pairs are ignored; returns 1.0 for an empty list.
+double max_route_stretch_sampled(const Machine& machine, std::uint64_t m, unsigned h,
+                                 const std::vector<std::pair<NodeId, NodeId>>& pairs);
 
 }  // namespace ftdb::sim

@@ -1,0 +1,319 @@
+#include "sim/router.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "topology/shuffle_exchange.hpp"
+
+namespace ftdb::sim {
+
+const char* router_backend_name(RouterBackend backend) {
+  switch (backend) {
+    case RouterBackend::Table: return "table";
+    case RouterBackend::Compressed: return "compressed";
+    case RouterBackend::Implicit: return "implicit";
+  }
+  return "?";
+}
+
+std::vector<NodeId> Router::path(NodeId from, NodeId dest) const {
+  if (!reachable(dest, from)) return {};
+  std::vector<NodeId> route{from};
+  NodeId cur = from;
+  while (cur != dest) {
+    cur = next_hop(dest, cur);
+    route.push_back(cur);
+  }
+  return route;
+}
+
+// --- CompressedRouter --------------------------------------------------------
+
+namespace {
+
+/// Reusable dest-rooted BFS into `row` (kUnreachable sentinel). The neighbor
+/// source is a functor so the same sweep serves the graph's CSR and the
+/// algebraic reference shapes.
+template <class ForEachNeighbor>
+void bfs_row(NodeId dest, std::vector<std::uint32_t>& row, std::vector<NodeId>& cur,
+             std::vector<NodeId>& next, ForEachNeighbor&& for_each_neighbor) {
+  std::fill(row.begin(), row.end(), kUnreachable);
+  row[dest] = 0;
+  cur.assign(1, dest);
+  std::uint32_t level = 0;
+  while (!cur.empty()) {
+    ++level;
+    next.clear();
+    for (const NodeId u : cur) {
+      for_each_neighbor(u, [&](NodeId v) {
+        if (row[v] == kUnreachable) {
+          row[v] = level;
+          next.push_back(v);
+        }
+      });
+    }
+    cur.swap(next);
+  }
+}
+
+/// bfs_row over the graph's own adjacency.
+void bfs_row_graph(const Graph& g, NodeId dest, std::vector<std::uint32_t>& row,
+                   std::vector<NodeId>& cur, std::vector<NodeId>& next) {
+  bfs_row(dest, row, cur, next, [&](NodeId u, auto&& visit) {
+    for (const NodeId v : g.neighbors(u)) visit(v);
+  });
+}
+
+/// True when every adjacency list of g is a subset of the shape's algebraic
+/// one — the condition under which the shape's distances are a sharable
+/// reference (deviations can only be sparse detours around the holes).
+template <class NeighborsOf>
+bool subgraph_of_shape(const Graph& g, NeighborsOf&& neighbors_of) {
+  std::vector<NodeId> expected;
+  for (std::size_t x = 0; x < g.num_nodes(); ++x) {
+    neighbors_of(static_cast<NodeId>(x), expected);
+    const auto actual = g.neighbors(static_cast<NodeId>(x));
+    if (!std::includes(expected.begin(), expected.end(), actual.begin(), actual.end())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+CompressedRouter::CompressedRouter(const Graph& g) : n_(g.num_nodes()) {
+  // Reference-shape search: any (m, h >= 2) factorization of N whose B_{m,h}
+  // contains g, else SE_h. h = 1 (the complete graph) is excluded — every
+  // graph embeds in K_N, but K_N's algebra shares nothing useful.
+  for (unsigned h = 63; h >= 2 && reference_ == Reference::None; --h) {
+    const std::uint64_t m = debruijn_exact_root(n_, h);
+    if (m == 0) continue;
+    const DeBruijnParams params{.base = m, .digits = h};
+    if (subgraph_of_shape(
+            g, [&](NodeId x, std::vector<NodeId>& out) { debruijn_neighbors(params, x, out); })) {
+      reference_ = Reference::DeBruijn;
+      db_ = params;
+    }
+  }
+  if (reference_ == Reference::None && n_ >= 4 && (n_ & (n_ - 1)) == 0) {
+    const auto h = static_cast<unsigned>(std::countr_zero(static_cast<std::uint64_t>(n_)));
+    if (subgraph_of_shape(g, [&](NodeId x, std::vector<NodeId>& out) {
+          shuffle_exchange_neighbors(h, x, out);
+        })) {
+      reference_ = Reference::ShuffleExchange;
+      se_h_ = h;
+    }
+  }
+
+  std::vector<std::uint32_t> row(n_);
+  std::vector<NodeId> cur, next;
+
+  if (reference_ != Reference::None) {
+    // Shape-delta: per destination, diff the exact BFS row against a BFS of
+    // the reference shape (cheaper than N evaluations of the O(h^2) formula,
+    // and provably equal to it); only the deviations are kept. The graph
+    // itself is retained for the canonical descent at query time.
+    graph_ = g;
+    const auto reference_neighbors = [&](NodeId x, std::vector<NodeId>& out) {
+      if (reference_ == Reference::DeBruijn) {
+        debruijn_neighbors(db_, x, out);
+      } else {
+        shuffle_exchange_neighbors(se_h_, x, out);
+      }
+    };
+    std::vector<std::uint32_t> ref_row(n_);
+    std::vector<NodeId> scratch;
+    struct RawException {
+      NodeId node;
+      NodeId dest;
+      std::uint32_t dist;
+    };
+    std::vector<RawException> raw;
+    for (std::size_t dest = 0; dest < n_; ++dest) {
+      bfs_row_graph(g, static_cast<NodeId>(dest), row, cur, next);
+      // Same BFS over the algebraic adjacency (the shapes are symmetric, so
+      // rooting at dest gives distance-to-dest).
+      bfs_row(static_cast<NodeId>(dest), ref_row, cur, next, [&](NodeId u, auto&& visit) {
+        reference_neighbors(u, scratch);
+        for (const NodeId v : scratch) visit(v);
+      });
+      for (std::size_t v = 0; v < n_; ++v) {
+        if (row[v] != ref_row[v]) {
+          raw.push_back({static_cast<NodeId>(v), static_cast<NodeId>(dest), row[v]});
+        }
+      }
+    }
+    exception_offsets_.assign(n_ + 1, 0);
+    for (const RawException& e : raw) ++exception_offsets_[e.node + 1];
+    for (std::size_t v = 0; v < n_; ++v) exception_offsets_[v + 1] += exception_offsets_[v];
+    exception_dest_.resize(raw.size());
+    exception_dist_.resize(raw.size());
+    std::vector<std::size_t> cursor(exception_offsets_.begin(), exception_offsets_.end() - 1);
+    for (const RawException& e : raw) {  // dest-major input keeps per-node dests sorted
+      const std::size_t i = cursor[e.node]++;
+      exception_dest_[i] = e.dest;
+      exception_dist_[i] = e.dist;
+    }
+    return;
+  }
+
+  // Run-length fallback: one destination-major sweep; a new run whenever a
+  // node's canonical hop differs from its previous destination's. The full
+  // N^2 matrix is never materialized.
+  struct RawRun {
+    NodeId node;
+    NodeId dest_lo;
+    NodeId hop;
+  };
+  std::vector<RawRun> raw;
+  std::vector<NodeId> last(n_, kInvalidNode);
+  const auto dist_of = [&](NodeId w) { return row[w]; };
+  for (std::size_t dest = 0; dest < n_; ++dest) {
+    bfs_row_graph(g, static_cast<NodeId>(dest), row, cur, next);
+    for (std::size_t v = 0; v < n_; ++v) {
+      NodeId hop;
+      if (v == dest) {
+        hop = static_cast<NodeId>(dest);
+      } else if (row[v] == kUnreachable) {
+        hop = kInvalidNode;
+      } else {
+        hop = canonical_descent_step(g, static_cast<NodeId>(v), dist_of);
+      }
+      if (dest == 0 || hop != last[v]) {
+        raw.push_back({static_cast<NodeId>(v), static_cast<NodeId>(dest), hop});
+      }
+      last[v] = hop;
+    }
+  }
+  // Counting-sort the destination-major runs into per-node CSR order (stable,
+  // so each node's runs stay ascending in dest_lo).
+  run_offsets_.assign(n_ + 1, 0);
+  for (const RawRun& r : raw) ++run_offsets_[r.node + 1];
+  for (std::size_t v = 0; v < n_; ++v) run_offsets_[v + 1] += run_offsets_[v];
+  run_dest_lo_.resize(raw.size());
+  run_hop_.resize(raw.size());
+  std::vector<std::size_t> cursor(run_offsets_.begin(), run_offsets_.end() - 1);
+  for (const RawRun& r : raw) {
+    const std::size_t i = cursor[r.node]++;
+    run_dest_lo_[i] = r.dest_lo;
+    run_hop_[i] = r.hop;
+  }
+}
+
+std::uint32_t CompressedRouter::reference_distance(NodeId dest, NodeId node) const {
+  return reference_ == Reference::DeBruijn ? debruijn_distance(db_, node, dest)
+                                           : shuffle_exchange_distance(se_h_, node, dest);
+}
+
+std::uint32_t CompressedRouter::distance(NodeId dest, NodeId node) const {
+  if (reference_ != Reference::None) {
+    const auto lo =
+        exception_dest_.begin() + static_cast<std::ptrdiff_t>(exception_offsets_[node]);
+    const auto hi =
+        exception_dest_.begin() + static_cast<std::ptrdiff_t>(exception_offsets_[node + 1]);
+    const auto it = std::lower_bound(lo, hi, dest);
+    if (it != hi && *it == dest) {
+      return exception_dist_[static_cast<std::size_t>(it - exception_dest_.begin())];
+    }
+    return reference_distance(dest, node);
+  }
+  std::uint32_t hops = 0;
+  NodeId cur = node;
+  while (cur != dest) {
+    cur = next_hop(dest, cur);
+    if (cur == kInvalidNode) return static_cast<std::uint32_t>(-1);
+    ++hops;
+  }
+  return hops;
+}
+
+NodeId CompressedRouter::next_hop(NodeId dest, NodeId node) const {
+  if (reference_ != Reference::None) {
+    if (node == dest) return dest;
+    const std::uint32_t here = distance(dest, node);
+    if (here == static_cast<std::uint32_t>(-1)) return kInvalidNode;
+    return canonical_descent_step(graph_, node,
+                                  [&](NodeId w) { return distance(dest, w); });
+  }
+  const auto lo = run_dest_lo_.begin() + static_cast<std::ptrdiff_t>(run_offsets_[node]);
+  const auto hi = run_dest_lo_.begin() + static_cast<std::ptrdiff_t>(run_offsets_[node + 1]);
+  const auto it = std::upper_bound(lo, hi, dest) - 1;  // last run starting <= dest
+  return run_hop_[static_cast<std::size_t>(it - run_dest_lo_.begin())];
+}
+
+std::size_t CompressedRouter::memory_bytes() const {
+  std::size_t bytes = 0;
+  if (reference_ != Reference::None) {
+    bytes += exception_offsets_.size() * sizeof(std::size_t) +
+             exception_dest_.size() * sizeof(NodeId) +
+             exception_dist_.size() * sizeof(std::uint32_t);
+    // The retained CSR: offsets + both half-edge arrays.
+    bytes += (graph_.num_nodes() + 1) * sizeof(std::size_t) +
+             graph_.num_edges() * 2 * sizeof(NodeId);
+  }
+  bytes += run_offsets_.size() * sizeof(std::size_t) +
+           run_dest_lo_.size() * sizeof(NodeId) + run_hop_.size() * sizeof(NodeId);
+  return bytes;
+}
+
+// --- ImplicitRouter ----------------------------------------------------------
+
+ImplicitRouter ImplicitRouter::for_debruijn(const DeBruijnParams& params) {
+  return ImplicitRouter(Shape::DeBruijn, params, 0, debruijn_num_nodes(params));
+}
+
+ImplicitRouter ImplicitRouter::for_shuffle_exchange(unsigned h) {
+  return ImplicitRouter(Shape::ShuffleExchange, {}, h, shuffle_exchange_num_nodes(h));
+}
+
+std::uint32_t ImplicitRouter::distance(NodeId dest, NodeId node) const {
+  return shape_ == Shape::DeBruijn ? debruijn_distance(db_, node, dest)
+                                   : shuffle_exchange_distance(se_h_, node, dest);
+}
+
+NodeId ImplicitRouter::next_hop(NodeId dest, NodeId node) const {
+  if (node >= n_ || dest >= n_) throw std::out_of_range("ImplicitRouter: node out of range");
+  if (node == dest) return dest;
+  const std::uint32_t here = distance(dest, node);
+  // The algebraic neighbor enumeration produces exactly the graph's sorted
+  // adjacency list, so the first strictly-closer neighbor is the canonical
+  // (lowest-id) hop. thread_local scratch keeps the hot path allocation-free.
+  thread_local std::vector<NodeId> neighbors;
+  if (shape_ == Shape::DeBruijn) {
+    debruijn_neighbors(db_, node, neighbors);
+  } else {
+    shuffle_exchange_neighbors(se_h_, node, neighbors);
+  }
+  for (const NodeId w : neighbors) {
+    if (distance(dest, w) + 1 == here) return w;
+  }
+  return kInvalidNode;  // unreachable on a connected shape: cannot happen
+}
+
+// --- construction ------------------------------------------------------------
+
+std::unique_ptr<Router> make_router(const Graph& g, const RouterOptions& options) {
+  using Backend = RouterOptions::Backend;
+  if (options.backend == Backend::Auto || options.backend == Backend::Implicit) {
+    if (const auto db = debruijn_shape_of(g)) {
+      return std::make_unique<ImplicitRouter>(ImplicitRouter::for_debruijn(*db));
+    }
+    if (const auto se_h = shuffle_exchange_shape_of(g)) {
+      return std::make_unique<ImplicitRouter>(ImplicitRouter::for_shuffle_exchange(*se_h));
+    }
+    if (options.backend == Backend::Implicit) {
+      throw std::invalid_argument(
+          "make_router: graph is neither de Bruijn- nor shuffle-exchange-shaped");
+    }
+  }
+  if (options.backend == Backend::Compressed ||
+      (options.backend == Backend::Auto && g.max_degree() <= options.compressed_max_degree)) {
+    return std::make_unique<CompressedRouter>(g);
+  }
+  return std::make_unique<TableRouter>(g);
+}
+
+}  // namespace ftdb::sim

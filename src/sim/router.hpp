@@ -1,0 +1,209 @@
+// Unified routing engine for the simulated machines.
+//
+// Every consumer of next-hop routing (the packet engine, reconfigured-machine
+// routing, the campaign stretch metric, the routing benches) talks to one
+// `Router` interface, behind which three interchangeable backends implement
+// the *same* canonical policy — shortest paths stepped through the lowest-id
+// closer neighbor (graph/algorithms.hpp:canonical_descent_step). Because the
+// policy is shared, the backends are hop-for-hop identical wherever they are
+// all applicable, and differ only in cost:
+//
+//  * ImplicitRouter   — O(1) memory, O(h^2) next-hop. Pure label algebra for
+//                       de Bruijn B_{m,h} and shuffle-exchange SE_h shapes
+//                       (exact undirected distances from topology/debruijn
+//                       and topology/shuffle_exchange). Valid on the healthy
+//                       machines and, composed with the monotone relabeling
+//                       of ft/reconfigure, on any reconfigured machine whose
+//                       live logical graph came out dilation-1 — routing in
+//                       logical space is exactly what survives
+//                       reconfiguration unchanged. This is what lets traffic
+//                       simulation and campaign sweeps run at N = 2^18..2^20,
+//                       where a table slab would be gigabytes.
+//  * CompressedRouter — destination-class sharing via shape-delta encoding.
+//                       When the graph sits inside a de Bruijn /
+//                       shuffle-exchange reference shape (every adjacency a
+//                       subset of the algebraic one — the degraded-machine
+//                       case), all destinations share the reference algebra
+//                       and only the (dest, node) pairs whose exact BFS
+//                       distance deviates from it are stored: O(N + E +
+//                       exceptions) memory, with exceptions measured at a few
+//                       * f * h per node for f faults (0 on a healthy shape).
+//                       With no reference shape the full canonical next-hop
+//                       matrix is kept, run-length encoded per node over
+//                       destination id. Exact on any graph either way.
+//  * TableRouter      — O(N^2) memory, O(1) next-hop. The uint16-slab BFS
+//                       table of sim/routing.hpp, kept as the general
+//                       fallback and the oracle the others are tested
+//                       against.
+//
+// make_router() picks automatically: implicit when the graph *is* a de
+// Bruijn / shuffle-exchange shape (shape detection is O(N * m)), compressed
+// when the degree stays constant-ish, table otherwise.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/routing.hpp"
+#include "topology/debruijn.hpp"
+
+namespace ftdb::sim {
+
+enum class RouterBackend { Table, Compressed, Implicit };
+
+const char* router_backend_name(RouterBackend backend);
+
+/// The routing interface. All queries are in the logical node space of the
+/// graph the router was built for; `Machine::to_physical` composes the
+/// physical relabeling on top (see sim/reconfigured_routing.hpp).
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  virtual RouterBackend backend() const = 0;
+  virtual std::size_t num_nodes() const = 0;
+
+  /// Canonical next hop from `node` towards `dest`: the lowest-id neighbor
+  /// strictly closer to dest. Returns `dest` when node == dest and
+  /// kInvalidNode when dest is unreachable from node.
+  virtual NodeId next_hop(NodeId dest, NodeId node) const = 0;
+
+  /// Hop count, or uint32(-1) when unreachable (the BFS convention).
+  virtual std::uint32_t distance(NodeId dest, NodeId node) const = 0;
+
+  virtual bool reachable(NodeId dest, NodeId node) const {
+    return distance(dest, node) != static_cast<std::uint32_t>(-1);
+  }
+
+  /// Heap bytes owned by the backend — the memory story the backends trade
+  /// against lookup latency (0 for the implicit backend).
+  virtual std::size_t memory_bytes() const = 0;
+
+  /// Full canonical path node -> dest (inclusive); empty when unreachable.
+  /// Identical across backends by the shared policy.
+  std::vector<NodeId> path(NodeId from, NodeId dest) const;
+};
+
+/// The uint16-slab BFS table (general fallback and test oracle).
+class TableRouter final : public Router {
+ public:
+  explicit TableRouter(const Graph& g) : table_(g) {}
+
+  RouterBackend backend() const override { return RouterBackend::Table; }
+  std::size_t num_nodes() const override { return table_.num_nodes(); }
+  NodeId next_hop(NodeId dest, NodeId node) const override { return table_.next_hop(dest, node); }
+  std::uint32_t distance(NodeId dest, NodeId node) const override {
+    return table_.distance(dest, node);
+  }
+  bool reachable(NodeId dest, NodeId node) const override { return table_.reachable(dest, node); }
+  std::size_t memory_bytes() const override {
+    return table_.num_nodes() * table_.num_nodes() * (sizeof(NodeId) + sizeof(std::uint16_t));
+  }
+
+  const RoutingTable& table() const { return table_; }
+
+ private:
+  RoutingTable table_;
+};
+
+/// Exact canonical routing with destination-class sharing. Two internal
+/// strategies, chosen at build time:
+///
+///  * shape-delta — the graph's adjacencies are all subsets of a reference
+///    B_{m,h} / SE_h (h >= 2) on the same node count. Every destination
+///    shares the reference's algebraic distance; only the pairs whose exact
+///    BFS distance deviates (fault detours, unreachable rows) are stored in a
+///    per-node exception table. Correctness never depends on the reference —
+///    exceptions record the exact value wherever the algebra is wrong.
+///  * run-length — no reference shape: the canonical next-hop matrix is kept,
+///    run-length encoded per node over destination id.
+class CompressedRouter final : public Router {
+ public:
+  explicit CompressedRouter(const Graph& g);
+
+  RouterBackend backend() const override { return RouterBackend::Compressed; }
+  std::size_t num_nodes() const override { return n_; }
+  NodeId next_hop(NodeId dest, NodeId node) const override;
+  /// Shape-delta: O(log exceptions) lookup. Run-length: walks the canonical
+  /// path (exact because every canonical hop strictly decreases the true
+  /// distance).
+  std::uint32_t distance(NodeId dest, NodeId node) const override;
+  bool reachable(NodeId dest, NodeId node) const override {
+    return distance(dest, node) != static_cast<std::uint32_t>(-1);
+  }
+  std::size_t memory_bytes() const override;
+
+  bool uses_reference_shape() const { return reference_ != Reference::None; }
+  std::size_t num_exceptions() const { return exception_dest_.size(); }
+  std::size_t num_runs() const { return run_dest_lo_.size(); }
+
+ private:
+  enum class Reference { None, DeBruijn, ShuffleExchange };
+
+  std::uint32_t reference_distance(NodeId dest, NodeId node) const;
+
+  std::size_t n_ = 0;
+  Reference reference_ = Reference::None;
+  DeBruijnParams db_{};
+  unsigned se_h_ = 0;
+
+  // shape-delta storage: the graph (for the canonical descent) plus the
+  // per-node exception CSR, sorted by destination.
+  Graph graph_;
+  std::vector<std::size_t> exception_offsets_;
+  std::vector<NodeId> exception_dest_;
+  std::vector<std::uint32_t> exception_dist_;
+
+  // run-length storage.
+  std::vector<std::size_t> run_offsets_;  // per node, into the run arrays
+  std::vector<NodeId> run_dest_lo_;       // first destination id of the run
+  std::vector<NodeId> run_hop_;           // canonical next hop for the run
+};
+
+/// O(1)-memory algebraic routing for de Bruijn / shuffle-exchange shapes:
+/// distances come from the exact label formulas, next hops from enumerating
+/// the (sorted) algebraic neighbors through the same canonical rule.
+class ImplicitRouter final : public Router {
+ public:
+  static ImplicitRouter for_debruijn(const DeBruijnParams& params);
+  static ImplicitRouter for_shuffle_exchange(unsigned h);
+
+  RouterBackend backend() const override { return RouterBackend::Implicit; }
+  std::size_t num_nodes() const override { return static_cast<std::size_t>(n_); }
+  NodeId next_hop(NodeId dest, NodeId node) const override;
+  std::uint32_t distance(NodeId dest, NodeId node) const override;
+  bool reachable(NodeId dest, NodeId node) const override {
+    return node < n_ && dest < n_;  // both shapes are connected
+  }
+  std::size_t memory_bytes() const override { return 0; }
+
+ private:
+  enum class Shape { DeBruijn, ShuffleExchange };
+
+  ImplicitRouter(Shape shape, DeBruijnParams db, unsigned se_h, std::uint64_t n)
+      : shape_(shape), db_(db), se_h_(se_h), n_(n) {}
+
+  Shape shape_;
+  DeBruijnParams db_{};
+  unsigned se_h_ = 0;
+  std::uint64_t n_ = 0;
+};
+
+struct RouterOptions {
+  enum class Backend { Auto, Table, Compressed, Implicit };
+  Backend backend = Backend::Auto;
+  /// Auto prefers the compressed backend over the table when the graph's max
+  /// degree stays within this bound (the constant-degree regime where the
+  /// run-length encoding provably has something to share).
+  std::size_t compressed_max_degree = 16;
+};
+
+/// Builds the right router for `g`. Auto order: implicit (when the graph is
+/// recognized as B_{m,h} or SE_h), else compressed (constant-ish degree),
+/// else table. Forcing Backend::Implicit on a graph of neither shape throws
+/// std::invalid_argument.
+std::unique_ptr<Router> make_router(const Graph& g, const RouterOptions& options = {});
+
+}  // namespace ftdb::sim

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "graph/algorithms.hpp"
 #include "topology/labels.hpp"
 
 namespace ftdb::sim {
@@ -9,8 +10,9 @@ namespace ftdb::sim {
 RoutingTable::RoutingTable(const Graph& g)
     : n_(g.num_nodes()), table_(n_ * n_, kInvalidNode), dist_(n_ * n_, kNoPath) {
   // BFS from each destination, writing straight into this destination's slab
-  // row; next_hop(node) = the parent towards dest. One flat frontier pair is
-  // reused across all destinations — no queue, no per-destination scratch.
+  // row, then one canonical-descent pass assigning every node its lowest-id
+  // closer neighbor. One flat frontier pair is reused across all destinations
+  // — no queue, no per-destination scratch.
   std::vector<NodeId> cur, next;
   for (std::size_t dest = 0; dest < n_; ++dest) {
     const std::size_t base = dest * n_;
@@ -28,12 +30,16 @@ RoutingTable::RoutingTable(const Graph& g)
         for (const NodeId v : g.neighbors(u)) {
           if (dist_[base + v] == kNoPath) {
             dist_[base + v] = level;
-            table_[base + v] = u;  // step from v towards dest goes through u
             next.push_back(v);
           }
         }
       }
       cur.swap(next);
+    }
+    const auto dist_of = [&](NodeId w) { return static_cast<std::uint32_t>(dist_[base + w]); };
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (v == dest || dist_[base + v] == kNoPath) continue;
+      table_[base + v] = canonical_descent_step(g, static_cast<NodeId>(v), dist_of);
     }
   }
 }

@@ -18,12 +18,15 @@
 
 namespace ftdb::sim {
 
-/// Dense next-hop tables: next_hop(dest, node) = neighbor of `node` one step
-/// closer to `dest`, or kInvalidNode when unreachable. Memory is N^2; intended
-/// for the simulator's N <= a few thousand. Distances live in a uint16 slab
-/// (half the N^2 footprint of the next-hop table): hop counts on these
-/// machines are tiny, and the constructor throws if a graph ever exceeds
-/// 65534 hops rather than wrapping.
+/// Dense next-hop tables: next_hop(dest, node) = the *lowest-id* neighbor of
+/// `node` one step closer to `dest` (the library's canonical shortest-path
+/// policy — see graph/algorithms.hpp:canonical_descent_step), or kInvalidNode
+/// when unreachable. The canonical tie-break is what makes these tables
+/// hop-for-hop interchangeable with the other sim::Router backends. Memory is
+/// N^2; intended for the simulator's N <= a few thousand. Distances live in a
+/// uint16 slab (half the N^2 footprint of the next-hop table): hop counts on
+/// these machines are tiny, and the constructor throws if a graph ever
+/// exceeds 65534 hops rather than wrapping.
 class RoutingTable {
  public:
   explicit RoutingTable(const Graph& g);

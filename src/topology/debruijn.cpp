@@ -1,5 +1,9 @@
 #include "topology/debruijn.hpp"
 
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
@@ -87,6 +91,120 @@ std::vector<NodeId> debruijn_out_neighbors(const DeBruijnParams& params, NodeId 
     out.push_back(static_cast<NodeId>((static_cast<std::uint64_t>(x) * params.base + r) % n));
   }
   return out;
+}
+
+void debruijn_neighbors(const DeBruijnParams& params, NodeId x, std::vector<NodeId>& out) {
+  const std::uint64_t n = debruijn_num_nodes(params);
+  const std::uint64_t m = params.base;
+  if (x >= n) throw std::out_of_range("debruijn_neighbors: node out of range");
+  const std::uint64_t high = n / m;  // m^{h-1}
+  out.clear();
+  for (std::uint64_t r = 0; r < m; ++r) {
+    out.push_back(static_cast<NodeId>((static_cast<std::uint64_t>(x) * m + r) % n));
+    out.push_back(static_cast<NodeId>(r * high + x / m));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  out.erase(std::remove(out.begin(), out.end(), x), out.end());
+}
+
+std::uint32_t debruijn_distance(const DeBruijnParams& params, NodeId x, NodeId y) {
+  const std::uint64_t n = debruijn_num_nodes(params);
+  const std::uint64_t m = params.base;
+  const int h = static_cast<int>(params.digits);
+  if (x >= n || y >= n) throw std::out_of_range("debruijn_distance: node out of range");
+  if (x == y) return 0;
+  // MSB-first digit strings: sx[q] is digit x_{h-1-q}. Uninitialized on
+  // purpose — only the first h entries are ever written and read, and this
+  // sits on the implicit router's per-hop path.
+  std::array<std::uint32_t, 64> sx;
+  std::array<std::uint32_t, 64> sy;
+  {
+    std::uint64_t a = x;
+    std::uint64_t b = y;
+    for (int q = h - 1; q >= 0; --q) {
+      sx[static_cast<std::size_t>(q)] = static_cast<std::uint32_t>(a % m);
+      a /= m;
+      sy[static_cast<std::size_t>(q)] = static_cast<std::uint32_t>(b % m);
+      b /= m;
+    }
+  }
+  std::uint32_t best = static_cast<std::uint32_t>(-1);
+  std::array<int, 64> mismatches;
+  // Offsets in |f|-ascending order (0, 1, -1, 2, -2, ...): an offset costs at
+  // least |f| hops, so once |f| reaches the best known distance the remaining
+  // offsets cannot win.
+  for (int step = 0; step <= 2 * h; ++step) {
+    const int f = (step % 2 == 1) ? (step + 1) / 2 : -(step / 2);
+    if (static_cast<std::uint32_t>(std::abs(f)) >= best) break;
+    // Tape positions both strings define under offset f, and the mismatches
+    // among them (ascending).
+    int count = 0;
+    const int qlo = std::max(0, f);
+    const int qhi = std::min(h - 1, h - 1 + f);
+    for (int q = qlo; q <= qhi; ++q) {
+      if (sx[static_cast<std::size_t>(q)] != sy[static_cast<std::size_t>(q - f)]) {
+        mismatches[static_cast<std::size_t>(count++)] = q;
+      }
+    }
+    // Every mismatch must leave the preserved interval [M, mu+h-1]: the first
+    // j of them below it (M > q), the rest above it (mu <= q - h).
+    const int base_max = std::max(0, f);
+    const int base_min = std::min(0, f);
+    for (int j = 0; j <= count; ++j) {
+      int walk_max = base_max;
+      int walk_min = base_min;
+      if (j > 0) walk_max = std::max(walk_max, mismatches[static_cast<std::size_t>(j - 1)] + 1);
+      if (j < count) walk_min = std::min(walk_min, mismatches[static_cast<std::size_t>(j)] - h);
+      const int hops = 2 * (walk_max - walk_min) - std::abs(f);
+      if (hops >= 0 && static_cast<std::uint32_t>(hops) < best) {
+        best = static_cast<std::uint32_t>(hops);
+      }
+    }
+  }
+  return best;
+}
+
+std::uint64_t debruijn_exact_root(std::uint64_t n, unsigned h) {
+  if (n < 2 || h == 0) return 0;
+  const std::uint64_t guess = static_cast<std::uint64_t>(
+      std::llround(std::pow(static_cast<double>(n), 1.0 / static_cast<double>(h))));
+  for (std::uint64_t cand = (guess > 3 ? guess - 1 : 2); cand <= guess + 1; ++cand) {
+    std::uint64_t p = 1;
+    bool overflow = false;
+    for (unsigned i = 0; i < h; ++i) {
+      if (p > n / cand) {
+        overflow = true;
+        break;
+      }
+      p *= cand;
+    }
+    if (!overflow && p == n) return cand;
+  }
+  return 0;
+}
+
+std::optional<DeBruijnParams> debruijn_shape_of(const Graph& g) {
+  const std::uint64_t n = g.num_nodes();
+  if (n < 2) return std::nullopt;
+  std::vector<NodeId> expected;
+  for (unsigned h = 1; h < 64; ++h) {
+    const std::uint64_t m = debruijn_exact_root(n, h);
+    if (m == 0) {
+      if (n >> h == 0) break;  // even m = 2 no longer fits
+      continue;
+    }
+    const DeBruijnParams params{.base = m, .digits = h};
+    bool match = true;
+    for (std::uint64_t x = 0; x < n && match; ++x) {
+      debruijn_neighbors(params, static_cast<NodeId>(x), expected);
+      const auto actual = g.neighbors(static_cast<NodeId>(x));
+      match = actual.size() == expected.size() &&
+              std::equal(actual.begin(), actual.end(), expected.begin());
+    }
+    if (match) return params;
+  }
+  return std::nullopt;
 }
 
 }  // namespace ftdb

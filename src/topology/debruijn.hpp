@@ -8,6 +8,8 @@
 // produce identical graphs.
 #pragma once
 
+#include <optional>
+
 #include "graph/digraph.hpp"
 #include "graph/graph.hpp"
 
@@ -39,5 +41,36 @@ std::vector<NodeId> debruijn_out_neighbors(const DeBruijnParams& params, NodeId 
 /// every digit r (self-loops included — they are real shift transitions, and
 /// they make the digraph Eulerian, which is what de Bruijn sequences need).
 Digraph debruijn_digraph(std::uint64_t m, unsigned h);
+
+/// Sorted unique undirected neighbors of x in B_{m,h} (left and right digit
+/// shifts, x itself excluded), written into `out`. Reusing `out` across calls
+/// makes the enumeration allocation-free after warm-up — this is the
+/// implicit router's inner loop.
+void debruijn_neighbors(const DeBruijnParams& params, NodeId x, std::vector<NodeId>& out);
+
+/// Exact hop distance between x and y in the *undirected* B_{m,h}, computed
+/// from the labels alone in O(h^2) — no graph, no BFS. Undirected shortest
+/// paths may mix left and right shifts, so this is genuinely shorter than the
+/// paper's left-shift route for many pairs. The digit strings are windows on
+/// a tape: a left shift slides the window right, a right shift slides it
+/// left, and every freshly exposed digit is free. A walk with running maximum
+/// M, minimum mu and endpoint f preserves exactly the tape interval
+/// [M, mu+h-1], so d(x,y) is the minimum of 2(M - mu) - |f| over all window
+/// offsets f and all ways of pushing the mismatched positions out of the
+/// preserved interval. Verified hop-exact against BFS for every pair of every
+/// B_{m,h} with m in {2,3,4} in the test suite.
+std::uint32_t debruijn_distance(const DeBruijnParams& params, NodeId x, NodeId y);
+
+/// The exact integer h-th root: the m >= 2 with m^h == n, or 0 when none
+/// exists. Shared by every shape search that enumerates (m, h) candidates.
+std::uint64_t debruijn_exact_root(std::uint64_t n, unsigned h);
+
+/// Recognizes a de Bruijn shape: the (m, h) with g exactly equal to B_{m,h}
+/// (node count m^h and every adjacency list algebraic), or nullopt. O(N * m)
+/// per candidate factorization of N — cheap enough to run per simulation.
+/// This is what lets the router layer pick the O(1)-memory implicit backend
+/// automatically, including on reconfigured machines whose live logical graph
+/// came out dilation-1.
+std::optional<DeBruijnParams> debruijn_shape_of(const Graph& g);
 
 }  // namespace ftdb

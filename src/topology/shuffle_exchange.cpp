@@ -1,5 +1,8 @@
 #include "topology/shuffle_exchange.hpp"
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <stdexcept>
 #include <utility>
 
@@ -35,5 +38,73 @@ NodeId se_unshuffle(NodeId x, unsigned h) {
 }
 
 NodeId se_exchange(NodeId x) { return static_cast<NodeId>(labels::exchange_bit0(x)); }
+
+void shuffle_exchange_neighbors(unsigned h, NodeId x, std::vector<NodeId>& out) {
+  const std::uint64_t n = shuffle_exchange_num_nodes(h);
+  if (x >= n) throw std::out_of_range("shuffle_exchange_neighbors: node out of range");
+  out.clear();
+  out.push_back(se_exchange(x));
+  out.push_back(se_shuffle(x, h));
+  out.push_back(se_unshuffle(x, h));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  out.erase(std::remove(out.begin(), out.end(), x), out.end());
+}
+
+std::uint32_t shuffle_exchange_distance(unsigned h, NodeId x, NodeId y) {
+  const std::uint64_t n = shuffle_exchange_num_nodes(h);
+  if (x >= n || y >= n) throw std::out_of_range("shuffle_exchange_distance: node out of range");
+  if (x == y) return 0;
+  const int hh = static_cast<int>(h);
+  std::uint32_t best = static_cast<std::uint32_t>(-1);
+  std::array<int, 64> required;  // residues the rotation walk must visit
+  std::uint64_t aligned = y;       // rotr^rho(y): the flip targets in x's frame
+  for (unsigned rho = 0; rho < h; ++rho) {
+    if (rho > 0) aligned = labels::rotate_right(aligned, 2, h);
+    const std::uint64_t diff = static_cast<std::uint64_t>(x) ^ aligned;
+    const int flips = std::popcount(diff);
+    // Bit i is exchangeable when the net rotation r satisfies r ≡ -i (mod h).
+    int count = 0;
+    for (unsigned i = 0; i < h; ++i) {
+      if ((diff >> i) & 1u) required[static_cast<std::size_t>(count++)] = static_cast<int>((h - i) % h);
+    }
+    std::sort(required.begin(), required.begin() + count);
+    const int endpoints[3] = {static_cast<int>(rho) - hh, static_cast<int>(rho),
+                              static_cast<int>(rho) + hh};
+    // Split the sorted residues: the first j are reached sweeping up (at
+    // their value), the rest sweeping down (at value - h).
+    for (int j = 0; j <= count; ++j) {
+      const int cover_max = (j > 0) ? required[static_cast<std::size_t>(j - 1)] : 0;
+      const int cover_min = (j < count) ? required[static_cast<std::size_t>(j)] - hh : 0;
+      for (const int f : endpoints) {
+        const int walk_max = std::max(cover_max, std::max(0, f));
+        const int walk_min = std::min(cover_min, std::min(0, f));
+        const int up_first = walk_max + (walk_max - walk_min) + (f - walk_min);
+        const int down_first = (-walk_min) + (walk_max - walk_min) + (walk_max - f);
+        const int hops = flips + std::min(up_first, down_first);
+        if (hops >= 0 && static_cast<std::uint32_t>(hops) < best) {
+          best = static_cast<std::uint32_t>(hops);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<unsigned> shuffle_exchange_shape_of(const Graph& g) {
+  const std::uint64_t n = g.num_nodes();
+  if (n < 2 || (n & (n - 1)) != 0) return std::nullopt;
+  const unsigned h = static_cast<unsigned>(std::countr_zero(n));
+  std::vector<NodeId> expected;
+  for (std::uint64_t x = 0; x < n; ++x) {
+    shuffle_exchange_neighbors(h, static_cast<NodeId>(x), expected);
+    const auto actual = g.neighbors(static_cast<NodeId>(x));
+    if (actual.size() != expected.size() ||
+        !std::equal(actual.begin(), actual.end(), expected.begin())) {
+      return std::nullopt;
+    }
+  }
+  return h;
+}
 
 }  // namespace ftdb

@@ -7,6 +7,10 @@
 // connection, so SE_h has degree <= 3.
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <vector>
+
 #include "graph/graph.hpp"
 
 namespace ftdb {
@@ -21,5 +25,24 @@ NodeId se_shuffle(NodeId x, unsigned h);
 NodeId se_unshuffle(NodeId x, unsigned h);
 /// Neighbor along the exchange edge.
 NodeId se_exchange(NodeId x);
+
+/// Sorted unique undirected neighbors of x in SE_h (exchange, shuffle,
+/// unshuffle; x itself excluded), written into `out`.
+void shuffle_exchange_neighbors(unsigned h, NodeId x, std::vector<NodeId>& out);
+
+/// Exact hop distance between x and y in SE_h from the labels alone, O(h^2):
+/// a shortest SE walk is a tour of the rotation cycle Z_h that flips every
+/// bit where x disagrees with the (rotation-aligned) destination while the
+/// exchange port passes over it. For each final alignment rho, the required
+/// flip positions become residues the rotation walk must visit on the
+/// integer line; the cheapest one-reversal sweep covering them and ending on
+/// rho's residue class gives the rotation cost, plus one hop per flip.
+/// Verified hop-exact against BFS for every pair of SE_2..SE_10 in the test
+/// suite.
+std::uint32_t shuffle_exchange_distance(unsigned h, NodeId x, NodeId y);
+
+/// Recognizes a shuffle-exchange shape: the h with g exactly equal to SE_h,
+/// or nullopt. The router layer's counterpart to debruijn_shape_of.
+std::optional<unsigned> shuffle_exchange_shape_of(const Graph& g);
 
 }  // namespace ftdb

@@ -107,7 +107,9 @@ TEST(ScenarioSpec, ParseExampleAndRoundTrip) {
   EXPECT_EQ(spec.trials, 200u);
   EXPECT_EQ(spec.topologies.size(), 2u);
   EXPECT_EQ(spec.spares.size(), 3u);
-  EXPECT_EQ(spec.fault_models.size(), 4u);
+  EXPECT_EQ(spec.fault_models.size(), 5u);
+  EXPECT_EQ(spec.fault_models.back().kind, FaultModelKind::Block);
+  EXPECT_EQ(spec.fault_models.back().width, 3u);
   EXPECT_TRUE(spec.metrics.diameter);
   EXPECT_FALSE(spec.metrics.stretch);
   EXPECT_TRUE(spec.metrics.mttf);
@@ -160,7 +162,7 @@ TEST(FaultModels, DrawsAreDeterministicPerTrialKey) {
   const Graph fabric = ft_debruijn_base2(4, 2);
   for (const FaultModelKind kind :
        {FaultModelKind::IidBernoulli, FaultModelKind::Clustered, FaultModelKind::Weibull,
-        FaultModelKind::Adversarial}) {
+        FaultModelKind::Adversarial, FaultModelKind::Block}) {
     FaultModelSpec spec;
     spec.kind = kind;
     spec.p = 0.08;
@@ -247,6 +249,141 @@ TEST(FaultModels, WeibullHorizonMonotone) {
     for (const NodeId f : a.faults.nodes()) EXPECT_TRUE(b.faults.is_faulty(f));
     EXPECT_EQ(a.spare_exhaustion_time, b.spare_exhaustion_time);
   }
+}
+
+TEST(FaultModels, BlockFaultsAreOneCyclicRunWithinWidth) {
+  const Graph fabric = ft_debruijn_base2(4, 2);  // 18 nodes
+  const std::uint64_t max_width = 5;
+  FaultModelSpec spec;
+  spec.kind = FaultModelKind::Block;
+  spec.p = 0.1;
+  spec.width = max_width;
+  const auto model = make_fault_model(spec);
+  model->prepare(fabric, 2);
+  const std::size_t n = fabric.num_nodes();
+  for (int t = 0; t < 200; ++t) {
+    TrialRng rng = TrialRng::for_trial(21, 0, static_cast<std::uint64_t>(t));
+    const FaultDraw draw = model->draw(fabric, 2, rng);
+    const std::uint64_t width = draw.faults.count();
+    ASSERT_GE(width, 1u);
+    ASSERT_LE(width, max_width);
+    // Contiguity on the label cycle: the complement of the fault set contains
+    // exactly one maximal run (equivalently, the fault set has exactly one
+    // cyclic boundary where faulty -> healthy).
+    std::size_t boundaries = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const bool here = draw.faults.is_faulty(static_cast<NodeId>(v));
+      const bool next = draw.faults.is_faulty(static_cast<NodeId>((v + 1) % n));
+      if (here && !next) ++boundaries;
+    }
+    EXPECT_EQ(boundaries, width == n ? 0u : 1u) << "trial " << t;
+    // The clock: a block outweighing the spares exhausts them at its onset,
+    // smaller blocks never do.
+    if (width >= 3) {
+      EXPECT_TRUE(std::isfinite(draw.spare_exhaustion_time)) << "trial " << t;
+      EXPECT_GE(draw.spare_exhaustion_time, 1.0);
+    } else {
+      EXPECT_TRUE(std::isinf(draw.spare_exhaustion_time)) << "trial " << t;
+    }
+  }
+}
+
+TEST(FaultModels, BlockSpecRoundTripsThroughCanonicalJson) {
+  const ScenarioSpec spec = parse_scenario_spec(R"({
+    "topologies": [{"family": "debruijn", "digits": 4}],
+    "spares": [2],
+    "fault_models": [{"kind": "block", "p": 0.07, "width": 6}]
+  })");
+  ASSERT_EQ(spec.fault_models.size(), 1u);
+  EXPECT_EQ(spec.fault_models[0].kind, FaultModelKind::Block);
+  EXPECT_EQ(spec.fault_models[0].width, 6u);
+  EXPECT_EQ(spec.fault_models[0].label(), "block(p=0.07,w=6)");
+  const std::string canon = scenario_spec_to_json(spec);
+  EXPECT_EQ(canon, scenario_spec_to_json(parse_scenario_spec(canon)));
+  EXPECT_THROW(parse_scenario_spec(R"({
+    "topologies": [{"family": "debruijn", "digits": 4}],
+    "spares": [2],
+    "fault_models": [{"kind": "block", "p": 0.07, "width": 0}]
+  })"),
+               std::runtime_error);
+}
+
+TEST(Campaign, BlockModelSurvivesIffBlockFitsTheSpares) {
+  // Point-to-point B^k tolerates *any* <= k faults, so under the block model
+  // the survival curve collapses to "width <= k": every under-budget block is
+  // absorbed regardless of offset.
+  ScenarioSpec spec;
+  spec.seed = 31;
+  spec.trials = 400;
+  spec.topologies = {{TopologyFamily::DeBruijn, 2, 4}};
+  spec.spares = {2};
+  spec.fault_models = {
+      {FaultModelKind::Block, 0.1, 1.0, 100.0, 1.0, 4}};
+  spec.metrics = {false, false, true};
+  const CampaignResult result = run_campaign(spec, {.threads = 2});
+  const ScenarioResult& r = result.scenarios.front();
+  EXPECT_EQ(r.trials, 400u);
+  for (const SurvivalPoint& p : r.survival_curve) {
+    if (p.faults <= 2) {
+      EXPECT_EQ(p.survived, p.trials) << "width=" << p.faults;
+    } else {
+      EXPECT_EQ(p.survived, 0u) << "width=" << p.faults;
+    }
+  }
+}
+
+TEST(Campaign, WeibullAnalyticMttfMatchesEmpiricalMean) {
+  ScenarioSpec spec;
+  spec.seed = 404;
+  spec.trials = 3000;
+  spec.topologies = {{TopologyFamily::DeBruijn, 2, 4}};
+  spec.spares = {2};
+  spec.fault_models = {{FaultModelKind::Weibull, 0.0, 1.5, 300.0, 40.0}};
+  spec.metrics = {false, false, true};
+  const CampaignResult result = run_campaign(spec, {.threads = 2});
+  const ScenarioResult& r = result.scenarios.front();
+  ASSERT_TRUE(std::isfinite(r.analytic_mttf));
+  EXPECT_NEAR(r.analytic_mttf, weibull_mttf(r.fabric_nodes, 2, 1.5, 300.0), 1e-12);
+  // The model draws full lifetimes, so the empirical column estimates exactly
+  // this expectation: check within 5 standard errors.
+  ASSERT_EQ(r.mttf.count, spec.trials);
+  const double stderr_mean = r.mttf.stddev() / std::sqrt(static_cast<double>(r.mttf.count));
+  EXPECT_NEAR(r.mttf.mean, r.analytic_mttf, 5.0 * stderr_mean);
+}
+
+TEST(Campaign, SampledStretchIsDeterministicAndBounded) {
+  ScenarioSpec spec;
+  spec.seed = 77;
+  spec.trials = 60;
+  spec.topologies = {{TopologyFamily::DeBruijn, 2, 4}};
+  spec.spares = {2};
+  spec.fault_models = {{FaultModelKind::IidBernoulli, 0.05, 1.0, 1.0, 1.0}};
+  spec.metrics = {false, true, false};
+  spec.metrics.stretch_sample_pairs = 24;
+
+  CampaignOptions serial;
+  serial.threads = 1;
+  CampaignOptions pooled;
+  pooled.threads = 3;
+  const CampaignResult a = run_campaign(spec, serial);
+  const CampaignResult b = run_campaign(spec, pooled);
+  EXPECT_EQ(campaign_report_json(a), campaign_report_json(b));
+
+  const ScenarioResult& r = a.scenarios.front();
+  ASSERT_GT(r.route_stretch.count, 0u);
+  EXPECT_GE(r.route_stretch.min, 1.0);
+  EXPECT_LE(r.route_stretch.max, 4.0);  // logical routes never exceed h hops
+
+  // The knob is part of the canonical spec (and so of the fingerprint).
+  ScenarioSpec full = spec;
+  full.metrics.stretch_sample_pairs = 0;
+  EXPECT_NE(spec_fingerprint(spec), spec_fingerprint(full));
+
+  // Sampling can only lower the maximum: the full audit dominates it.
+  ScenarioSpec audit = spec;
+  audit.metrics.stretch_sample_pairs = 0;
+  const CampaignResult c = run_campaign(audit, serial);
+  EXPECT_LE(r.route_stretch.max, c.scenarios.front().route_stretch.max + 1e-12);
 }
 
 TEST(Campaign, ReportIsIndependentOfThreadCount) {

@@ -103,6 +103,69 @@ TEST(DeBruijn, OutNeighborsAreGraphEdgesOrSelfLoops) {
   }
 }
 
+TEST(DeBruijnDistance, MatchesBfsExhaustively) {
+  // The digit-window alignment formula must be hop-exact against BFS on the
+  // real graph for every pair — including h = 1 (the complete graph K_m) and
+  // the constant-label corners where naive shift reasoning hits self-loops.
+  for (std::uint64_t m = 2; m <= 4; ++m) {
+    for (unsigned h = 1; h <= (m == 2 ? 6u : 4u); ++h) {
+      const DeBruijnParams params{.base = m, .digits = h};
+      const Graph g = debruijn_graph(params);
+      for (NodeId x = 0; x < g.num_nodes(); ++x) {
+        const auto dist = bfs_distances(g, x);
+        for (NodeId y = 0; y < g.num_nodes(); ++y) {
+          EXPECT_EQ(debruijn_distance(params, x, y), dist[y])
+              << "m=" << m << " h=" << h << " " << +x << "->" << +y;
+        }
+      }
+    }
+  }
+}
+
+TEST(DeBruijnDistance, MixedShiftsBeatTheLeftOnlyRoute) {
+  // 0001 -> 1000 in B_{2,4}: one right shift, but three left shifts — the
+  // undirected distance is 1, strictly below the paper's left-shift route.
+  EXPECT_EQ(debruijn_distance({.base = 2, .digits = 4}, 0b0001, 0b1000), 1u);
+}
+
+TEST(DeBruijnDistance, OutOfRangeThrows) {
+  EXPECT_THROW(debruijn_distance({.base = 2, .digits = 3}, 8, 0), std::out_of_range);
+}
+
+TEST(DeBruijnNeighbors, MatchesGraphAdjacencyExactly) {
+  const DeBruijnParams params{.base = 3, .digits = 3};
+  const Graph g = debruijn_graph(params);
+  std::vector<NodeId> nbrs;
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    debruijn_neighbors(params, x, nbrs);
+    const auto actual = g.neighbors(x);
+    ASSERT_EQ(nbrs.size(), actual.size()) << "x=" << +x;
+    EXPECT_TRUE(std::equal(actual.begin(), actual.end(), nbrs.begin())) << "x=" << +x;
+  }
+}
+
+TEST(DeBruijnShape, RecognizesEveryGridInstanceAndRejectsImpostors) {
+  for (std::uint64_t m = 2; m <= 4; ++m) {
+    for (unsigned h = 2; h <= 4; ++h) {
+      const auto shape = debruijn_shape_of(debruijn_graph({.base = m, .digits = h}));
+      ASSERT_TRUE(shape.has_value()) << "m=" << m << " h=" << h;
+      EXPECT_EQ(shape->base, m);
+      EXPECT_EQ(shape->digits, h);
+    }
+  }
+  // Same node count, different edges: B_{2,4} vs B_{4,2} must not be confused.
+  const auto b24 = debruijn_shape_of(debruijn_graph({.base = 2, .digits = 4}));
+  ASSERT_TRUE(b24.has_value());
+  EXPECT_EQ(b24->base, 2u);
+  const auto b42 = debruijn_shape_of(debruijn_graph({.base = 4, .digits = 2}));
+  ASSERT_TRUE(b42.has_value());
+  EXPECT_EQ(b42->base, 4u);
+  // A path graph of de Bruijn size is not a de Bruijn graph.
+  EXPECT_FALSE(
+      debruijn_shape_of(make_graph(8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}}))
+          .has_value());
+}
+
 TEST(DeBruijn, EdgeIffShiftRelation) {
   // Exhaustive cross-check of the edge predicate against first principles.
   const unsigned h = 4;

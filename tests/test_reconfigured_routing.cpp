@@ -102,5 +102,37 @@ TEST(MaxRouteStretch, BoundedAfterFaults) {
   EXPECT_LE(stretch, 4.0);
 }
 
+TEST(MaxRouteStretch, SampledOverAllPairsEqualsTheFullAudit) {
+  const Machine m = make_reconfigured(4, 2, {5, 11});
+  std::vector<std::pair<NodeId, NodeId>> all_pairs;
+  for (NodeId s = 0; s < 16; ++s) {
+    for (NodeId d = 0; d < 16; ++d) {
+      if (s != d) all_pairs.emplace_back(s, d);
+    }
+  }
+  EXPECT_DOUBLE_EQ(max_route_stretch_sampled(m, 2, 4, all_pairs), max_route_stretch(m, 2, 4));
+}
+
+TEST(MaxRouteStretch, SampledSubsetNeverExceedsTheFullAuditAndIgnoresSelfPairs) {
+  const Machine m = make_reconfigured(4, 2, {2, 9});
+  const double full = max_route_stretch(m, 2, 4);
+  const std::vector<std::pair<NodeId, NodeId>> subset{{0, 15}, {3, 3}, {7, 12}, {15, 1}, {4, 8}};
+  const double sampled = max_route_stretch_sampled(m, 2, 4, subset);
+  EXPECT_GE(sampled, 1.0);
+  EXPECT_LE(sampled, full + 1e-12);
+  EXPECT_DOUBLE_EQ(max_route_stretch_sampled(m, 2, 4, {}), 1.0);
+}
+
+TEST(MachineLogicalRouter, PicksImplicitExactlyWhenDilationOneSurvives) {
+  const Graph target = debruijn_base2(4);
+  // Reconfigured within budget: implicit.
+  const Machine ok = make_reconfigured(4, 2, {5, 11});
+  EXPECT_EQ(machine_logical_router(ok, target)->backend(), RouterBackend::Implicit);
+  // Degraded bare target: holes in the logical graph, fallback.
+  const Machine degraded =
+      Machine::direct_with_faults(debruijn_base2(4), FaultSet(16, {5, 11}));
+  EXPECT_NE(machine_logical_router(degraded, target)->backend(), RouterBackend::Implicit);
+}
+
 }  // namespace
 }  // namespace ftdb::sim

@@ -1,0 +1,278 @@
+// Router equivalence: the three backends (implicit algebra, run-length
+// compressed tables, BFS table slab) implement one canonical policy —
+// shortest paths stepped through the lowest-id closer neighbor — so they must
+// be hop-for-hop identical wherever they all apply, and all must agree with a
+// plain BFS oracle. Covered: healthy B_{m,h} and SE_h over the (m,h) grid,
+// reconfigured machines (the dilation-1 case where the implicit backend keeps
+// working), degraded machines (the fallback case), shape detection /
+// auto-selection, and next-hop totality + termination.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "ft/ft_debruijn.hpp"
+#include "ft/ft_shuffle_exchange.hpp"
+#include "graph/algorithms.hpp"
+#include "sim/network.hpp"
+#include "sim/reconfigured_routing.hpp"
+#include "sim/router.hpp"
+#include "topology/debruijn.hpp"
+#include "topology/shuffle_exchange.hpp"
+
+namespace ftdb::sim {
+namespace {
+
+RouterOptions forced(RouterOptions::Backend backend) {
+  RouterOptions options;
+  options.backend = backend;
+  return options;
+}
+
+/// All-pairs agreement of `routers` with each other and with the BFS oracle:
+/// identical distances, hop-for-hop identical paths, and next-hop totality
+/// (every hop is a real neighbor strictly closer to the destination).
+void expect_equivalent(const Graph& g, const std::vector<const Router*>& routers,
+                       const std::string& context) {
+  const std::size_t n = g.num_nodes();
+  for (const Router* r : routers) ASSERT_EQ(r->num_nodes(), n) << context;
+  for (NodeId src = 0; src < n; ++src) {
+    const auto oracle = bfs_distances(g, src);
+    for (NodeId dst = 0; dst < n; ++dst) {
+      const std::uint32_t expected = oracle[dst];
+      std::vector<NodeId> reference_path;
+      for (std::size_t i = 0; i < routers.size(); ++i) {
+        const Router* r = routers[i];
+        ASSERT_EQ(r->distance(dst, src), expected)
+            << context << " backend=" << router_backend_name(r->backend()) << " " << +src
+            << "->" << +dst;
+        ASSERT_EQ(r->reachable(dst, src), expected != kUnreachable)
+            << context << " backend=" << router_backend_name(r->backend());
+        const std::vector<NodeId> path = r->path(src, dst);
+        if (expected == kUnreachable) {
+          EXPECT_TRUE(path.empty()) << context;
+          EXPECT_EQ(r->next_hop(dst, src), kInvalidNode) << context;
+          continue;
+        }
+        // Totality + termination: the walk ends at dst in exactly
+        // distance() hops, every step a neighbor one unit closer.
+        ASSERT_EQ(path.size(), static_cast<std::size_t>(expected) + 1) << context;
+        ASSERT_EQ(path.front(), src) << context;
+        ASSERT_EQ(path.back(), dst) << context;
+        for (std::size_t hop = 0; hop + 1 < path.size(); ++hop) {
+          ASSERT_TRUE(g.has_edge(path[hop], path[hop + 1]))
+              << context << " backend=" << router_backend_name(r->backend());
+          // On a shortest path, the node after `hop` steps sits exactly
+          // `hop` from the source — every step makes strict progress.
+          ASSERT_EQ(oracle[path[hop]], static_cast<std::uint32_t>(hop)) << context;
+        }
+        // Hop-for-hop identity across backends.
+        if (i == 0) {
+          reference_path = path;
+        } else {
+          EXPECT_EQ(path, reference_path)
+              << context << " backend=" << router_backend_name(r->backend()) << " vs "
+              << router_backend_name(routers[0]->backend()) << " " << +src << "->" << +dst;
+        }
+      }
+    }
+  }
+}
+
+struct Params {
+  std::uint64_t m;
+  unsigned h;
+};
+
+class DeBruijnRouterGrid : public ::testing::TestWithParam<Params> {};
+
+TEST_P(DeBruijnRouterGrid, HealthyBackendsMatchOracleHopForHop) {
+  const auto [m, h] = GetParam();
+  const Graph g = debruijn_graph({.base = m, .digits = h});
+
+  const auto auto_router = make_router(g);
+  ASSERT_EQ(auto_router->backend(), RouterBackend::Implicit)
+      << "healthy B_{m,h} must auto-select the implicit backend";
+  EXPECT_EQ(auto_router->memory_bytes(), 0u);
+
+  const TableRouter table(g);
+  const CompressedRouter compressed(g);
+  expect_equivalent(g, {&table, auto_router.get(), &compressed},
+                    "B(m=" + std::to_string(m) + ",h=" + std::to_string(h) + ")");
+
+  // On a healthy shape the compressed backend rides the algebraic reference
+  // with zero exceptions — O(N + E) memory, far under the N^2 slab.
+  EXPECT_TRUE(compressed.uses_reference_shape());
+  EXPECT_EQ(compressed.num_exceptions(), 0u);
+  if (g.num_nodes() >= 64) EXPECT_LT(compressed.memory_bytes(), table.memory_bytes());
+}
+
+TEST_P(DeBruijnRouterGrid, ReconfiguredDilationOneKeepsImplicitRouting) {
+  const auto [m, h] = GetParam();
+  const unsigned k = 2;
+  const Graph target = debruijn_graph({.base = m, .digits = h});
+  const Graph ft = ft_debruijn_graph({.base = m, .digits = h, .spares = k});
+  std::mt19937_64 rng(1000 * m + h);
+  for (int trial = 0; trial < 3; ++trial) {
+    const FaultSet faults = FaultSet::random(ft.num_nodes(), k, rng);
+    const Machine machine = Machine::reconfigured(ft, faults, target.num_nodes());
+    // Theorems 1/2: any <= k faults reconfigure with dilation 1, so the live
+    // logical graph is the intact target and the implicit backend applies.
+    const Graph live = machine.live_logical_graph(target);
+    ASSERT_TRUE(live.same_structure(target)) << "trial " << trial;
+    const auto router = machine_logical_router(machine, target);
+    ASSERT_EQ(router->backend(), RouterBackend::Implicit) << "trial " << trial;
+    const TableRouter table(live);
+    expect_equivalent(live, {&table, router.get()},
+                      "reconfigured B(m=" + std::to_string(m) + ",h=" + std::to_string(h) +
+                          ") trial " + std::to_string(trial));
+  }
+}
+
+TEST_P(DeBruijnRouterGrid, DegradedMachineFallsBackAndStaysEquivalent) {
+  const auto [m, h] = GetParam();
+  const Graph target = debruijn_graph({.base = m, .digits = h});
+  std::mt19937_64 rng(77 * m + h);
+  const FaultSet faults = FaultSet::random(target.num_nodes(), 2, rng);
+  const Machine machine = Machine::direct_with_faults(target, faults);
+  const Graph live = machine.live_logical_graph(target);
+
+  const auto router = machine_logical_router(machine, target);
+  ASSERT_NE(router->backend(), RouterBackend::Implicit)
+      << "dead nodes break the algebraic shape; auto must fall back";
+  EXPECT_EQ(router->backend(), RouterBackend::Compressed)
+      << "constant-degree fallback is the compressed table";
+  // The degraded machine is still a subgraph of its shape, so the compressed
+  // backend shares the algebra and stores only the fault detours.
+  const auto* compressed = dynamic_cast<const CompressedRouter*>(router.get());
+  ASSERT_NE(compressed, nullptr);
+  EXPECT_TRUE(compressed->uses_reference_shape());
+  EXPECT_GT(compressed->num_exceptions(), 0u);  // dead rows at minimum
+  if (live.num_nodes() >= 64) {
+    // Sparse at scale: the detours around 2 faults are a sliver of N^2.
+    EXPECT_LT(compressed->num_exceptions(), live.num_nodes() * live.num_nodes() / 4);
+  }
+  const TableRouter table(live);
+  expect_equivalent(live, {&table, router.get()},
+                    "degraded B(m=" + std::to_string(m) + ",h=" + std::to_string(h) + ")");
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DeBruijnRouterGrid,
+                         ::testing::Values(Params{2, 2}, Params{2, 3}, Params{2, 4},
+                                           Params{3, 2}, Params{3, 3}, Params{3, 4},
+                                           Params{4, 2}, Params{4, 3}, Params{4, 4}),
+                         [](const ::testing::TestParamInfo<Params>& info) {
+                           return "m" + std::to_string(info.param.m) + "_h" +
+                                  std::to_string(info.param.h);
+                         });
+
+class SeRouterGrid : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SeRouterGrid, HealthyBackendsMatchOracleHopForHop) {
+  const unsigned h = GetParam();
+  const Graph g = shuffle_exchange_graph(h);
+  const auto auto_router = make_router(g);
+  ASSERT_EQ(auto_router->backend(), RouterBackend::Implicit);
+  const TableRouter table(g);
+  const CompressedRouter compressed(g);
+  expect_equivalent(g, {&table, auto_router.get(), &compressed},
+                    "SE(h=" + std::to_string(h) + ")");
+}
+
+TEST_P(SeRouterGrid, ReconfiguredNaturalFtSeKeepsImplicitRouting) {
+  const unsigned h = GetParam();
+  const unsigned k = 2;
+  const Graph target = shuffle_exchange_graph(h);
+  const auto ft = ft_shuffle_exchange_natural(h, k);
+  std::mt19937_64 rng(900 + h);
+  const FaultSet faults = FaultSet::random(ft.ft_graph.num_nodes(), k, rng);
+  const Machine machine = Machine::reconfigured(ft.ft_graph, faults, target.num_nodes());
+  ASSERT_TRUE(machine.live_logical_graph(target).same_structure(target));
+  const auto router = machine_logical_router(machine, target);
+  ASSERT_EQ(router->backend(), RouterBackend::Implicit);
+  const TableRouter table(target);
+  expect_equivalent(target, {&table, router.get()},
+                    "reconfigured SE(h=" + std::to_string(h) + ")");
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SeRouterGrid, ::testing::Values(2, 3, 4, 5));
+
+TEST(MakeRouter, ForcingImplicitOnUnshapedGraphThrows) {
+  const Graph g = make_graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  EXPECT_THROW(make_router(g, forced(RouterOptions::Backend::Implicit)), std::invalid_argument);
+}
+
+TEST(MakeRouter, ForcedBackendsAreHonored) {
+  const Graph g = debruijn_base2(3);
+  EXPECT_EQ(make_router(g, forced(RouterOptions::Backend::Table))->backend(),
+            RouterBackend::Table);
+  EXPECT_EQ(make_router(g, forced(RouterOptions::Backend::Compressed))->backend(),
+            RouterBackend::Compressed);
+  EXPECT_EQ(make_router(g, forced(RouterOptions::Backend::Implicit))->backend(),
+            RouterBackend::Implicit);
+}
+
+TEST(MakeRouter, HighDegreeUnshapedGraphGetsTheTable) {
+  // A star exceeds the compressed-degree bound: auto must pick the table.
+  GraphBuilder builder(20);
+  for (NodeId v = 1; v < 20; ++v) builder.add_edge(0, v);
+  const Graph g = builder.build();
+  const auto router = make_router(g);
+  EXPECT_EQ(router->backend(), RouterBackend::Table);
+}
+
+TEST(MakeRouter, FtGraphIsNotMistakenForItsTarget) {
+  // B^k_{m,h} has m^h + k nodes and extra offset edges: neither shape
+  // detector may claim it.
+  const Graph ft = ft_debruijn_base2(4, 2);
+  EXPECT_FALSE(debruijn_shape_of(ft).has_value());
+  EXPECT_FALSE(shuffle_exchange_shape_of(ft).has_value());
+  const auto router = make_router(ft);
+  EXPECT_NE(router->backend(), RouterBackend::Implicit);
+}
+
+TEST(ImplicitRouter, SpotCheckAgainstBfsAtLargerN) {
+  // B(2,12): 4096 nodes — too big for the all-pairs grid, sampled here.
+  const DeBruijnParams params{.base = 2, .digits = 12};
+  const Graph g = debruijn_graph(params);
+  const ImplicitRouter router = ImplicitRouter::for_debruijn(params);
+  std::mt19937_64 rng(12);
+  for (int i = 0; i < 40; ++i) {
+    const NodeId src = static_cast<NodeId>(rng() % g.num_nodes());
+    const auto oracle = bfs_distances(g, src);
+    for (int j = 0; j < 50; ++j) {
+      const NodeId dst = static_cast<NodeId>(rng() % g.num_nodes());
+      ASSERT_EQ(router.distance(dst, src), oracle[dst]) << +src << "->" << +dst;
+    }
+  }
+  EXPECT_EQ(router.memory_bytes(), 0u);
+}
+
+TEST(CompressedRouter, HandlesDisconnectedGraphs) {
+  const Graph g = make_graph(5, {{0, 1}, {2, 3}});
+  const CompressedRouter compressed(g);
+  const TableRouter table(g);
+  expect_equivalent(g, {&table, &compressed}, "disconnected");
+  EXPECT_FALSE(compressed.reachable(2, 0));
+  EXPECT_EQ(compressed.distance(2, 0), static_cast<std::uint32_t>(-1));
+  EXPECT_TRUE(compressed.path(0, 2).empty());
+}
+
+TEST(RouterPath, SelfPathIsTrivialAcrossBackends) {
+  const Graph g = debruijn_base2(3);
+  const TableRouter table(g);
+  const CompressedRouter compressed(g);
+  const auto implicit = make_router(g);
+  for (const Router* r : std::vector<const Router*>{&table, &compressed, implicit.get()}) {
+    const auto path = r->path(5, 5);
+    ASSERT_EQ(path.size(), 1u) << router_backend_name(r->backend());
+    EXPECT_EQ(path[0], 5u);
+    EXPECT_EQ(r->next_hop(5, 5), 5u);
+    EXPECT_EQ(r->distance(5, 5), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ftdb::sim

@@ -63,6 +63,37 @@ TEST(ShuffleExchange, NeighborFunctions) {
   }
 }
 
+TEST(ShuffleExchangeDistance, MatchesBfsExhaustively) {
+  // The rotation-tour formula must be hop-exact against BFS for every pair,
+  // h = 1 (a single exchange edge) included.
+  for (unsigned h = 1; h <= 7; ++h) {
+    const Graph g = shuffle_exchange_graph(h);
+    for (NodeId x = 0; x < g.num_nodes(); ++x) {
+      const auto dist = bfs_distances(g, x);
+      for (NodeId y = 0; y < g.num_nodes(); ++y) {
+        EXPECT_EQ(shuffle_exchange_distance(h, x, y), dist[y])
+            << "h=" << h << " " << +x << "->" << +y;
+      }
+    }
+  }
+}
+
+TEST(ShuffleExchangeDistance, OutOfRangeThrows) {
+  EXPECT_THROW(shuffle_exchange_distance(3, 8, 0), std::out_of_range);
+}
+
+TEST(ShuffleExchangeShape, RecognizedAndRejected) {
+  for (unsigned h = 2; h <= 6; ++h) {
+    const auto shape = shuffle_exchange_shape_of(shuffle_exchange_graph(h));
+    ASSERT_TRUE(shape.has_value()) << "h=" << h;
+    EXPECT_EQ(*shape, h);
+  }
+  // A cycle of SE size is not SE.
+  EXPECT_FALSE(shuffle_exchange_shape_of(
+                   make_graph(8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0}}))
+                   .has_value());
+}
+
 TEST(ShuffleExchange, EdgeCountFormula) {
   // 2^{h-1} exchange edges + (2^h - number of rotation fixed points) shuffle
   // "arrows"; as an undirected simple graph the count is easier to verify

@@ -1,4 +1,5 @@
-// Tests for the spare-provisioning reliability model (ABL2 support).
+// Tests for the spare-provisioning reliability model (ABL2 support) and the
+// Weibull order-statistic MTTF.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -7,6 +8,24 @@
 
 namespace ftdb {
 namespace {
+
+/// Independent fixed-step Simpson evaluation of
+/// E[T_(k+1:n)] = integral of P[at most k of n Weibull lifetimes <= t] dt —
+/// the quadrature cross-check for the beta-function closed form.
+double weibull_mttf_reference(std::uint64_t n, unsigned k, double shape, double scale) {
+  const auto survival = [&](long double t) {
+    const long double q = -std::expm1(-std::pow(t / static_cast<long double>(scale),
+                                                static_cast<long double>(shape)));
+    return binomial_cdf(n, k, q);
+  };
+  long double hi = scale;
+  while (survival(hi) > 1e-16L) hi *= 2.0L;
+  const int steps = 200000;  // even
+  const long double dt = hi / steps;
+  long double sum = survival(0.0L) + survival(hi);
+  for (int i = 1; i < steps; ++i) sum += survival(i * dt) * (i % 2 == 1 ? 4.0L : 2.0L);
+  return static_cast<double>(sum * dt / 3.0L);
+}
 
 TEST(BinomialCdf, DegenerateProbabilities) {
   EXPECT_DOUBLE_EQ(static_cast<double>(binomial_cdf(10, 3, 0.0L)), 1.0);
@@ -60,6 +79,70 @@ TEST(MinSpares, FindsThreshold) {
 
 TEST(MinSpares, UnreachableReturnsSentinel) {
   EXPECT_EQ(min_spares_for_reliability(100, 0.9L, 0.9999L, 3), 4u);
+}
+
+TEST(WeibullMttf, MinimumLifetimeIdentity) {
+  // k = 0: the first failure of n Weibulls is Weibull with scale * n^{-1/shape},
+  // so E = scale * Gamma(1 + 1/shape) * n^{-1/shape} exactly.
+  for (const double shape : {0.8, 1.0, 1.7, 3.0}) {
+    for (const std::uint64_t n : {1ull, 4ull, 36ull, 1000ull}) {
+      const double expected =
+          100.0 * std::tgamma(1.0 + 1.0 / shape) * std::pow(double(n), -1.0 / shape);
+      EXPECT_NEAR(weibull_mttf(n, 0, shape, 100.0), expected, 1e-9 * expected)
+          << "n=" << n << " shape=" << shape;
+    }
+  }
+}
+
+TEST(WeibullMttf, ExponentialOrderStatisticHarmonicIdentity) {
+  // shape = 1 is the exponential distribution, whose order statistics have
+  // the exact harmonic form E[T_(k+1:n)] = scale * sum_{i=0}^{k} 1/(n-i).
+  const double scale = 50.0;
+  for (const std::uint64_t n : {5ull, 12ull, 40ull}) {
+    for (unsigned k = 0; k < 5 && k < n; ++k) {
+      double expected = 0.0;
+      for (unsigned i = 0; i <= k; ++i) expected += scale / static_cast<double>(n - i);
+      EXPECT_NEAR(weibull_mttf(n, k, 1.0, scale), expected, 1e-8 * expected)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(WeibullMttf, QuadratureCrossCheck) {
+  // The closed form (small n, k) and the internal adaptive-Simpson fallback
+  // (large n forces it) must both match an independent fixed-step Simpson
+  // integration of the survival function.
+  const struct {
+    std::uint64_t n;
+    unsigned k;
+    double shape;
+    double scale;
+  } cases[] = {
+      {10, 2, 1.5, 400.0},  // closed form
+      {36, 4, 0.9, 120.0},  // closed form
+      {36, 8, 2.0, 75.0},   // near the cancellation switch
+      {600, 6, 1.5, 300.0},  // quadrature path
+      {5000, 3, 1.2, 800.0}, // quadrature path, big fabric
+  };
+  for (const auto& c : cases) {
+    const double reference = weibull_mttf_reference(c.n, c.k, c.shape, c.scale);
+    const double value = weibull_mttf(c.n, c.k, c.shape, c.scale);
+    EXPECT_NEAR(value, reference, 5e-5 * reference)
+        << "n=" << c.n << " k=" << c.k << " shape=" << c.shape;
+  }
+}
+
+TEST(WeibullMttf, MonotoneInSparesAndDegenerateInputs) {
+  double prev = 0.0;
+  for (unsigned k = 0; k < 8; ++k) {
+    const double v = weibull_mttf(20, k, 1.5, 100.0);
+    EXPECT_GT(v, prev) << "k=" << k;
+    prev = v;
+  }
+  // k >= n: spares can never be exhausted — no finite MTTF.
+  EXPECT_TRUE(std::isnan(weibull_mttf(4, 4, 1.5, 100.0)));
+  EXPECT_TRUE(std::isnan(weibull_mttf(0, 0, 1.5, 100.0)));
+  EXPECT_TRUE(std::isnan(weibull_mttf(4, 1, 0.0, 100.0)));
 }
 
 TEST(PortCost, FormulasAndCrossover) {

@@ -3,7 +3,12 @@
 // The campaign runner is the production workload multiplier (every scenario
 // re-runs construction, fault drawing, reconfiguration checks and survivor
 // metrics thousands of times), so its per-trial cost is the number to watch.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "analysis/bench_registry.hpp"
+#include "campaign/report.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/scenario.hpp"
 
@@ -67,6 +72,84 @@ FTDB_BENCH(campaign_grid, "perf_campaign/grid_2topo_x3k_x2models") {
     successes += static_cast<double>(r.reconfig_success);
   }
   ctx.report("total_successes", successes);
+}
+
+// --- work-stealing scheduler ------------------------------------------------
+
+/// A 12-cell grid of 1024-trial cells: 48 blocks through the global deques.
+/// Serial on purpose, like everything above — this measures the scheduler's
+/// per-block overhead (deque traffic, in-order merge bookkeeping), not
+/// machine parallelism the bench runner's own pool would fight with.
+FTDB_BENCH(campaign_sched, "perf_campaign/steal_12cells_x4blocks_serial") {
+  ScenarioSpec spec = base_spec(1024);
+  spec.topologies = {{TopologyFamily::DeBruijn, 2, 4},
+                     {TopologyFamily::ShuffleExchange, 2, 4}};
+  spec.spares = {0, 2, 4};
+  spec.fault_models = {{FaultModelKind::IidBernoulli, 0.03, 1.0, 100.0, 1.0},
+                       {FaultModelKind::Block, 0.03, 1.0, 100.0, 1.0, 3}};
+  const CampaignResult result = run_campaign(spec, {.threads = 1});
+  ctx.report("scenarios", static_cast<double>(result.scenarios.size()));
+  ctx.report("blocks", static_cast<double>(result.scenarios.size() *
+                                           num_trial_blocks(spec.trials)));
+}
+
+/// Block-granular checkpoint serialization: snapshot -> JSON -> reparse for a
+/// mid-flight campaign shape (every cell a merged prefix + one parked block).
+FTDB_BENCH(campaign_ckpt, "perf_campaign/checkpoint_roundtrip_24cells") {
+  ScenarioSpec spec = base_spec(256);
+  spec.topologies = {{TopologyFamily::DeBruijn, 2, 4}};
+  spec.spares = {2};
+  spec.fault_models = {{FaultModelKind::IidBernoulli, 0.03, 1.0, 100.0, 1.0}};
+  const ScenarioResult partial = run_campaign(spec, {.threads = 1}).scenarios.front();
+  spec.trials = 1024;  // what the block partials above are a slice of
+  Checkpoint ckpt;
+  for (std::size_t i = 0; i < 24; ++i) {
+    CellProgress cell;
+    cell.scenario_index = i;
+    cell.prefix_blocks = 1;
+    cell.prefix = partial;
+    cell.extra.emplace_back(2, partial);
+    ckpt.cells.push_back(std::move(cell));
+  }
+  std::string json;
+  std::size_t cells = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    json = checkpoint_to_json(spec, ckpt);
+    cells += parse_checkpoint(json).cells.size();
+  }
+  ctx.report("roundtrips", 20.0);
+  ctx.report("bytes", static_cast<double>(json.size()));
+  ctx.report("cells_reparsed", static_cast<double>(cells));
+}
+
+/// The distributed path end to end: two shard runs plus the fingerprint- and
+/// coverage-checked merge, with the merged report's byte-identity to the
+/// single-machine run reported as a metric (1.0 = identical).
+FTDB_BENCH(campaign_shard, "perf_campaign/shard2_run_merge") {
+  ScenarioSpec spec = base_spec(512);
+  spec.topologies = {{TopologyFamily::DeBruijn, 2, 4},
+                     {TopologyFamily::ShuffleExchange, 2, 4}};
+  spec.spares = {0, 3};
+  spec.fault_models = {{FaultModelKind::IidBernoulli, 0.03, 1.0, 100.0, 1.0}};
+  const std::string reference = campaign_report_json(run_campaign(spec, {.threads = 1}));
+
+  const std::string dir = std::filesystem::temp_directory_path().string();
+  std::vector<Checkpoint> partials;
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    CampaignOptions options;
+    options.threads = 1;
+    options.shard = {s, 2};
+    options.checkpoint_path = dir + "/ftdb_perf_shard" + std::to_string(s) + ".ckpt";
+    run_campaign(spec, options);
+    std::ifstream in(options.checkpoint_path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    partials.push_back(parse_checkpoint(buf.str()));
+  }
+  const CampaignResult merged = merge_checkpoints(spec, partials);
+  ctx.report("merge_byte_identical",
+             campaign_report_json(merged) == reference ? 1.0 : 0.0);
+  ctx.report("shards", 2.0);
 }
 
 }  // namespace

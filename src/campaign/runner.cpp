@@ -4,10 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <exception>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -35,14 +38,6 @@ namespace ftdb::campaign {
 
 using analysis::JsonValue;
 using analysis::JsonWriter;
-
-namespace {
-
-/// Trials per work unit. Fixed — the block partition is part of the
-/// deterministic reduction order, so it must not depend on the thread count.
-constexpr std::uint64_t kTrialBlock = 256;
-
-}  // namespace
 
 // --- streaming statistics ---------------------------------------------------
 
@@ -299,74 +294,6 @@ double exact_iid_mttf(std::uint64_t n, unsigned spares, double p) {
   return std::numeric_limits<double>::quiet_NaN();
 }
 
-ScenarioResult run_scenario(const ScenarioSpec& spec, const ScenarioCase& cell,
-                            unsigned threads) {
-  const ScenarioContext ctx = build_context(spec, cell);
-
-  const std::uint64_t num_blocks = (spec.trials + kTrialBlock - 1) / kTrialBlock;
-  std::vector<ScenarioResult> partials(num_blocks);
-
-  unsigned workers = threads == 0 ? std::max(1u, std::thread::hardware_concurrency()) : threads;
-  workers = static_cast<unsigned>(std::min<std::uint64_t>(workers, num_blocks));
-
-  std::atomic<std::uint64_t> next_block{0};
-  std::exception_ptr failure;
-  std::mutex failure_mutex;
-  auto worker = [&] {
-    try {
-      std::vector<std::uint64_t> dense_hist;
-      std::vector<std::uint64_t> dense_survived;
-      for (;;) {
-        const std::uint64_t b = next_block.fetch_add(1);
-        if (b >= num_blocks) return;
-        dense_hist.clear();
-        dense_survived.clear();
-        const std::uint64_t lo = b * kTrialBlock;
-        const std::uint64_t hi = std::min(spec.trials, lo + kTrialBlock);
-        for (std::uint64_t t = lo; t < hi; ++t) {
-          run_trial(ctx, t, partials[b], dense_hist, dense_survived);
-        }
-        fold_histogram(partials[b], dense_hist, dense_survived);
-      }
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(failure_mutex);
-      if (!failure) failure = std::current_exception();
-    }
-  };
-
-  if (workers <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
-  if (failure) std::rethrow_exception(failure);
-
-  ScenarioResult result;
-  result.scenario_index = cell.index;
-  result.label = cell.label();
-  result.target_nodes = ctx.target.num_nodes();
-  result.fabric_nodes = ctx.fabric.num_nodes();
-  result.target_diameter = ctx.target_diameter;
-  for (const ScenarioResult& p : partials) result.merge(p);  // fixed block order
-
-  if (cell.fault_model.kind == FaultModelKind::IidBernoulli) {
-    result.analytic_survival = static_cast<double>(
-        survival_probability(result.target_nodes, cell.spares,
-                             static_cast<long double>(cell.fault_model.p)));
-    result.analytic_mttf =
-        exact_iid_mttf(result.fabric_nodes, cell.spares, cell.fault_model.p);
-  } else if (cell.fault_model.kind == FaultModelKind::Weibull) {
-    // The model draws full Weibull lifetimes, so the empirical MTTF column is
-    // exactly the (k+1)-st order statistic this closed form computes.
-    result.analytic_mttf = weibull_mttf(result.fabric_nodes, cell.spares,
-                                        cell.fault_model.shape, cell.fault_model.scale);
-  }
-  return result;
-}
-
 void write_file_atomically(const std::string& path, const std::string& content) {
   const std::string tmp = path + ".tmp";
   {
@@ -419,6 +346,12 @@ StreamingStats parse_stats(const JsonValue& obj) {
     s.max = obj.at("max").number;
   }
   return s;
+}
+
+std::string fingerprint_hex(std::uint64_t fp) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(fp));
+  return buf;
 }
 
 }  // namespace
@@ -510,53 +443,245 @@ ScenarioResult parse_scenario_result(const JsonValue& obj) {
   return r;
 }
 
-std::string checkpoint_to_json(const ScenarioSpec& spec,
-                               const std::vector<ScenarioResult>& completed) {
+// --- checkpoint (de)serialization -------------------------------------------
+
+std::string checkpoint_to_json(const ScenarioSpec& spec, const Checkpoint& ckpt) {
   JsonWriter w;
   w.begin_object();
   w.key("schema");
-  w.value("ftdb-campaign-checkpoint-v1");
-  // Hex string, not a JSON number: 64-bit fingerprints do not survive the
+  w.value("ftdb-campaign-checkpoint-v2");
+  // Hex strings, not JSON numbers: 64-bit fingerprints do not survive the
   // parser's double representation.
-  char fp[32];
-  std::snprintf(fp, sizeof fp, "%016llx",
-                static_cast<unsigned long long>(spec_fingerprint(spec)));
   w.key("fingerprint");
-  w.value(fp);
-  w.key("completed");
+  w.value(fingerprint_hex(spec_fingerprint(spec)));
+  w.key("shard");
+  w.begin_object();
+  w.key("index");
+  w.value(static_cast<std::uint64_t>(ckpt.shard.index));
+  w.key("count");
+  w.value(static_cast<std::uint64_t>(ckpt.shard.count));
+  w.key("fingerprint");
+  w.value(fingerprint_hex(shard_fingerprint(spec, ckpt.shard)));
+  w.end_object();
+  // The block size the partials were cut with: partials from a different
+  // partition cannot be merged in order, so parse rejects a mismatch.
+  w.key("trial_block");
+  w.value(kTrialBlock);
+  w.key("cells");
   w.begin_array();
-  for (const ScenarioResult& r : completed) write_scenario_result(w, r);
+  for (const CellProgress& c : ckpt.cells) {
+    w.begin_object();
+    w.key("scenario_index");
+    w.value(static_cast<std::uint64_t>(c.scenario_index));
+    w.key("prefix_blocks");
+    w.value(c.prefix_blocks);
+    if (c.prefix_blocks > 0) {
+      w.key("prefix");
+      write_scenario_result(w, c.prefix);
+    }
+    if (!c.extra.empty()) {
+      w.key("extra");
+      w.begin_array();
+      for (const auto& [block, partial] : c.extra) {
+        w.begin_object();
+        w.key("block");
+        w.value(block);
+        w.key("partial");
+        write_scenario_result(w, partial);
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
   w.end_array();
   w.end_object();
   return w.str();
 }
 
+std::string checkpoint_to_json(const ScenarioSpec& spec,
+                               const std::vector<ScenarioResult>& completed) {
+  // fingerprint/shard_stamp stay default: the serializer derives both stamps
+  // from the spec itself, never from the struct (no forgeable fields).
+  Checkpoint ckpt;
+  for (const ScenarioResult& r : completed) {
+    CellProgress cell;
+    cell.scenario_index = r.scenario_index;
+    cell.prefix_blocks = num_trial_blocks(spec.trials);
+    cell.prefix = r;
+    ckpt.cells.push_back(std::move(cell));
+  }
+  std::sort(ckpt.cells.begin(), ckpt.cells.end(),
+            [](const CellProgress& a, const CellProgress& b) {
+              return a.scenario_index < b.scenario_index;
+            });
+  return checkpoint_to_json(spec, ckpt);
+}
+
 Checkpoint parse_checkpoint(const std::string& json_text) {
   const JsonValue doc = analysis::json_parse(json_text);
   const JsonValue* schema = doc.find("schema");
-  if (schema == nullptr || schema->string != "ftdb-campaign-checkpoint-v1") {
-    throw std::runtime_error("campaign: not an ftdb-campaign-checkpoint-v1 document");
+  if (schema == nullptr || schema->string != "ftdb-campaign-checkpoint-v2") {
+    throw std::runtime_error(
+        "campaign: not an ftdb-campaign-checkpoint-v2 document (v1 checkpoints are "
+        "scenario-granular; rerun the campaign to produce a v2 checkpoint)");
+  }
+  if (uint_of(doc, "trial_block") != kTrialBlock) {
+    throw std::runtime_error("campaign: checkpoint was cut with a different trial block size");
   }
   Checkpoint ckpt;
   ckpt.fingerprint = std::strtoull(doc.at("fingerprint").string.c_str(), nullptr, 16);
-  for (const JsonValue& r : doc.at("completed").array) {
-    ckpt.completed.push_back(parse_scenario_result(r));
+  const JsonValue& shard = doc.at("shard");
+  ckpt.shard.index = static_cast<std::uint32_t>(uint_of(shard, "index"));
+  ckpt.shard.count = static_cast<std::uint32_t>(uint_of(shard, "count"));
+  ckpt.shard_stamp = std::strtoull(shard.at("fingerprint").string.c_str(), nullptr, 16);
+  std::size_t last_index = 0;
+  bool first = true;
+  for (const JsonValue& c : doc.at("cells").array) {
+    CellProgress cell;
+    cell.scenario_index = uint_of(c, "scenario_index");
+    if (!first && cell.scenario_index <= last_index) {
+      throw std::runtime_error("campaign: checkpoint cells out of order or duplicated");
+    }
+    first = false;
+    last_index = cell.scenario_index;
+    cell.prefix_blocks = uint_of(c, "prefix_blocks");
+    if (cell.prefix_blocks > 0) cell.prefix = parse_scenario_result(c.at("prefix"));
+    if (const JsonValue* extra = c.find("extra")) {
+      std::uint64_t last_block = 0;
+      for (const JsonValue& e : extra->array) {
+        const std::uint64_t block = uint_of(e, "block");
+        if (block < cell.prefix_blocks ||
+            (!cell.extra.empty() && block <= last_block)) {
+          throw std::runtime_error("campaign: checkpoint extra blocks out of order");
+        }
+        last_block = block;
+        cell.extra.emplace_back(block, parse_scenario_result(e.at("partial")));
+      }
+    }
+    ckpt.cells.push_back(std::move(cell));
   }
   return ckpt;
 }
 
-// --- the campaign loop -------------------------------------------------------
+// --- the work-stealing campaign scheduler ------------------------------------
+
+namespace {
+
+/// One schedulable unit: block `block` of the `slot`-th owned cell.
+struct WorkUnit {
+  std::uint32_t slot = 0;
+  std::uint64_t block = 0;
+};
+
+/// A mutex-guarded deque, one per worker. The owner pops from the front (its
+/// units stay in cell-then-block order, keeping the pending maps small and
+/// the scenario contexts warm); thieves steal from the back, which under the
+/// contiguous initial deal is usually a different cell than the one the owner
+/// is working through. All units are enqueued before the workers start, so an
+/// empty sweep over every deque means no unstarted work remains.
+class StealDeque {
+ public:
+  void seed(std::deque<WorkUnit> units) { q_ = std::move(units); }
+
+  bool pop_front(WorkUnit& out) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (q_.empty()) return false;
+    out = q_.front();
+    q_.pop_front();
+    return true;
+  }
+
+  bool steal_back(WorkUnit& out) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (q_.empty()) return false;
+    out = q_.back();
+    q_.pop_back();
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  std::deque<WorkUnit> q_;
+};
+
+/// Mutable per-cell reduction state. `mu` guards everything below it; the
+/// context is built lazily on the first block that touches the cell and freed
+/// on finalization.
+struct CellState {
+  ScenarioCase cell;
+  std::uint64_t num_blocks = 0;
+
+  std::once_flag ctx_once;
+  std::unique_ptr<ScenarioContext> ctx;
+
+  std::mutex mu;
+  ScenarioResult prefix;                          // merged blocks [0, merged_blocks)
+  std::uint64_t merged_blocks = 0;
+  std::map<std::uint64_t, ScenarioResult> pending;  // completed out-of-order blocks
+  bool finalized = false;
+};
+
+/// Fills the cell-level metadata and analytic companions once every block has
+/// merged. Requires the context (rebuilt if the cell completed purely from
+/// checkpointed blocks).
+void finalize_cell(const ScenarioSpec& spec, CellState& st) {
+  if (st.ctx == nullptr) st.ctx = std::make_unique<ScenarioContext>(build_context(spec, st.cell));
+  ScenarioResult& r = st.prefix;
+  r.scenario_index = st.cell.index;
+  r.label = st.cell.label();
+  r.target_nodes = st.ctx->target.num_nodes();
+  r.fabric_nodes = st.ctx->fabric.num_nodes();
+  r.target_diameter = st.ctx->target_diameter;
+  const FaultModelSpec& model = st.cell.fault_model;
+  if (model.kind == FaultModelKind::IidBernoulli) {
+    r.analytic_survival = static_cast<double>(survival_probability(
+        r.target_nodes, st.cell.spares, static_cast<long double>(model.p)));
+    r.analytic_mttf = exact_iid_mttf(r.fabric_nodes, st.cell.spares, model.p);
+  } else if (model.kind == FaultModelKind::Weibull) {
+    // The model draws full lifetimes, so the empirical MTTF column is exactly
+    // the (k+1)-st order statistic this closed form computes.
+    r.analytic_mttf = weibull_mttf(r.fabric_nodes, st.cell.spares, model.shape, model.scale);
+  }
+  st.finalized = true;
+  st.ctx.reset();  // the graphs are the heavy part; drop them as cells finish
+}
+
+/// Trials covered by blocks [0, blocks) of a `trials`-trial cell.
+std::uint64_t trials_in_prefix(std::uint64_t trials, std::uint64_t blocks) {
+  return std::min(trials, blocks * kTrialBlock);
+}
+
+std::uint64_t trials_in_block(std::uint64_t trials, std::uint64_t block) {
+  const std::uint64_t lo = block * kTrialBlock;
+  return std::min(trials, lo + kTrialBlock) - lo;
+}
+
+}  // namespace
 
 CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& options) {
   if (spec.trials == 0) throw std::runtime_error("campaign: trials must be positive");
   const std::vector<ScenarioCase> cells = expand_grid(spec);
   if (cells.empty()) throw std::runtime_error("campaign: empty scenario grid");
+  validate_shard(options.shard, cells.size());
 
   CampaignResult result;
   result.spec = spec;
+  result.shard = options.shard;
   result.scenarios.resize(cells.size());
-  std::vector<bool> done(cells.size(), false);
 
+  // Owned cells, in grid order.
+  std::vector<std::unique_ptr<CellState>> states;
+  for (const ScenarioCase& cell : cells) {
+    if (!options.shard.owns(cell.index)) continue;
+    auto st = std::make_unique<CellState>();
+    st->cell = cell;
+    st->num_blocks = num_trial_blocks(spec.trials);
+    st->prefix.scenario_index = cell.index;
+    states.push_back(std::move(st));
+  }
+
+  // --- resume: seed the reduction states from the checkpoint ----------------
   if (options.resume && !options.checkpoint_path.empty()) {
     std::ifstream in(options.checkpoint_path, std::ios::binary);
     if (in) {
@@ -567,44 +692,270 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
         throw std::runtime_error(
             "campaign: checkpoint was produced by a different spec (fingerprint mismatch)");
       }
-      for (const ScenarioResult& r : ckpt.completed) {
-        if (r.scenario_index >= cells.size()) {
-          throw std::runtime_error("campaign: checkpoint scenario index out of range");
+      if (ckpt.shard_stamp != shard_fingerprint(spec, options.shard)) {
+        throw std::runtime_error("campaign: checkpoint belongs to shard " + ckpt.shard.label() +
+                                 ", not " + options.shard.label());
+      }
+      for (const CellProgress& cp : ckpt.cells) {
+        auto it = std::find_if(states.begin(), states.end(), [&](const auto& st) {
+          return st->cell.index == cp.scenario_index;
+        });
+        if (it == states.end()) {
+          throw std::runtime_error("campaign: checkpoint scenario index " +
+                                   std::to_string(cp.scenario_index) +
+                                   " is not owned by this shard");
         }
-        result.scenarios[r.scenario_index] = r;
-        done[r.scenario_index] = true;
-        ++result.resumed_scenarios;
+        CellState& st = **it;
+        if (cp.prefix_blocks > st.num_blocks) {
+          throw std::runtime_error("campaign: checkpoint prefix exceeds the block count");
+        }
+        if (cp.prefix_blocks > 0) {
+          if (cp.prefix.trials != trials_in_prefix(spec.trials, cp.prefix_blocks)) {
+            throw std::runtime_error("campaign: checkpoint prefix trial count is inconsistent");
+          }
+          st.prefix = cp.prefix;
+          st.merged_blocks = cp.prefix_blocks;
+          result.resumed_blocks += cp.prefix_blocks;
+        }
+        for (const auto& [block, partial] : cp.extra) {
+          if (block >= st.num_blocks) {
+            throw std::runtime_error("campaign: checkpoint block index out of range");
+          }
+          if (partial.trials != trials_in_block(spec.trials, block)) {
+            throw std::runtime_error("campaign: checkpoint block trial count is inconsistent");
+          }
+          st.pending.emplace(block, partial);
+          ++result.resumed_blocks;
+        }
+        // Drain any contiguity the snapshot (or a hand-edited file) left.
+        while (!st.pending.empty() && st.pending.begin()->first == st.merged_blocks) {
+          st.prefix.merge(st.pending.begin()->second);
+          ++st.merged_blocks;
+          st.pending.erase(st.pending.begin());
+        }
+        if (st.merged_blocks == st.num_blocks) {
+          if (cp.prefix_blocks == st.num_blocks) {
+            st.prefix = cp.prefix;  // already finalized by the producing run
+            st.finalized = true;
+          } else {
+            finalize_cell(spec, st);
+          }
+          ++result.resumed_scenarios;
+        }
       }
     }
   }
 
-  auto completed_so_far = [&] {
-    std::vector<ScenarioResult> completed;
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      if (done[i]) completed.push_back(result.scenarios[i]);
+  // --- enqueue the remaining work, dealt contiguously across workers --------
+  std::vector<WorkUnit> units;
+  for (std::uint32_t slot = 0; slot < states.size(); ++slot) {
+    const CellState& st = *states[slot];
+    for (std::uint64_t b = st.merged_blocks; b < st.num_blocks; ++b) {
+      if (st.pending.count(b) == 0) units.push_back({slot, b});
     }
-    return completed;
-  };
+  }
 
-  auto last_checkpoint = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (done[i]) continue;
-    result.scenarios[i] = run_scenario(spec, cells[i], options.threads);
-    done[i] = true;
-    if (options.progress != nullptr) {
-      const ScenarioResult& r = result.scenarios[i];
-      (*options.progress) << "[" << (i + 1) << "/" << cells.size() << "] " << r.label
-                          << ": success " << r.reconfig_success << "/" << r.trials << "\n";
+  unsigned workers =
+      options.threads == 0 ? std::max(1u, std::thread::hardware_concurrency()) : options.threads;
+  workers = static_cast<unsigned>(std::min<std::size_t>(workers, std::max<std::size_t>(units.size(), 1)));
+
+  std::vector<StealDeque> deques(workers);
+  {
+    const std::size_t per = (units.size() + workers - 1) / std::max(1u, workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      std::deque<WorkUnit> slice;
+      const std::size_t lo = std::min(units.size(), w * per);
+      const std::size_t hi = std::min(units.size(), lo + per);
+      slice.assign(units.begin() + static_cast<std::ptrdiff_t>(lo),
+                   units.begin() + static_cast<std::ptrdiff_t>(hi));
+      deques[w].seed(std::move(slice));
     }
-    if (!options.checkpoint_path.empty()) {
-      const auto now = std::chrono::steady_clock::now();
-      const double elapsed = std::chrono::duration<double>(now - last_checkpoint).count();
-      if (elapsed >= options.checkpoint_every_seconds || i + 1 == cells.size()) {
-        write_file_atomically(options.checkpoint_path,
-                              checkpoint_to_json(spec, completed_so_far()));
-        last_checkpoint = now;
+  }
+
+  // --- shared coordination state --------------------------------------------
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> blocks_completed{0};
+  std::atomic<unsigned> workers_alive{workers};
+  std::exception_ptr failure;
+  std::mutex main_mu;  // guards `events` + `failure`; cv's companion
+  std::condition_variable cv;
+  std::vector<std::string> events;  // progress lines for finalized cells
+  std::size_t cells_done = 0;       // owned cells finalized (main thread only)
+
+  const std::size_t owned = states.size();
+  std::size_t owned_done_at_start = 0;
+  for (const auto& st : states) {
+    if (st->finalized) ++owned_done_at_start;
+  }
+
+  auto run_unit = [&](const WorkUnit& u) {
+    CellState& st = *states[u.slot];
+    std::call_once(st.ctx_once, [&] {
+      if (st.ctx == nullptr) st.ctx = std::make_unique<ScenarioContext>(build_context(spec, st.cell));
+    });
+    ScenarioResult partial;
+    partial.scenario_index = st.cell.index;
+    std::vector<std::uint64_t> dense_hist;
+    std::vector<std::uint64_t> dense_survived;
+    const std::uint64_t lo = u.block * kTrialBlock;
+    const std::uint64_t hi = std::min(spec.trials, lo + kTrialBlock);
+    for (std::uint64_t t = lo; t < hi; ++t) {
+      run_trial(*st.ctx, t, partial, dense_hist, dense_survived);
+    }
+    fold_histogram(partial, dense_hist, dense_survived);
+
+    bool completed_cell = false;
+    {
+      const std::lock_guard<std::mutex> lock(st.mu);
+      if (u.block == st.merged_blocks) {
+        st.prefix.merge(partial);
+        ++st.merged_blocks;
+        while (!st.pending.empty() && st.pending.begin()->first == st.merged_blocks) {
+          st.prefix.merge(st.pending.begin()->second);
+          ++st.merged_blocks;
+          st.pending.erase(st.pending.begin());
+        }
+      } else {
+        st.pending.emplace(u.block, std::move(partial));
+      }
+      if (st.merged_blocks == st.num_blocks && !st.finalized) {
+        finalize_cell(spec, st);
+        completed_cell = true;
       }
     }
+
+    const std::uint64_t done = blocks_completed.fetch_add(1) + 1;
+    if (options.stop_after_blocks != 0 && done >= options.stop_after_blocks) stop.store(true);
+    if (completed_cell) {
+      const std::lock_guard<std::mutex> lock(main_mu);
+      std::ostringstream line;
+      const ScenarioResult& r = st.prefix;
+      line << st.cell.label() << ": success " << r.reconfig_success << "/" << r.trials;
+      events.push_back(line.str());
+    }
+    cv.notify_all();
+  };
+
+  auto worker_fn = [&](unsigned self) {
+    try {
+      for (;;) {
+        if (stop.load(std::memory_order_relaxed)) break;
+        WorkUnit u;
+        if (!deques[self].pop_front(u)) {
+          bool stole = false;
+          for (unsigned d = 1; d < workers && !stole; ++d) {
+            stole = deques[(self + d) % workers].steal_back(u);
+          }
+          if (!stole) break;  // nothing left to start anywhere
+        }
+        run_unit(u);
+      }
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(main_mu);
+        if (!failure) failure = std::current_exception();
+      }
+      stop.store(true);
+    }
+    workers_alive.fetch_sub(1);
+    cv.notify_all();
+  };
+
+  // --- snapshotting ----------------------------------------------------------
+  auto snapshot_checkpoint = [&]() -> std::string {
+    Checkpoint ckpt;
+    ckpt.shard = options.shard;  // stamps are derived from the spec by the serializer
+    for (const auto& stp : states) {
+      CellState& st = *stp;
+      const std::lock_guard<std::mutex> lock(st.mu);
+      if (st.merged_blocks == 0 && st.pending.empty()) continue;
+      CellProgress cp;
+      cp.scenario_index = st.cell.index;
+      cp.prefix_blocks = st.merged_blocks;
+      if (st.merged_blocks > 0) cp.prefix = st.prefix;
+      for (const auto& [block, partial] : st.pending) cp.extra.emplace_back(block, partial);
+      ckpt.cells.push_back(std::move(cp));
+    }
+    return checkpoint_to_json(spec, ckpt);
+  };
+
+  const bool checkpointing = !options.checkpoint_path.empty();
+  auto last_checkpoint = std::chrono::steady_clock::now();
+  std::uint64_t checkpointed_blocks = 0;
+
+  // Caller must NOT hold main_mu (the lines were already moved out of
+  // `events`); shared by the wait loop and the post-join final drain.
+  auto print_progress = [&](const std::vector<std::string>& lines) {
+    if (options.progress == nullptr) return;
+    for (const std::string& line : lines) {
+      cells_done = std::min(owned, cells_done + 1);
+      (*options.progress) << "[" << (owned_done_at_start + cells_done) << "/" << owned << "] "
+                          << line << "\n";
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker_fn, w);
+
+  // The main thread runs progress + periodic checkpoints while workers churn.
+  {
+    std::unique_lock<std::mutex> lk(main_mu);
+    while (workers_alive.load() > 0) {
+      cv.wait_for(lk, std::chrono::milliseconds(50));
+      std::vector<std::string> drained;
+      drained.swap(events);
+      lk.unlock();
+      print_progress(drained);
+      if (checkpointing && !stop.load()) {
+        const std::uint64_t done = blocks_completed.load();
+        const auto now = std::chrono::steady_clock::now();
+        const double elapsed = std::chrono::duration<double>(now - last_checkpoint).count();
+        if (done > checkpointed_blocks && elapsed >= options.checkpoint_every_seconds) {
+          // A failed write (disk full, path deleted) must not unwind past the
+          // joinable pool — that would std::terminate. Record it like a
+          // worker failure, drain the workers, and rethrow after the join.
+          try {
+            write_file_atomically(options.checkpoint_path, snapshot_checkpoint());
+            checkpointed_blocks = done;
+            last_checkpoint = now;
+          } catch (...) {
+            {
+              const std::lock_guard<std::mutex> lock(main_mu);
+              if (!failure) failure = std::current_exception();
+            }
+            stop.store(true);
+          }
+        }
+      }
+      lk.lock();
+    }
+  }
+  for (std::thread& t : pool) t.join();
+
+  // Final progress drain (workers joined, no contention left).
+  print_progress(events);
+  events.clear();
+
+  if (failure) std::rethrow_exception(failure);
+
+  const std::uint64_t done = blocks_completed.load();
+  if (checkpointing && (done > checkpointed_blocks || (options.stop_after_blocks != 0 && done > 0))) {
+    write_file_atomically(options.checkpoint_path, snapshot_checkpoint());
+  }
+  if (options.stop_after_blocks != 0 && stop.load()) {
+    const bool all_done = std::all_of(states.begin(), states.end(),
+                                      [](const auto& st) { return st->finalized; });
+    if (!all_done) throw CampaignAborted(done);
+  }
+
+  for (auto& stp : states) {
+    CellState& st = *stp;
+    if (!st.finalized) {
+      throw std::logic_error("campaign: cell " + std::to_string(st.cell.index) +
+                             " did not complete");
+    }
+    result.scenarios[st.cell.index] = std::move(st.prefix);
   }
   return result;
 }

@@ -1,30 +1,53 @@
 // The campaign execution engine.
 //
-// Scenarios (grid cells) run one after another; within a scenario the trials
-// are cut into fixed blocks of kTrialBlock and the blocks are sharded across
-// a plain std::thread pool (the bench_runner discipline). Every trial's
-// randomness is counter-based — TrialRng::for_trial(seed, scenario, trial) —
-// and per-block partial statistics are merged in block order, so the result
-// is byte-identical for any thread count. Statistics stream through Welford
-// accumulators (no per-trial storage), success rates carry Wilson score
-// intervals, and fault-count survival curves are recorded per scenario.
+// Every (scenario, 256-trial block) pair of the whole grid is one work unit.
+// All units feed one work-stealing scheduler: each worker owns a deque seeded
+// with a deterministic contiguous slice of the units, pops its own work from
+// the front, and steals from the back of a sibling's deque when it runs dry —
+// so one slow cell no longer serializes the grid tail. Every trial's randomness is
+// counter-based — TrialRng::for_trial(seed, scenario, trial) — and per-block
+// partial statistics are merged *in block order* per cell (an out-of-order
+// block parks in a pending map until its predecessors land), so the result is
+// byte-identical for any thread count and any steal schedule. Statistics
+// stream through Welford accumulators (no per-trial storage), success rates
+// carry Wilson score intervals, and fault-count survival curves are recorded
+// per scenario.
 //
-// Long campaigns checkpoint completed scenarios to JSON; --resume loads the
-// checkpoint, skips the finished cells, and (because trials are counter-
-// based) finishes the campaign with exactly the report an uninterrupted run
-// would have produced.
+// Long campaigns checkpoint at *block* granularity: the checkpoint stores,
+// per cell, the merged prefix of completed blocks plus any completed
+// out-of-prefix blocks, so a crash replays at most the blocks in flight (256
+// trials each), not a whole cell. --resume loads the checkpoint and, because
+// trials are counter-based, finishes with exactly the report an uninterrupted
+// run would have produced.
+//
+// Sharding scales the same campaign across machines: shard i/n runs only the
+// cells it owns (round-robin by cell index) and writes a mergeable partial
+// checkpoint; merge_checkpoints (report.hpp) fuses the partials into a report
+// byte-identical to a single-machine run.
 #pragma once
 
 #include <cstdint>
 #include <limits>
 #include <ostream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/bench_json.hpp"
 #include "campaign/scenario.hpp"
 
 namespace ftdb::campaign {
+
+/// Trials per work unit. Fixed — the block partition is part of the
+/// deterministic reduction order, so it must not depend on the thread count,
+/// the shard layout, or the steal schedule.
+inline constexpr std::uint64_t kTrialBlock = 256;
+
+/// Blocks a cell of `trials` trials decomposes into (the last may be short).
+inline constexpr std::uint64_t num_trial_blocks(std::uint64_t trials) {
+  return (trials + kTrialBlock - 1) / kTrialBlock;
+}
 
 /// Welford/Chan streaming moments with min/max. Deterministic under the
 /// runner's fixed block partition + in-order merge.
@@ -109,22 +132,44 @@ struct CampaignOptions {
   unsigned threads = 0;
   /// Checkpoint file; empty disables checkpointing.
   std::string checkpoint_path;
-  /// Minimum seconds between checkpoint writes (0 = after every scenario).
+  /// Minimum seconds between checkpoint writes (0 = after every completed
+  /// block — the tightest crash-replay bound).
   double checkpoint_every_seconds = 0.0;
-  /// Load checkpoint_path (if it exists) and skip its completed scenarios.
+  /// Load checkpoint_path (if it exists) and skip its completed blocks.
   bool resume = false;
+  /// Run only the cells this shard owns (see ShardSpec). The checkpoint then
+  /// carries the shard stamp and is a merge_checkpoints input.
+  ShardSpec shard;
+  /// Test/CI hook simulating a mid-campaign crash: once this many blocks have
+  /// completed, stop scheduling work, write a final checkpoint, and throw
+  /// CampaignAborted. 0 disables.
+  std::uint64_t stop_after_blocks = 0;
   /// Optional sink for one progress line per completed scenario.
   std::ostream* progress = nullptr;
 };
 
 struct CampaignResult {
   ScenarioSpec spec;
-  std::vector<ScenarioResult> scenarios;  ///< in grid order
-  std::uint64_t resumed_scenarios = 0;    ///< cells loaded from the checkpoint
+  ShardSpec shard;                        ///< which slice this run executed
+  std::vector<ScenarioResult> scenarios;  ///< in grid order; unowned cells stay empty
+  std::uint64_t resumed_scenarios = 0;    ///< cells fully loaded from the checkpoint
+  std::uint64_t resumed_blocks = 0;       ///< blocks skipped thanks to the checkpoint
 };
 
-/// Runs the whole campaign. Throws std::runtime_error on unusable specs or
-/// an incompatible checkpoint.
+/// Thrown by run_campaign when options.stop_after_blocks fired. The final
+/// checkpoint (when a checkpoint path is set) is written *before* the throw,
+/// so the campaign is resumable from exactly this point.
+struct CampaignAborted : std::runtime_error {
+  explicit CampaignAborted(std::uint64_t blocks)
+      : std::runtime_error("campaign: stopped after " + std::to_string(blocks) +
+                           " blocks (stop_after_blocks hook)"),
+        blocks_completed(blocks) {}
+  std::uint64_t blocks_completed = 0;
+};
+
+/// Runs the whole campaign (or one shard of it). Throws std::runtime_error on
+/// unusable specs or an incompatible checkpoint, CampaignAborted when the
+/// stop_after_blocks hook fires.
 CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& options = {});
 
 // --- checkpoint / result serialization (shared with report.cpp) ------------
@@ -135,16 +180,34 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
 void write_scenario_result(analysis::JsonWriter& w, const ScenarioResult& r);
 ScenarioResult parse_scenario_result(const analysis::JsonValue& obj);
 
-/// Serializes completed scenario results ("ftdb-campaign-checkpoint-v1").
+/// One cell's progress inside a checkpoint: blocks [0, prefix_blocks) merged
+/// into `prefix` (finalized — labels and analytic columns filled — exactly
+/// when the cell is complete), plus any completed blocks past the prefix that
+/// were waiting on a predecessor when the snapshot was taken.
+struct CellProgress {
+  std::size_t scenario_index = 0;
+  std::uint64_t prefix_blocks = 0;
+  ScenarioResult prefix;
+  std::vector<std::pair<std::uint64_t, ScenarioResult>> extra;  ///< sorted by block
+};
+
+/// "ftdb-campaign-checkpoint-v2": block-granular progress of one shard.
+struct Checkpoint {
+  std::uint64_t fingerprint = 0;        ///< spec_fingerprint of the producing spec
+  std::uint64_t shard_stamp = 0;        ///< shard_fingerprint(spec, shard)
+  ShardSpec shard;
+  std::vector<CellProgress> cells;      ///< sorted by scenario_index
+};
+
+std::string checkpoint_to_json(const ScenarioSpec& spec, const Checkpoint& ckpt);
+
+/// Convenience form for whole-cell checkpoints (each result a completed
+/// cell), the shape the scenario-granular v1 engine produced.
 std::string checkpoint_to_json(const ScenarioSpec& spec,
                                const std::vector<ScenarioResult>& completed);
 
-struct Checkpoint {
-  std::uint64_t fingerprint = 0;
-  std::vector<ScenarioResult> completed;
-};
-
-/// Parses a checkpoint document; throws std::runtime_error when malformed.
+/// Parses a checkpoint document; throws std::runtime_error when malformed or
+/// when the trial-block size it was produced with differs from kTrialBlock.
 Checkpoint parse_checkpoint(const std::string& json_text);
 
 }  // namespace ftdb::campaign

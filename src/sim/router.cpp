@@ -298,11 +298,24 @@ NodeId ImplicitRouter::next_hop(NodeId dest, NodeId node) const {
 std::unique_ptr<Router> make_router(const Graph& g, const RouterOptions& options) {
   using Backend = RouterOptions::Backend;
   if (options.backend == Backend::Auto || options.backend == Backend::Implicit) {
+    // Size-aware policy (Auto only): below the threshold the N^2 slab is
+    // cheap and its O(1) lookup beats the O(h^2) label algebra, so small
+    // shaped machines get the table — the canonical hops are identical
+    // either way. A forced Backend::Implicit skips the size check.
+    const bool implicit_fits =
+        options.backend == Backend::Implicit || options.implicit_min_nodes == 0 ||
+        g.num_nodes() >= options.implicit_min_nodes;
     if (const auto db = debruijn_shape_of(g)) {
-      return std::make_unique<ImplicitRouter>(ImplicitRouter::for_debruijn(*db));
+      if (implicit_fits) {
+        return std::make_unique<ImplicitRouter>(ImplicitRouter::for_debruijn(*db));
+      }
+      return std::make_unique<TableRouter>(g);
     }
     if (const auto se_h = shuffle_exchange_shape_of(g)) {
-      return std::make_unique<ImplicitRouter>(ImplicitRouter::for_shuffle_exchange(*se_h));
+      if (implicit_fits) {
+        return std::make_unique<ImplicitRouter>(ImplicitRouter::for_shuffle_exchange(*se_h));
+      }
+      return std::make_unique<TableRouter>(g);
     }
     if (options.backend == Backend::Implicit) {
       throw std::invalid_argument(

@@ -198,12 +198,19 @@ struct RouterOptions {
   /// degree stays within this bound (the constant-degree regime where the
   /// run-length encoding provably has something to share).
   std::size_t compressed_max_degree = 16;
+  /// Size-aware auto policy: the implicit backend's O(h^2) label algebra only
+  /// pays off where the table slab would hurt, so Auto picks the table (60 ns
+  /// lookups, identical canonical hops) for *shaped* graphs below this node
+  /// count and the O(1)-memory algebra at or above it. 0 restores
+  /// shape-implies-implicit. Forcing a backend bypasses the policy entirely.
+  std::size_t implicit_min_nodes = std::size_t{1} << 12;
 };
 
-/// Builds the right router for `g`. Auto order: implicit (when the graph is
-/// recognized as B_{m,h} or SE_h), else compressed (constant-ish degree),
-/// else table. Forcing Backend::Implicit on a graph of neither shape throws
-/// std::invalid_argument.
+/// Builds the right router for `g`. Auto order: for a recognized B_{m,h} /
+/// SE_h shape, implicit at or above options.implicit_min_nodes and the table
+/// below it (same canonical hops, O(1) lookups, affordable slab); otherwise
+/// compressed (constant-ish degree), else table. Forcing Backend::Implicit on
+/// a graph of neither shape throws std::invalid_argument.
 std::unique_ptr<Router> make_router(const Graph& g, const RouterOptions& options = {});
 
 }  // namespace ftdb::sim

@@ -427,7 +427,7 @@ TEST(Campaign, CheckpointFingerprintMismatchIsRejected) {
   const std::string ckpt_path = ::testing::TempDir() + "/ftdb_campaign_ckpt2.json";
   {
     std::ofstream out(ckpt_path, std::ios::binary | std::ios::trunc);
-    out << checkpoint_to_json(other, {});
+    out << checkpoint_to_json(other, std::vector<ScenarioResult>{});
   }
   CampaignOptions opts;
   opts.threads = 1;
@@ -502,6 +502,224 @@ TEST(Campaign, BusFamilyRunsAndBoundsDegree) {
   EXPECT_EQ(r.target_nodes, 8u);
   EXPECT_EQ(r.fabric_nodes, 9u);  // 2^3 + 1
   EXPECT_GT(r.reconfig_success, 0u);
+}
+
+// --- work-stealing scheduler, block checkpoints, shard/merge -----------------
+
+/// 4 cells x 600 trials = 3 blocks per cell: enough blocks that stealing,
+/// out-of-order merges and mid-cell checkpoints all actually happen.
+ScenarioSpec multiblock_spec() {
+  ScenarioSpec spec;
+  spec.name = "blocks";
+  spec.seed = 99;
+  spec.trials = 600;
+  spec.topologies = {{TopologyFamily::DeBruijn, 2, 4}, {TopologyFamily::ShuffleExchange, 2, 3}};
+  spec.spares = {0, 2};
+  spec.fault_models = {{FaultModelKind::IidBernoulli, 0.05, 1.0, 100.0, 1.0}};
+  spec.metrics = {true, false, true};
+  return spec;
+}
+
+/// Runs one shard to completion and returns its parsed partial checkpoint.
+Checkpoint run_shard(const ScenarioSpec& spec, const ShardSpec& shard, unsigned threads,
+                     const std::string& tag) {
+  CampaignOptions options;
+  options.threads = threads;
+  options.shard = shard;
+  options.checkpoint_path = ::testing::TempDir() + "/ftdb_shard_" + tag + ".ckpt";
+  run_campaign(spec, options);
+  std::ifstream in(options.checkpoint_path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_checkpoint(buf.str());
+}
+
+TEST(Scheduler, WorkStealingIsByteIdenticalAcrossThreadCounts) {
+  const ScenarioSpec spec = multiblock_spec();
+  ASSERT_EQ(num_trial_blocks(spec.trials), 3u);
+  const std::string serial = campaign_report_json(run_campaign(spec, {.threads = 1}));
+  for (const unsigned threads : {2u, 5u}) {
+    EXPECT_EQ(serial, campaign_report_json(run_campaign(spec, {.threads = threads})))
+        << threads << " threads";
+  }
+}
+
+TEST(Scheduler, StopAfterBlocksWritesAResumableBlockGranularCheckpoint) {
+  const ScenarioSpec spec = multiblock_spec();
+  const std::string full = campaign_report_json(run_campaign(spec, {.threads = 2}));
+
+  CampaignOptions crash;
+  crash.threads = 1;
+  crash.checkpoint_path = ::testing::TempDir() + "/ftdb_midcell.ckpt";
+  crash.stop_after_blocks = 2;  // dies inside the first cell (3 blocks each)
+  EXPECT_THROW(run_campaign(spec, crash), CampaignAborted);
+
+  std::ifstream in(crash.checkpoint_path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const Checkpoint ckpt = parse_checkpoint(buf.str());
+  std::uint64_t blocks = 0;
+  for (const CellProgress& c : ckpt.cells) blocks += c.prefix_blocks + c.extra.size();
+  EXPECT_GE(blocks, 2u);
+  // Mid-cell granularity: some cell stopped strictly between 0 and all blocks.
+  bool mid_cell = false;
+  for (const CellProgress& c : ckpt.cells) {
+    mid_cell = mid_cell || (c.prefix_blocks > 0 && c.prefix_blocks < 3);
+  }
+  EXPECT_TRUE(mid_cell);
+
+  CampaignOptions resume = crash;
+  resume.threads = 3;
+  resume.stop_after_blocks = 0;
+  resume.resume = true;
+  const CampaignResult resumed = run_campaign(spec, resume);
+  EXPECT_GE(resumed.resumed_blocks, 2u);
+  EXPECT_EQ(campaign_report_json(resumed), full);
+}
+
+TEST(Scheduler, PartialFinalBlockResumesCorrectly) {
+  // 300 trials = one full block + a 44-trial tail block; crash between them.
+  ScenarioSpec spec = multiblock_spec();
+  spec.trials = 300;
+  spec.topologies = {{TopologyFamily::DeBruijn, 2, 4}};
+  spec.spares = {2};
+  ASSERT_EQ(num_trial_blocks(spec.trials), 2u);
+  const std::string full = campaign_report_json(run_campaign(spec, {.threads = 1}));
+
+  CampaignOptions crash;
+  crash.threads = 1;
+  crash.checkpoint_path = ::testing::TempDir() + "/ftdb_tail.ckpt";
+  crash.stop_after_blocks = 1;
+  EXPECT_THROW(run_campaign(spec, crash), CampaignAborted);
+
+  CampaignOptions resume = crash;
+  resume.stop_after_blocks = 0;
+  resume.resume = true;
+  const CampaignResult resumed = run_campaign(spec, resume);
+  EXPECT_EQ(resumed.resumed_blocks, 1u);
+  EXPECT_EQ(resumed.scenarios.front().trials, 300u);
+  EXPECT_EQ(campaign_report_json(resumed), full);
+}
+
+TEST(Shard, TwoShardsMergeByteIdenticalToSingleMachineRun) {
+  const ScenarioSpec spec = multiblock_spec();
+  const std::string reference = campaign_report_json(run_campaign(spec, {.threads = 1}));
+
+  const Checkpoint s0 = run_shard(spec, {0, 2}, 3, "m0");
+  const Checkpoint s1 = run_shard(spec, {1, 2}, 2, "m1");
+  EXPECT_EQ(s0.shard.index, 0u);
+  EXPECT_EQ(s1.shard.count, 2u);
+  // Round-robin partition: each shard owns every second cell.
+  for (const CellProgress& c : s0.cells) EXPECT_EQ(c.scenario_index % 2, 0u);
+  for (const CellProgress& c : s1.cells) EXPECT_EQ(c.scenario_index % 2, 1u);
+
+  const CampaignResult merged = merge_checkpoints(spec, {s0, s1});
+  EXPECT_EQ(campaign_report_json(merged), reference);
+  EXPECT_EQ(campaign_report_csv(merged), campaign_report_csv(run_campaign(spec, {.threads = 2})));
+}
+
+TEST(Shard, MergeOfOnePartialIsIdentity) {
+  const ScenarioSpec spec = small_spec();
+  const CampaignResult direct = run_campaign(spec, {.threads = 2});
+  const Checkpoint whole = run_shard(spec, {0, 1}, 2, "whole");
+  const CampaignResult merged = merge_checkpoints(spec, {whole});
+  EXPECT_EQ(campaign_report_json(merged), campaign_report_json(direct));
+}
+
+TEST(Shard, MergeRejectsOverlapFingerprintMismatchAndGaps) {
+  const ScenarioSpec spec = multiblock_spec();
+  const Checkpoint s0 = run_shard(spec, {0, 2}, 2, "r0");
+  const Checkpoint s1 = run_shard(spec, {1, 2}, 2, "r1");
+
+  // Overlap: the same cells arriving twice must be rejected, not averaged.
+  EXPECT_THROW(merge_checkpoints(spec, {s0, s1, s0}), std::runtime_error);
+  // Coverage gap: a missing shard leaves cells uncovered.
+  EXPECT_THROW(merge_checkpoints(spec, {s0}), std::runtime_error);
+  // Fingerprint mismatch: partials of a different spec are rejected.
+  ScenarioSpec other = spec;
+  other.seed += 1;
+  const Checkpoint o0 = run_shard(other, {0, 2}, 2, "o0");
+  EXPECT_THROW(merge_checkpoints(spec, {o0, s1}), std::runtime_error);
+  // Incomplete cell: a crash-cut partial cannot be merged.
+  Checkpoint cut = s0;
+  ASSERT_FALSE(cut.cells.empty());
+  cut.cells.front().prefix_blocks -= 1;
+  EXPECT_THROW(merge_checkpoints(spec, {cut, s1}), std::runtime_error);
+  // Torn accumulator: all blocks claimed but the prefix carries fewer trials
+  // (a corrupted file must not merge into a silently wrong report).
+  Checkpoint torn = s0;
+  torn.cells.front().prefix.trials -= 1;
+  EXPECT_THROW(merge_checkpoints(spec, {torn, s1}), std::runtime_error);
+  // The intact pair still merges (the guards above rejected for real reasons).
+  EXPECT_EQ(merge_checkpoints(spec, {s0, s1}).scenarios.size(), 4u);
+}
+
+TEST(Shard, ResumingUnderTheWrongShardCoordinatesIsRejected) {
+  const ScenarioSpec spec = multiblock_spec();
+  CampaignOptions options;
+  options.threads = 1;
+  options.shard = {0, 2};
+  options.checkpoint_path = ::testing::TempDir() + "/ftdb_wrongshard.ckpt";
+  run_campaign(spec, options);
+
+  CampaignOptions wrong = options;
+  wrong.resume = true;
+  wrong.shard = {1, 2};
+  EXPECT_THROW(run_campaign(spec, wrong), std::runtime_error);
+  wrong.shard = {0, 1};  // a whole-campaign run can't adopt a shard checkpoint either
+  EXPECT_THROW(run_campaign(spec, wrong), std::runtime_error);
+}
+
+TEST(Checkpoint, BlockGranularProgressRoundTripsThroughJson) {
+  const ScenarioSpec spec = multiblock_spec();
+  // One block's genuine partial accumulators, replicated into a progress
+  // shape with both a prefix and an out-of-prefix block.
+  ScenarioSpec one_block = spec;
+  one_block.trials = 256;
+  const ScenarioResult partial = run_campaign(one_block, {.threads = 1}).scenarios.front();
+
+  Checkpoint ckpt;
+  ckpt.shard = {1, 3};
+  CellProgress cp;
+  cp.scenario_index = 1;
+  cp.prefix_blocks = 1;
+  cp.prefix = partial;
+  cp.extra.emplace_back(2, partial);
+  ckpt.cells.push_back(cp);
+
+  const Checkpoint reparsed = parse_checkpoint(checkpoint_to_json(spec, ckpt));
+  EXPECT_EQ(reparsed.fingerprint, spec_fingerprint(spec));
+  EXPECT_EQ(reparsed.shard_stamp, shard_fingerprint(spec, {1, 3}));
+  EXPECT_EQ(reparsed.shard.index, 1u);
+  EXPECT_EQ(reparsed.shard.count, 3u);
+  ASSERT_EQ(reparsed.cells.size(), 1u);
+  const CellProgress& rp = reparsed.cells.front();
+  EXPECT_EQ(rp.scenario_index, 1u);
+  EXPECT_EQ(rp.prefix_blocks, 1u);
+  ASSERT_EQ(rp.extra.size(), 1u);
+  EXPECT_EQ(rp.extra.front().first, 2u);
+  // Accumulators survive bit-exactly (the %.17g round-trip the byte-identity
+  // guarantees rest on).
+  EXPECT_EQ(rp.prefix.fault_count.mean, partial.fault_count.mean);
+  EXPECT_EQ(rp.prefix.fault_count.m2, partial.fault_count.m2);
+  EXPECT_EQ(rp.extra.front().second.mttf.m2, partial.mttf.m2);
+  EXPECT_EQ(rp.prefix.survival_curve.size(), partial.survival_curve.size());
+
+  // The shard stamp binds index *and* count.
+  EXPECT_NE(shard_fingerprint(spec, {1, 3}), shard_fingerprint(spec, {1, 4}));
+  EXPECT_NE(shard_fingerprint(spec, {1, 3}), shard_fingerprint(spec, {2, 3}));
+  EXPECT_EQ(shard_fingerprint(spec, {0, 1}), spec_fingerprint(spec));
+}
+
+TEST(Shard, ValidationRejectsBadCoordinates) {
+  const ScenarioSpec spec = small_spec();
+  CampaignOptions options;
+  options.threads = 1;
+  options.shard = {3, 2};  // index out of range
+  EXPECT_THROW(run_campaign(spec, options), std::runtime_error);
+  options.shard = {0, 200};  // more shards than cells
+  EXPECT_THROW(run_campaign(spec, options), std::runtime_error);
 }
 
 TEST(CampaignReport, ValidateAcceptsOwnOutputAndRejectsGarbage) {

@@ -31,6 +31,16 @@ RouterOptions forced(RouterOptions::Backend backend) {
   return options;
 }
 
+/// Auto selection with the size-aware table preference switched off — the
+/// historical shape-implies-implicit behavior, used where a test's subject is
+/// the shape detection itself (the grids here are all far below the 2^12
+/// policy threshold).
+RouterOptions auto_implicit() {
+  RouterOptions options;
+  options.implicit_min_nodes = 0;
+  return options;
+}
+
 /// All-pairs agreement of `routers` with each other and with the BFS oracle:
 /// identical distances, hop-for-hop identical paths, and next-hop totality
 /// (every hop is a real neighbor strictly closer to the destination).
@@ -92,9 +102,13 @@ TEST_P(DeBruijnRouterGrid, HealthyBackendsMatchOracleHopForHop) {
   const auto [m, h] = GetParam();
   const Graph g = debruijn_graph({.base = m, .digits = h});
 
-  const auto auto_router = make_router(g);
+  // Below the size-aware threshold Auto prefers the table; with the policy
+  // switched off the shape detection must still land on the implicit algebra.
+  ASSERT_EQ(make_router(g)->backend(), RouterBackend::Table)
+      << "small healthy B_{m,h} must auto-select the table";
+  const auto auto_router = make_router(g, auto_implicit());
   ASSERT_EQ(auto_router->backend(), RouterBackend::Implicit)
-      << "healthy B_{m,h} must auto-select the implicit backend";
+      << "healthy B_{m,h} must be recognized as implicit-routable";
   EXPECT_EQ(auto_router->memory_bytes(), 0u);
 
   const TableRouter table(g);
@@ -122,7 +136,7 @@ TEST_P(DeBruijnRouterGrid, ReconfiguredDilationOneKeepsImplicitRouting) {
     // logical graph is the intact target and the implicit backend applies.
     const Graph live = machine.live_logical_graph(target);
     ASSERT_TRUE(live.same_structure(target)) << "trial " << trial;
-    const auto router = machine_logical_router(machine, target);
+    const auto router = machine_logical_router(machine, target, auto_implicit());
     ASSERT_EQ(router->backend(), RouterBackend::Implicit) << "trial " << trial;
     const TableRouter table(live);
     expect_equivalent(live, {&table, router.get()},
@@ -139,7 +153,7 @@ TEST_P(DeBruijnRouterGrid, DegradedMachineFallsBackAndStaysEquivalent) {
   const Machine machine = Machine::direct_with_faults(target, faults);
   const Graph live = machine.live_logical_graph(target);
 
-  const auto router = machine_logical_router(machine, target);
+  const auto router = machine_logical_router(machine, target, auto_implicit());
   ASSERT_NE(router->backend(), RouterBackend::Implicit)
       << "dead nodes break the algebraic shape; auto must fall back";
   EXPECT_EQ(router->backend(), RouterBackend::Compressed)
@@ -173,7 +187,8 @@ class SeRouterGrid : public ::testing::TestWithParam<unsigned> {};
 TEST_P(SeRouterGrid, HealthyBackendsMatchOracleHopForHop) {
   const unsigned h = GetParam();
   const Graph g = shuffle_exchange_graph(h);
-  const auto auto_router = make_router(g);
+  ASSERT_EQ(make_router(g)->backend(), RouterBackend::Table);
+  const auto auto_router = make_router(g, auto_implicit());
   ASSERT_EQ(auto_router->backend(), RouterBackend::Implicit);
   const TableRouter table(g);
   const CompressedRouter compressed(g);
@@ -190,7 +205,7 @@ TEST_P(SeRouterGrid, ReconfiguredNaturalFtSeKeepsImplicitRouting) {
   const FaultSet faults = FaultSet::random(ft.ft_graph.num_nodes(), k, rng);
   const Machine machine = Machine::reconfigured(ft.ft_graph, faults, target.num_nodes());
   ASSERT_TRUE(machine.live_logical_graph(target).same_structure(target));
-  const auto router = machine_logical_router(machine, target);
+  const auto router = machine_logical_router(machine, target, auto_implicit());
   ASSERT_EQ(router->backend(), RouterBackend::Implicit);
   const TableRouter table(target);
   expect_equivalent(target, {&table, router.get()},
@@ -221,6 +236,37 @@ TEST(MakeRouter, HighDegreeUnshapedGraphGetsTheTable) {
   const Graph g = builder.build();
   const auto router = make_router(g);
   EXPECT_EQ(router->backend(), RouterBackend::Table);
+}
+
+TEST(MakeRouter, SizeAwarePolicyPrefersTableBelowThreshold) {
+  // Below the default 2^12 threshold a shaped machine gets the table: same
+  // canonical hops, O(1) lookups, slab cheap at this size.
+  const Graph small = debruijn_base2(6);  // 64 nodes
+  EXPECT_EQ(make_router(small)->backend(), RouterBackend::Table);
+  // At the threshold and above, the O(1)-memory algebra wins.
+  const Graph big = debruijn_graph({.base = 2, .digits = 12});  // exactly 2^12
+  EXPECT_EQ(make_router(big)->backend(), RouterBackend::Implicit);
+
+  // The threshold is a knob...
+  RouterOptions raised;
+  raised.implicit_min_nodes = std::size_t{1} << 13;
+  EXPECT_EQ(make_router(big, raised)->backend(), RouterBackend::Table);
+  RouterOptions off;
+  off.implicit_min_nodes = 0;
+  EXPECT_EQ(make_router(small, off)->backend(), RouterBackend::Implicit);
+
+  // ...and the forced-backend escape hatch bypasses the policy in both
+  // directions: implicit on a tiny shape, table on a big one.
+  EXPECT_EQ(make_router(small, forced(RouterOptions::Backend::Implicit))->backend(),
+            RouterBackend::Implicit);
+  EXPECT_EQ(make_router(big, forced(RouterOptions::Backend::Table))->backend(),
+            RouterBackend::Table);
+
+  // The policy only reroutes *shaped* graphs; unshaped graphs keep the
+  // degree-based compressed/table choice regardless of the threshold.
+  const Graph ft = ft_debruijn_base2(4, 2);
+  EXPECT_EQ(make_router(ft)->backend(), RouterBackend::Compressed);
+  EXPECT_EQ(make_router(ft, off)->backend(), RouterBackend::Compressed);
 }
 
 TEST(MakeRouter, FtGraphIsNotMistakenForItsTarget) {

@@ -5,6 +5,13 @@
 //
 //   bench_compare BENCH_seed.json BENCH_ci.json --stat mean --threshold 1.15
 //   bench_compare BENCH_pr2_pre.json BENCH_pr2.json --filter perf_construction
+//
+// --validate mode checks committed baselines instead of diffing: every given
+// file must json_parse as a well-formed ftdb-bench-v1 document (schema stamp,
+// benchmarks array shape, wall-time statistics present) — how CI fails fast
+// on a stale or hand-mangled BENCH_*.json:
+//
+//   bench_compare --validate BENCH_*.json
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -33,6 +40,7 @@ struct Options {
 
 void usage(const char* argv0) {
   std::cout << "usage: " << argv0 << " BASE.json NEW.json [options]\n"
+            << "       " << argv0 << " --validate BENCH.json...\n"
             << "  --stat min|mean|max   wall-time statistic to compare (default min)\n"
             << "  --filter SUBSTR       only compare benchmarks whose name contains SUBSTR\n"
             << "  --threshold R         flag a regression when new > R * base (default 1.15)\n"
@@ -175,10 +183,46 @@ std::string fmt_ratio(double r) {
   return o.str();
 }
 
+/// --validate: each file must be a well-formed ftdb-bench-v1 document whose
+/// every benchmark entry has the name/ok/wall_seconds shape the comparison
+/// path relies on. Returns the process exit code.
+int validate_files(const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    std::cerr << "bench_compare: --validate needs at least one file\n";
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& path : paths) {
+    const auto doc = load(path);  // json_parse + schema stamp
+    if (!doc) {
+      ++failures;
+      continue;
+    }
+    try {
+      const std::vector<Sample> all = samples(*doc, "mean", "");
+      // The wall statistics must all be present on ok entries, not just the
+      // one `samples` read.
+      for (const JsonValue& b : doc->at("benchmarks").array) {
+        if (!b.at("ok").boolean) continue;
+        for (const char* stat : {"min", "mean", "max"}) {
+          (void)b.at("wall_seconds").at(stat).number;
+        }
+      }
+      std::cout << path << ": valid ftdb-bench-v1, " << all.size() << " benchmarks\n";
+    } catch (const std::exception& e) {
+      std::cerr << "bench_compare: " << path << ": malformed bench document: " << e.what()
+                << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
+  bool validate = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -209,6 +253,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--fail-on-drift") {
       opt.fail_on_drift = true;
+    } else if (arg == "--validate") {
+      validate = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -220,6 +266,7 @@ int main(int argc, char** argv) {
       positional.push_back(arg);
     }
   }
+  if (validate) return validate_files(positional);
   if (positional.size() != 2) {
     usage(argv[0]);
     return 2;

@@ -1,14 +1,22 @@
 // ftdb_campaign — Monte Carlo fault-injection campaigns from the command
 // line. A campaign spec (JSON) declares a grid of topologies x spare budgets
-// x fault models; the engine runs the trials across a thread pool and emits
-// deterministic JSON/CSV/markdown reports (byte-identical for any --threads
-// value, and across --checkpoint / --resume boundaries).
+// x fault models; the engine runs 256-trial blocks of every cell through a
+// work-stealing thread pool and emits deterministic JSON/CSV/markdown
+// reports (byte-identical for any --threads value, across --checkpoint /
+// --resume boundaries, and across --shard / merge splits).
 //
 //   ftdb_campaign example-spec > demo.json
 //   ftdb_campaign run --spec demo.json --out report.json --md report.md
 //   ftdb_campaign run --spec big.json --checkpoint big.ckpt --checkpoint-every 30
 //   ftdb_campaign run --spec big.json --checkpoint big.ckpt --resume   # pick up
+//
+//   # distributed: one shard per machine, then fuse the partial checkpoints
+//   ftdb_campaign run --spec big.json --shard 0/2 --checkpoint s0.ckpt
+//   ftdb_campaign run --spec big.json --shard 1/2 --checkpoint s1.ckpt
+//   ftdb_campaign merge --spec big.json --out report.json s0.ckpt s1.ckpt
+//
 //   ftdb_campaign validate report.json
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -26,6 +34,7 @@ int usage() {
   std::cerr
       << "usage:\n"
          "  ftdb_campaign run --spec FILE [options]\n"
+         "  ftdb_campaign merge --spec FILE --out FILE [--csv FILE] [--md FILE] CKPT...\n"
          "  ftdb_campaign example-spec\n"
          "  ftdb_campaign validate REPORT.json\n"
          "\n"
@@ -35,10 +44,20 @@ int usage() {
          "  --csv FILE              also write a CSV report\n"
          "  --md FILE               also write a markdown report\n"
          "  --threads N             worker threads (0 = hardware, default 0)\n"
-         "  --checkpoint FILE       write scenario-level checkpoints to FILE\n"
-         "  --checkpoint-every SEC  min seconds between checkpoint writes (default 0)\n"
-         "  --resume                load --checkpoint and skip completed scenarios\n"
-         "  --quiet                 no per-scenario progress on stderr\n";
+         "  --checkpoint FILE       write block-granular checkpoints to FILE\n"
+         "  --checkpoint-every SEC  min seconds between checkpoint writes\n"
+         "                          (default 0 = after every completed block)\n"
+         "  --resume                load --checkpoint and skip completed blocks\n"
+         "  --shard I/N             run only the cells shard I of N owns and write a\n"
+         "                          mergeable partial checkpoint (requires --checkpoint;\n"
+         "                          no report is emitted — `merge` produces it)\n"
+         "  --stop-after-blocks N   crash-simulation hook: checkpoint and abort (exit 3)\n"
+         "                          once N trial blocks completed\n"
+         "  --quiet                 no per-scenario progress on stderr\n"
+         "\n"
+         "merge fuses the partial checkpoints of a sharded campaign into the full\n"
+         "report: fingerprints are checked, overlapping or missing cells rejected,\n"
+         "and the output is byte-identical to a single-machine run of the spec.\n";
   return 2;
 }
 
@@ -57,6 +76,40 @@ bool write_file(const std::string& path, const std::string& content) {
   return static_cast<bool>(out.flush());
 }
 
+ftdb::campaign::ShardSpec parse_shard_arg(const std::string& s) {
+  unsigned index = 0;
+  unsigned count = 0;
+  char tail = '\0';
+  if (std::sscanf(s.c_str(), "%u/%u%c", &index, &count, &tail) != 2 || count == 0) {
+    std::cerr << "ftdb_campaign: --shard wants I/N (e.g. 0/4), got \"" << s << "\"\n";
+    std::exit(2);
+  }
+  return {index, count};
+}
+
+/// Writes the three report renderings; returns false (with a message) on any
+/// I/O failure. An empty out_path sends the JSON to stdout.
+bool emit_reports(const ftdb::campaign::CampaignResult& result, const std::string& out_path,
+                  const std::string& csv_path, const std::string& md_path) {
+  using namespace ftdb::campaign;
+  const std::string report = campaign_report_json(result);
+  if (out_path.empty()) {
+    std::cout << report;
+  } else if (!write_file(out_path, report)) {
+    std::cerr << "ftdb_campaign: cannot write " << out_path << "\n";
+    return false;
+  }
+  if (!csv_path.empty() && !write_file(csv_path, campaign_report_csv(result))) {
+    std::cerr << "ftdb_campaign: cannot write " << csv_path << "\n";
+    return false;
+  }
+  if (!md_path.empty() && !write_file(md_path, campaign_report_markdown(result))) {
+    std::cerr << "ftdb_campaign: cannot write " << md_path << "\n";
+    return false;
+  }
+  return true;
+}
+
 int run_command(const std::vector<std::string>& args) {
   using namespace ftdb::campaign;
   std::string spec_path;
@@ -65,6 +118,7 @@ int run_command(const std::vector<std::string>& args) {
   std::string md_path;
   CampaignOptions options;
   bool quiet = false;
+  bool sharded = false;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -91,6 +145,11 @@ int run_command(const std::vector<std::string>& args) {
       options.checkpoint_every_seconds = std::stod(next());
     } else if (arg == "--resume") {
       options.resume = true;
+    } else if (arg == "--shard") {
+      options.shard = parse_shard_arg(next());
+      sharded = !options.shard.whole_campaign();
+    } else if (arg == "--stop-after-blocks") {
+      options.stop_after_blocks = std::stoull(next());
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -102,6 +161,21 @@ int run_command(const std::vector<std::string>& args) {
     std::cerr << "ftdb_campaign: run needs --spec\n";
     return usage();
   }
+  if (options.stop_after_blocks != 0 && options.checkpoint_path.empty()) {
+    std::cerr << "ftdb_campaign: --stop-after-blocks needs --checkpoint (aborting without one "
+                 "would just discard the completed blocks)\n";
+    return usage();
+  }
+  if (sharded && options.checkpoint_path.empty()) {
+    std::cerr << "ftdb_campaign: --shard needs --checkpoint (the partial checkpoint is the "
+                 "shard's output; merge the shards to get the report)\n";
+    return usage();
+  }
+  if (sharded && !(out_path.empty() && csv_path.empty() && md_path.empty())) {
+    std::cerr << "ftdb_campaign: --shard does not emit reports; run `merge` on the partial "
+                 "checkpoints instead\n";
+    return usage();
+  }
   const auto spec_text = read_file(spec_path);
   if (!spec_text) {
     std::cerr << "ftdb_campaign: cannot read " << spec_path << "\n";
@@ -110,31 +184,93 @@ int run_command(const std::vector<std::string>& args) {
   if (!quiet) options.progress = &std::cerr;
 
   const ScenarioSpec spec = parse_scenario_spec(*spec_text);
-  const CampaignResult result = run_campaign(spec, options);
+  CampaignResult result;
+  try {
+    result = run_campaign(spec, options);
+  } catch (const CampaignAborted& aborted) {
+    std::cerr << "ftdb_campaign: " << aborted.what() << "; checkpoint "
+              << options.checkpoint_path << " is resumable\n";
+    return 3;
+  }
 
-  const std::string report = campaign_report_json(result);
-  if (out_path.empty()) {
-    std::cout << report;
-  } else if (!write_file(out_path, report)) {
-    std::cerr << "ftdb_campaign: cannot write " << out_path << "\n";
-    return 2;
-  }
-  if (!csv_path.empty() && !write_file(csv_path, campaign_report_csv(result))) {
-    std::cerr << "ftdb_campaign: cannot write " << csv_path << "\n";
-    return 2;
-  }
-  if (!md_path.empty() && !write_file(md_path, campaign_report_markdown(result))) {
-    std::cerr << "ftdb_campaign: cannot write " << md_path << "\n";
-    return 2;
-  }
+  if (!sharded && !emit_reports(result, out_path, csv_path, md_path)) return 2;
   if (!quiet) {
-    std::cerr << "campaign \"" << spec.name << "\": " << result.scenarios.size()
-              << " scenarios x " << spec.trials << " trials done";
-    if (result.resumed_scenarios > 0) {
-      std::cerr << " (" << result.resumed_scenarios << " resumed from checkpoint)";
+    std::size_t owned = 0;
+    for (const ScenarioResult& r : result.scenarios) owned += r.trials > 0 ? 1 : 0;
+    std::cerr << "campaign \"" << spec.name << "\": " << owned << " scenarios x " << spec.trials
+              << " trials done";
+    if (sharded) std::cerr << " (shard " << options.shard.label() << ")";
+    if (result.resumed_scenarios > 0 || result.resumed_blocks > 0) {
+      std::cerr << " (" << result.resumed_scenarios << " scenarios / " << result.resumed_blocks
+                << " blocks resumed from checkpoint)";
     }
     std::cerr << "\n";
   }
+  return 0;
+}
+
+int merge_command(const std::vector<std::string>& args) {
+  using namespace ftdb::campaign;
+  std::string spec_path;
+  std::string out_path;
+  std::string csv_path;
+  std::string md_path;
+  std::vector<std::string> partial_paths;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::cerr << "ftdb_campaign: " << arg << " requires an argument\n";
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (arg == "--spec") {
+      spec_path = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--csv") {
+      csv_path = next();
+    } else if (arg == "--md") {
+      md_path = next();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "ftdb_campaign: unknown option " << arg << "\n";
+      return usage();
+    } else {
+      partial_paths.push_back(arg);
+    }
+  }
+  if (spec_path.empty() || partial_paths.empty()) {
+    std::cerr << "ftdb_campaign: merge needs --spec and at least one checkpoint\n";
+    return usage();
+  }
+  const auto spec_text = read_file(spec_path);
+  if (!spec_text) {
+    std::cerr << "ftdb_campaign: cannot read " << spec_path << "\n";
+    return 2;
+  }
+  const ScenarioSpec spec = parse_scenario_spec(*spec_text);
+
+  std::vector<Checkpoint> partials;
+  partials.reserve(partial_paths.size());
+  for (const std::string& path : partial_paths) {
+    const auto text = read_file(path);
+    if (!text) {
+      std::cerr << "ftdb_campaign: cannot read " << path << "\n";
+      return 2;
+    }
+    try {
+      partials.push_back(parse_checkpoint(*text));
+    } catch (const std::exception& e) {
+      std::cerr << "ftdb_campaign: " << path << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+  const CampaignResult result = merge_checkpoints(spec, partials);
+  if (!emit_reports(result, out_path, csv_path, md_path)) return 2;
+  std::cerr << "merged " << partials.size() << " partial checkpoint(s): "
+            << result.scenarios.size() << " scenarios x " << spec.trials << " trials\n";
   return 0;
 }
 
@@ -160,6 +296,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (cmd == "run") return run_command(args);
+    if (cmd == "merge") return merge_command(args);
   } catch (const std::exception& e) {
     std::cerr << "ftdb_campaign: " << e.what() << "\n";
     return 1;

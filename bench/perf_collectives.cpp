@@ -1,0 +1,128 @@
+// PERF7: the collective-schedule layer — compile cost of the generators,
+// functional-executor throughput, and end-to-end packet-engine execution on
+// healthy and degraded machines. The campaign's collective metric runs
+// execute_schedule once (success) or three times (failure: degraded run +
+// matched healthy baseline + schedule rebuild) per trial, so these are the
+// inner loops of every collective-slowdown sweep.
+#include "analysis/bench_registry.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/scenario.hpp"
+#include "sim/schedule.hpp"
+#include "topology/debruijn.hpp"
+
+namespace {
+
+using ftdb::Graph;
+using ftdb::NodeId;
+using ftdb::analysis::BenchContext;
+using namespace ftdb::sim;
+
+std::vector<NodeId> identity_ranks(std::size_t n) {
+  std::vector<NodeId> ranks(n);
+  for (std::size_t v = 0; v < n; ++v) ranks[v] = static_cast<NodeId>(v);
+  return ranks;
+}
+
+}  // namespace
+
+FTDB_BENCH(collectives_build, "perf_collectives/build_schedules_n256") {
+  // Compile every generator at n = 256 (B_{2,8} / B_{4,4} scale), repeatedly:
+  // the degraded campaign path rebuilds a schedule per failed trial.
+  const int reps = 20;
+  std::uint64_t sends = 0;
+  std::size_t rounds = 0;
+  for (int i = 0; i < reps; ++i) {
+    for (const ScheduleKind kind :
+         {ScheduleKind::AllToAllBruck, ScheduleKind::AllToAllPairwise,
+          ScheduleKind::AllgatherRecursiveDoubling, ScheduleKind::AllgatherBruck,
+          ScheduleKind::AllreduceRecursiveHalvingDoubling,
+          ScheduleKind::AllreduceReduceScatterAllgather}) {
+      const Schedule s = build_schedule(kind, 256);
+      sends += s.total_sends();
+      rounds += s.rounds();
+    }
+  }
+  ctx.report("iterations", reps);
+  ctx.report("total_sends", static_cast<double>(sends / reps));
+  ctx.report("total_rounds", static_cast<double>(rounds / static_cast<std::size_t>(reps)));
+}
+
+FTDB_BENCH(collectives_functional, "perf_collectives/functional_oracle_n243") {
+  // The correctness layer at a non-power-of-two rank count (B_{3,5}): every
+  // generator verified against the serial oracle.
+  for (const ScheduleKind kind :
+       {ScheduleKind::AllToAllBruck, ScheduleKind::AllgatherRecursiveDoubling,
+        ScheduleKind::AllgatherBruck, ScheduleKind::AllreduceRecursiveHalvingDoubling,
+        ScheduleKind::AllreduceReduceScatterAllgather}) {
+    verify_schedule_functional(build_schedule(kind, 243));
+  }
+  ctx.report("ranks", 243);
+}
+
+FTDB_BENCH(collectives_a2a_healthy, "perf_collectives/bruck_a2a_debruijn_h8") {
+  // End-to-end Bruck all-to-all on a healthy B_{2,8}: 256 ranks, 8 rounds,
+  // 65k logical sends routed hop by hop through the packet engine.
+  const Graph target = ftdb::debruijn_base2(8);
+  const Machine m = Machine::direct(target);
+  const Schedule s = build_schedule(ScheduleKind::AllToAllBruck, 256);
+  const ScheduleRunResult r = execute_schedule(m, target, s, identity_ranks(256));
+  ctx.report("rounds", static_cast<double>(r.rounds));
+  ctx.report("total_cycles", static_cast<double>(r.total_cycles));
+  ctx.report("total_hop_cycles", static_cast<double>(r.total_hop_cycles));
+  ctx.report("max_link_congestion", static_cast<double>(r.max_link_congestion));
+  ctx.report("delivered", static_cast<double>(r.delivered));
+}
+
+FTDB_BENCH(collectives_allreduce_healthy, "perf_collectives/allreduce_rhd_debruijn_h8") {
+  const Graph target = ftdb::debruijn_base2(8);
+  const Machine m = Machine::direct(target);
+  const Schedule s = build_schedule(ScheduleKind::AllreduceRecursiveHalvingDoubling, 256);
+  const ScheduleRunResult r = execute_schedule(m, target, s, identity_ranks(256));
+  ctx.report("rounds", static_cast<double>(r.rounds));
+  ctx.report("total_cycles", static_cast<double>(r.total_cycles));
+  ctx.report("delivered", static_cast<double>(r.delivered));
+}
+
+FTDB_BENCH(collectives_degraded, "perf_collectives/bruck_a2a_degraded_h7") {
+  // The failed-trial path: survivors-only schedule on a degraded B_{2,7}
+  // (8 dead nodes), including the matched healthy-baseline run the campaign
+  // prices slowdown against.
+  const Graph target = ftdb::debruijn_base2(7);
+  const ftdb::FaultSet faults(target.num_nodes(), {3, 17, 40, 64, 77, 90, 101, 120});
+  const Machine degraded = Machine::direct_with_faults(target, faults);
+  const Machine healthy = Machine::direct(target);
+  const CollectiveRunResult r = execute_collective(degraded, target, ScheduleKind::AllToAllBruck);
+  const Schedule sched =
+      build_schedule(ScheduleKind::AllToAllBruck,
+                     static_cast<std::uint32_t>(r.participants.size()));
+  const ScheduleRunResult base = execute_schedule(healthy, target, sched, r.participants);
+  ctx.report("participants", static_cast<double>(r.participants.size()));
+  ctx.report("degraded_cycles", static_cast<double>(r.run.total_cycles));
+  ctx.report("healthy_cycles", static_cast<double>(base.total_cycles));
+  ctx.report("undeliverable", static_cast<double>(r.run.undeliverable));
+}
+
+FTDB_BENCH(collectives_campaign, "perf_collectives/campaign_collective_h5_k2") {
+  // The production shape: a campaign cell with the collective metric on —
+  // per-trial schedule execution dominated by the degraded/baseline pair.
+  using namespace ftdb::campaign;
+  ScenarioSpec spec;
+  spec.name = "perf";
+  spec.seed = 7;
+  spec.trials = 400;
+  spec.topologies = {{TopologyFamily::DeBruijn, 2, 5}};
+  spec.spares = {2};
+  spec.fault_models = {{FaultModelKind::IidBernoulli, 0.05, 1.0, 100.0, 1.0}};
+  spec.metrics.diameter = false;
+  spec.metrics.mttf = false;
+  spec.metrics.collective = true;
+  spec.metrics.collective_schedule = "all_to_all_bruck";
+  // Serial on purpose: wall times must not depend on sibling benchmarks'
+  // thread pools (the bench runner may already be running us in parallel).
+  const CampaignResult result = run_campaign(spec, {.threads = 1});
+  const ScenarioResult& r = result.scenarios.front();
+  ctx.report("trials", static_cast<double>(r.trials));
+  ctx.report("slowdown_mean", r.collective_slowdown.mean);
+  ctx.report("unreachable", static_cast<double>(r.collective_unreachable));
+  ctx.report("baseline_cycles", static_cast<double>(r.collective_baseline_cycles));
+}

@@ -133,9 +133,20 @@ std::string campaign_report_csv(const CampaignResult& result) {
   out << "scenario_index,label,target_nodes,fabric_nodes,target_diameter,trials,"
          "reconfig_success,success_rate,wilson95_lo,wilson95_hi,analytic_survival,"
          "over_budget,mean_faults,reconfigured_diameter_mean,degraded_diameter_mean,"
-         "degraded_disconnected,route_stretch_max,mttf_mean,analytic_mttf,mttf_censored\n";
+         "degraded_disconnected,route_stretch_max,mttf_mean,analytic_mttf,mttf_censored,"
+         "collective_rounds,collective_baseline_cycles,collective_slowdown_mean,"
+         "collective_unreachable,collective_hop_cycles_mean,collective_congestion_max,"
+         "slowdown_by_faults\n";
   for (const ScenarioResult& r : result.scenarios) {
     const WilsonInterval ci = r.success_ci();
+    // The slowdown-vs-fault-count curve as one cell: "f:mean" pairs joined
+    // with ';' ("f:-" when every run at that fault count was unreachable).
+    std::string curve;
+    for (const SlowdownPoint& p : r.slowdown_curve) {
+      if (!curve.empty()) curve += ';';
+      curve += std::to_string(p.faults) + ':';
+      curve += p.trials > p.unreachable ? csv_num(p.mean_slowdown()) : "-";
+    }
     out << r.scenario_index << ',' << csv_quote(r.label) << ',' << r.target_nodes << ','
         << r.fabric_nodes << ',' << r.target_diameter << ',' << r.trials << ','
         << r.reconfig_success << ',' << csv_num(r.success_rate()) << ',' << csv_num(ci.lo)
@@ -146,7 +157,13 @@ std::string campaign_report_csv(const CampaignResult& result) {
         << r.degraded_disconnected << ','
         << (r.route_stretch.count ? csv_num(r.route_stretch.max) : "") << ','
         << (r.mttf.count ? csv_num(r.mttf.mean) : "") << ',' << csv_num(r.analytic_mttf)
-        << ',' << r.mttf_censored << '\n';
+        << ',' << r.mttf_censored << ',' << r.collective_rounds << ','
+        << r.collective_baseline_cycles << ','
+        << (r.collective_slowdown.count ? csv_num(r.collective_slowdown.mean) : "") << ','
+        << r.collective_unreachable << ','
+        << (r.collective_hop_cycles.count ? csv_num(r.collective_hop_cycles.mean) : "") << ','
+        << (r.collective_congestion.count ? csv_num(r.collective_congestion.max) : "") << ','
+        << csv_quote(curve) << '\n';
   }
   return out.str();
 }
@@ -157,7 +174,7 @@ std::string campaign_report_markdown(const CampaignResult& result) {
       << "seed " << result.spec.seed << ", " << result.spec.trials
       << " trials per scenario, " << result.scenarios.size() << " scenarios\n\n";
   analysis::Table t({"scenario", "trials", "ok", "rate", "wilson 95%", "analytic",
-                     "E[faults]", "diam", "mttf", "analytic mttf"});
+                     "E[faults]", "diam", "mttf", "analytic mttf", "slowdown"});
   for (const ScenarioResult& r : result.scenarios) {
     const WilsonInterval ci = r.success_ci();
     t.add_row({r.label, analysis::fmt_u64(r.trials), analysis::fmt_u64(r.reconfig_success),
@@ -165,7 +182,7 @@ std::string campaign_report_markdown(const CampaignResult& result) {
                "[" + fmt(ci.lo) + ", " + fmt(ci.hi) + "]",
                fmt(r.analytic_survival), fmt_mean(r.fault_count),
                fmt_mean(r.reconfigured_diameter), fmt_mean(r.mttf, 1),
-               fmt(r.analytic_mttf, 1)});
+               fmt(r.analytic_mttf, 1), fmt_mean(r.collective_slowdown, 4)});
   }
   out << t.render();
   // Survival curves: only scenarios where the curve has more than one point
@@ -178,6 +195,28 @@ std::string campaign_report_markdown(const CampaignResult& result) {
       out << " " << p.faults << ":" << p.survived << "/" << p.trials;
     }
     out << "\n";
+  }
+  // Collective slowdown curves: the completion-time cost of the drawn fault
+  // count, relative to the healthy baseline (1.0 = the dilation-1 claim).
+  bool any_slowdown = false;
+  for (const ScenarioResult& r : result.scenarios) any_slowdown |= !r.slowdown_curve.empty();
+  if (any_slowdown) {
+    out << "\n## Collective slowdown by drawn fault count\n\n";
+    for (const ScenarioResult& r : result.scenarios) {
+      if (r.slowdown_curve.empty()) continue;
+      out << "- " << r.label << " (" << r.collective_rounds << " rounds, baseline "
+          << r.collective_baseline_cycles << " cycles):";
+      for (const SlowdownPoint& p : r.slowdown_curve) {
+        out << " " << p.faults << ":";
+        if (p.trials > p.unreachable) {
+          out << fmt(p.mean_slowdown(), 3);
+        } else {
+          out << "-";
+        }
+        if (p.unreachable > 0) out << "(" << p.unreachable << " unreachable)";
+      }
+      out << "\n";
+    }
   }
   return out.str();
 }
@@ -205,6 +244,21 @@ std::size_t validate_campaign_report(const std::string& json_text) {
     for (const SurvivalPoint& p : r.survival_curve) curve_trials += p.trials;
     if (curve_trials != r.trials) {
       throw std::runtime_error("survival curve does not partition the trials");
+    }
+    std::uint64_t coll_trials = 0;
+    std::uint64_t coll_unreachable = 0;
+    for (const SlowdownPoint& p : r.slowdown_curve) {
+      if (p.unreachable > p.trials) {
+        throw std::runtime_error("slowdown curve point with more unreachable runs than trials");
+      }
+      coll_trials += p.trials;
+      coll_unreachable += p.unreachable;
+    }
+    if (coll_trials > r.trials) {
+      throw std::runtime_error("slowdown curve covers more trials than the scenario ran");
+    }
+    if (coll_unreachable != r.collective_unreachable) {
+      throw std::runtime_error("slowdown curve unreachable count does not match the total");
     }
   }
   return scenarios.array.size();

@@ -31,6 +31,7 @@
 #include "graph/subgraph.hpp"
 #include "sim/network.hpp"
 #include "sim/reconfigured_routing.hpp"
+#include "sim/schedule.hpp"
 #include "topology/debruijn.hpp"
 #include "topology/shuffle_exchange.hpp"
 
@@ -104,6 +105,37 @@ void ScenarioResult::merge(const ScenarioResult& other) {
   route_stretch.merge(other.route_stretch);
   mttf.merge(other.mttf);
   mttf_censored += other.mttf_censored;
+  collective_slowdown.merge(other.collective_slowdown);
+  collective_hop_cycles.merge(other.collective_hop_cycles);
+  collective_congestion.merge(other.collective_congestion);
+  collective_unreachable += other.collective_unreachable;
+  // Merge the sorted sparse slowdown curves (the runner merges blocks in
+  // order, so the slowdown_sum additions happen in a fixed order and the
+  // doubles come out bit-identical for any thread count or shard split).
+  std::vector<SlowdownPoint> merged_slowdown;
+  merged_slowdown.reserve(slowdown_curve.size() + other.slowdown_curve.size());
+  {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < slowdown_curve.size() || j < other.slowdown_curve.size()) {
+      if (j == other.slowdown_curve.size() ||
+          (i < slowdown_curve.size() &&
+           slowdown_curve[i].faults < other.slowdown_curve[j].faults)) {
+        merged_slowdown.push_back(slowdown_curve[i++]);
+      } else if (i == slowdown_curve.size() ||
+                 other.slowdown_curve[j].faults < slowdown_curve[i].faults) {
+        merged_slowdown.push_back(other.slowdown_curve[j++]);
+      } else {
+        SlowdownPoint p = slowdown_curve[i++];
+        p.trials += other.slowdown_curve[j].trials;
+        p.unreachable += other.slowdown_curve[j].unreachable;
+        p.slowdown_sum += other.slowdown_curve[j].slowdown_sum;
+        ++j;
+        merged_slowdown.push_back(p);
+      }
+    }
+  }
+  slowdown_curve = std::move(merged_slowdown);
   // Merge the sorted sparse survival curves.
   std::vector<SurvivalPoint> merged;
   merged.reserve(survival_curve.size() + other.survival_curve.size());
@@ -141,6 +173,15 @@ struct ScenarioContext {
   std::uint32_t target_diameter = 0;
   std::uint64_t seed = 0;
   MetricSet metrics;
+
+  // collective metric: the full-N schedule, its identity rank map, the
+  // healthy-machine baseline it is compared against, and the healthy machine
+  // itself (reused per failed trial to price the survivors' own baseline) —
+  // point-to-point families only.
+  std::optional<sim::Schedule> schedule;
+  std::vector<NodeId> identity_ranks;
+  std::uint64_t collective_baseline_cycles = 0;
+  std::optional<sim::Machine> healthy_machine;
 };
 
 ScenarioContext build_context(const ScenarioSpec& spec, const ScenarioCase& cell) {
@@ -173,13 +214,40 @@ ScenarioContext build_context(const ScenarioSpec& spec, const ScenarioCase& cell
   ctx.model = make_fault_model(cell.fault_model);
   ctx.model->prepare(ctx.fabric, k);
   ctx.target_diameter = diameter(ctx.target);
+  if (spec.metrics.collective && cell.topology.family != TopologyFamily::Bus) {
+    // Compile the schedule once per cell and price the healthy machine — the
+    // denominator of every trial's slowdown. A reconfigured dilation-1
+    // machine re-runs the *same* schedule object.
+    ctx.schedule = sim::build_schedule(
+        sim::schedule_kind_from_name(spec.metrics.collective_schedule),
+        static_cast<std::uint32_t>(ctx.target.num_nodes()));
+    ctx.identity_ranks.resize(ctx.target.num_nodes());
+    for (NodeId v = 0; v < ctx.target.num_nodes(); ++v) ctx.identity_ranks[v] = v;
+    ctx.healthy_machine.emplace(sim::Machine::direct(ctx.target));
+    const sim::ScheduleRunResult healthy = sim::execute_schedule(
+        *ctx.healthy_machine, ctx.target, *ctx.schedule, ctx.identity_ranks);
+    ctx.collective_baseline_cycles = healthy.total_cycles;
+  }
   return ctx;
 }
 
+/// Dense per-block accumulators, folded into the sparse curves once the
+/// block completes (fold_histogram). Keeping them dense makes the per-trial
+/// hot path an array index, and folding in block order keeps the report
+/// deterministic.
+struct BlockScratch {
+  std::vector<std::uint64_t> hist;            // trials by drawn fault count
+  std::vector<std::uint64_t> survived;        // successes by drawn fault count
+  std::vector<std::uint64_t> coll_trials;     // collective runs by fault count
+  std::vector<std::uint64_t> coll_unreachable;
+  std::vector<double> coll_slowdown_sum;
+};
+
 /// Runs one trial and folds it straight into `acc`.
 void run_trial(const ScenarioContext& ctx, std::uint64_t trial_idx, ScenarioResult& acc,
-               std::vector<std::uint64_t>& dense_hist,
-               std::vector<std::uint64_t>& dense_survived) {
+               BlockScratch& scratch) {
+  std::vector<std::uint64_t>& dense_hist = scratch.hist;
+  std::vector<std::uint64_t>& dense_survived = scratch.survived;
   TrialRng rng = TrialRng::for_trial(ctx.seed, ctx.cell.index, trial_idx);
   const FaultDraw draw = ctx.model->draw(ctx.fabric, ctx.cell.spares, rng);
   const std::uint64_t faults = draw.faults.count();
@@ -204,12 +272,17 @@ void run_trial(const ScenarioContext& ctx, std::uint64_t trial_idx, ScenarioResu
 
   const bool want_stretch =
       ctx.metrics.stretch && success && ctx.cell.topology.family == TopologyFamily::DeBruijn;
-  if ((ctx.metrics.diameter && success) || want_stretch) {
-    // One reconfigured machine serves both post-fault metrics (Machine copies
-    // the fabric CSR, so building it twice per trial would double the cost
-    // of the hot loop).
-    const sim::Machine machine =
-        sim::Machine::reconfigured(ctx.fabric, draw.faults, ctx.target.num_nodes());
+  const bool want_collective = ctx.schedule.has_value();
+  std::optional<sim::Machine> reconfigured;
+  if (success && ((ctx.metrics.diameter) || want_stretch || want_collective)) {
+    // One reconfigured machine serves all post-fault metrics (Machine copies
+    // the fabric CSR, so building it repeatedly per trial would multiply the
+    // cost of the hot loop).
+    reconfigured.emplace(
+        sim::Machine::reconfigured(ctx.fabric, draw.faults, ctx.target.num_nodes()));
+  }
+  if (success && (ctx.metrics.diameter || want_stretch)) {
+    const sim::Machine& machine = *reconfigured;
     if (ctx.metrics.diameter) {
       // Measure (not assume) the paper's claim: the reconfigured machine
       // presents the intact target, so its logical diameter must equal the
@@ -238,7 +311,7 @@ void run_trial(const ScenarioContext& ctx, std::uint64_t trial_idx, ScenarioResu
             machine, ctx.cell.topology.base, ctx.cell.topology.digits, pairs));
       }
     }
-  } else if (ctx.metrics.diameter) {
+  } else if (!success && ctx.metrics.diameter) {
     // Degraded machine: whatever the survivors still form.
     const InducedSubgraph survivors =
         induced_subgraph_excluding(ctx.fabric, draw.faults.nodes());
@@ -251,6 +324,62 @@ void run_trial(const ScenarioContext& ctx, std::uint64_t trial_idx, ScenarioResu
     }
   }
 
+  if (want_collective) {
+    // Run the collective through the packet engine: the reconfigured machine
+    // re-runs the full-N schedule against the cell's healthy baseline (the
+    // operational dilation-1 claim — the slowdown is exactly 1.0); a degraded
+    // bare target runs a schedule compiled over its survivors, priced against
+    // the *same survivors' schedule on the healthy target* so the slowdown
+    // isolates the rerouting cost instead of crediting the smaller job.
+    sim::ScheduleRunResult run;
+    std::uint64_t baseline_cycles = ctx.collective_baseline_cycles;
+    bool ran = false;
+    if (success) {
+      run = sim::execute_schedule(*reconfigured, ctx.target, *ctx.schedule, ctx.identity_ranks);
+      ran = true;
+    } else {
+      std::vector<NodeId> survivors;
+      for (NodeId v = 0; v < ctx.target.num_nodes(); ++v) {
+        if (!draw.faults.is_faulty(v)) survivors.push_back(v);
+      }
+      if (!survivors.empty()) {
+        std::vector<NodeId> hit;
+        for (const NodeId f : draw.faults.nodes()) {
+          if (f < ctx.target.num_nodes()) hit.push_back(f);
+        }
+        const sim::Machine degraded = sim::Machine::direct_with_faults(
+            ctx.target, FaultSet(ctx.target.num_nodes(), std::move(hit)));
+        const sim::Schedule sched = sim::build_schedule(
+            ctx.schedule->kind, static_cast<std::uint32_t>(survivors.size()));
+        run = sim::execute_schedule(degraded, ctx.target, sched, survivors);
+        baseline_cycles =
+            sim::execute_schedule(*ctx.healthy_machine, ctx.target, sched, survivors)
+                .total_cycles;
+        ran = true;
+      }
+      // else: every target node dead — counted unreachable below.
+    }
+    if (scratch.coll_trials.size() <= faults) {
+      scratch.coll_trials.resize(faults + 1, 0);
+      scratch.coll_unreachable.resize(faults + 1, 0);
+      scratch.coll_slowdown_sum.resize(faults + 1, 0.0);
+    }
+    ++scratch.coll_trials[faults];
+    if (ran && run.completed()) {
+      const double slowdown =
+          baseline_cycles == 0
+              ? 1.0
+              : static_cast<double>(run.total_cycles) / static_cast<double>(baseline_cycles);
+      acc.collective_slowdown.add(slowdown);
+      acc.collective_hop_cycles.add(static_cast<double>(run.total_hop_cycles));
+      acc.collective_congestion.add(static_cast<double>(run.max_link_congestion));
+      scratch.coll_slowdown_sum[faults] += slowdown;
+    } else {
+      ++acc.collective_unreachable;
+      ++scratch.coll_unreachable[faults];
+    }
+  }
+
   if (ctx.metrics.mttf) {
     if (std::isfinite(draw.spare_exhaustion_time)) {
       acc.mttf.add(draw.spare_exhaustion_time);
@@ -260,12 +389,16 @@ void run_trial(const ScenarioContext& ctx, std::uint64_t trial_idx, ScenarioResu
   }
 }
 
-/// Sparse survival curve from the dense per-block counters.
-void fold_histogram(ScenarioResult& acc, const std::vector<std::uint64_t>& dense_hist,
-                    const std::vector<std::uint64_t>& dense_survived) {
-  for (std::size_t f = 0; f < dense_hist.size(); ++f) {
-    if (dense_hist[f] == 0) continue;
-    acc.survival_curve.push_back({f, dense_hist[f], dense_survived[f]});
+/// Sparse survival and slowdown curves from the dense per-block counters.
+void fold_histogram(ScenarioResult& acc, const BlockScratch& scratch) {
+  for (std::size_t f = 0; f < scratch.hist.size(); ++f) {
+    if (scratch.hist[f] == 0) continue;
+    acc.survival_curve.push_back({f, scratch.hist[f], scratch.survived[f]});
+  }
+  for (std::size_t f = 0; f < scratch.coll_trials.size(); ++f) {
+    if (scratch.coll_trials[f] == 0) continue;
+    acc.slowdown_curve.push_back(
+        {f, scratch.coll_trials[f], scratch.coll_unreachable[f], scratch.coll_slowdown_sum[f]});
   }
 }
 
@@ -389,6 +522,18 @@ void write_scenario_result(JsonWriter& w, const ScenarioResult& r) {
   write_stats(w, r.mttf);
   w.key("mttf_censored");
   w.value(r.mttf_censored);
+  w.key("collective_rounds");
+  w.value(r.collective_rounds);
+  w.key("collective_baseline_cycles");
+  w.value(r.collective_baseline_cycles);
+  w.key("collective_slowdown");
+  write_stats(w, r.collective_slowdown);
+  w.key("collective_hop_cycles");
+  write_stats(w, r.collective_hop_cycles);
+  w.key("collective_congestion");
+  write_stats(w, r.collective_congestion);
+  w.key("collective_unreachable");
+  w.value(r.collective_unreachable);
   w.key("survival_curve");
   w.begin_array();
   for (const SurvivalPoint& p : r.survival_curve) {
@@ -399,6 +544,21 @@ void write_scenario_result(JsonWriter& w, const ScenarioResult& r) {
     w.value(p.trials);
     w.key("survived");
     w.value(p.survived);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("slowdown_curve");
+  w.begin_array();
+  for (const SlowdownPoint& p : r.slowdown_curve) {
+    w.begin_object();
+    w.key("faults");
+    w.value(p.faults);
+    w.key("trials");
+    w.value(p.trials);
+    w.key("unreachable");
+    w.value(p.unreachable);
+    w.key("slowdown_sum");
+    w.value(p.slowdown_sum);
     w.end_object();
   }
   w.end_array();
@@ -434,9 +594,35 @@ ScenarioResult parse_scenario_result(const JsonValue& obj) {
   r.route_stretch = parse_stats(obj.at("route_stretch"));
   r.mttf = parse_stats(obj.at("mttf"));
   r.mttf_censored = uint_of(obj, "mttf_censored");
+  // Collective fields parse leniently: pre-collective documents (earlier
+  // checkpoints/reports) simply leave the defaults in place.
+  if (const JsonValue* v = obj.find("collective_rounds")) {
+    r.collective_rounds = static_cast<std::uint64_t>(v->number);
+  }
+  if (const JsonValue* v = obj.find("collective_baseline_cycles")) {
+    r.collective_baseline_cycles = static_cast<std::uint64_t>(v->number);
+  }
+  if (const JsonValue* v = obj.find("collective_slowdown")) {
+    r.collective_slowdown = parse_stats(*v);
+  }
+  if (const JsonValue* v = obj.find("collective_hop_cycles")) {
+    r.collective_hop_cycles = parse_stats(*v);
+  }
+  if (const JsonValue* v = obj.find("collective_congestion")) {
+    r.collective_congestion = parse_stats(*v);
+  }
+  if (const JsonValue* v = obj.find("collective_unreachable")) {
+    r.collective_unreachable = static_cast<std::uint64_t>(v->number);
+  }
   for (const JsonValue& p : obj.at("survival_curve").array) {
     r.survival_curve.push_back({uint_of(p, "faults"), uint_of(p, "trials"),
                                 uint_of(p, "survived")});
+  }
+  if (const JsonValue* curve = obj.find("slowdown_curve")) {
+    for (const JsonValue& p : curve->array) {
+      r.slowdown_curve.push_back({uint_of(p, "faults"), uint_of(p, "trials"),
+                                  uint_of(p, "unreachable"), p.at("slowdown_sum").number});
+    }
   }
   r.analytic_survival = number_or_nan(obj, "analytic_survival");
   r.analytic_mttf = number_or_nan(obj, "analytic_mttf");
@@ -633,6 +819,10 @@ void finalize_cell(const ScenarioSpec& spec, CellState& st) {
   r.target_nodes = st.ctx->target.num_nodes();
   r.fabric_nodes = st.ctx->fabric.num_nodes();
   r.target_diameter = st.ctx->target_diameter;
+  if (st.ctx->schedule) {
+    r.collective_rounds = st.ctx->schedule->rounds();
+    r.collective_baseline_cycles = st.ctx->collective_baseline_cycles;
+  }
   const FaultModelSpec& model = st.cell.fault_model;
   if (model.kind == FaultModelKind::IidBernoulli) {
     r.analytic_survival = static_cast<double>(survival_probability(
@@ -795,14 +985,13 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
     });
     ScenarioResult partial;
     partial.scenario_index = st.cell.index;
-    std::vector<std::uint64_t> dense_hist;
-    std::vector<std::uint64_t> dense_survived;
+    BlockScratch scratch;
     const std::uint64_t lo = u.block * kTrialBlock;
     const std::uint64_t hi = std::min(spec.trials, lo + kTrialBlock);
     for (std::uint64_t t = lo; t < hi; ++t) {
-      run_trial(*st.ctx, t, partial, dense_hist, dense_survived);
+      run_trial(*st.ctx, t, partial, scratch);
     }
-    fold_histogram(partial, dense_hist, dense_survived);
+    fold_histogram(partial, scratch);
 
     bool completed_cell = false;
     {

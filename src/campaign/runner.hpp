@@ -81,6 +81,23 @@ struct SurvivalPoint {
   std::uint64_t survived = 0;
 };
 
+/// One point of the collective slowdown curve: over the trials that drew
+/// exactly `faults` faults, the summed completion-time slowdown of the
+/// collective schedule (relative to the healthy baseline) across the trials
+/// where it completed, plus how many trials could not complete it at all.
+/// The sum (not the mean) is stored so block partials merge exactly.
+struct SlowdownPoint {
+  std::uint64_t faults = 0;
+  std::uint64_t trials = 0;        ///< trials at this fault count that ran the collective
+  std::uint64_t unreachable = 0;   ///< of those, runs with undeliverable/timed-out sends
+  double slowdown_sum = 0.0;       ///< sum over the (trials - unreachable) completed runs
+
+  double mean_slowdown() const {
+    const std::uint64_t done = trials - unreachable;
+    return done == 0 ? 0.0 : slowdown_sum / static_cast<double>(done);
+  }
+};
+
 /// Everything measured for one grid cell.
 struct ScenarioResult {
   std::size_t scenario_index = 0;
@@ -113,8 +130,31 @@ struct ScenarioResult {
   StreamingStats mttf;
   std::uint64_t mttf_censored = 0;  ///< trials whose model never exhausts the spares
 
+  // collective metric (point-to-point families only) -----------------------
+  /// Rounds of the schedule on the full target (set at cell finalization).
+  std::uint64_t collective_rounds = 0;
+  /// Completion cycles of the schedule on the healthy machine — the
+  /// denominator of every per-trial slowdown (set at cell finalization).
+  std::uint64_t collective_baseline_cycles = 0;
+  /// Per-trial completion-time slowdown of the collective (trials whose
+  /// collective completed). Successful trials re-run the full-N schedule on
+  /// the reconfigured machine against the cell baseline — dilation-1 lands at
+  /// exactly 1.0. Failed trials run the survivors' schedule on the degraded
+  /// target against the same schedule on the *healthy* target, so the ratio
+  /// measures pure rerouting/congestion cost, not the smaller job.
+  StreamingStats collective_slowdown;
+  /// Per-trial total hop-cycles and max per-link congestion of the run.
+  StreamingStats collective_hop_cycles;
+  StreamingStats collective_congestion;
+  /// Trials whose machine could not complete the collective (survivors
+  /// disconnected or all participants dead).
+  std::uint64_t collective_unreachable = 0;
+
   /// Empirical survival curve by drawn fault count (sorted by faults).
   std::vector<SurvivalPoint> survival_curve;
+  /// Collective slowdown by drawn fault count (sorted by faults; empty unless
+  /// the collective metric ran).
+  std::vector<SlowdownPoint> slowdown_curve;
 
   // analytic companions (iid model only; NaN otherwise) ---------------------
   double analytic_survival = std::numeric_limits<double>::quiet_NaN();

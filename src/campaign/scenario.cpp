@@ -6,6 +6,7 @@
 
 #include "analysis/bench_json.hpp"
 #include "campaign/rng.hpp"
+#include "sim/schedule.hpp"
 
 namespace ftdb::campaign {
 
@@ -249,7 +250,9 @@ ScenarioSpec parse_scenario_spec(const std::string& json_text) {
 
   if (const JsonValue* metrics = doc.find("metrics")) {
     if (metrics->kind != JsonValue::Kind::Array) bad_spec("\"metrics\" must be an array");
-    spec.metrics = MetricSet{false, false, false};
+    spec.metrics.diameter = false;
+    spec.metrics.stretch = false;
+    spec.metrics.mttf = false;
     for (const JsonValue& m : metrics->array) {
       if (m.kind != JsonValue::Kind::String) bad_spec("metric names must be strings");
       if (m.string == "diameter") {
@@ -258,12 +261,26 @@ ScenarioSpec parse_scenario_spec(const std::string& json_text) {
         spec.metrics.stretch = true;
       } else if (m.string == "mttf") {
         spec.metrics.mttf = true;
+      } else if (m.string == "collective") {
+        spec.metrics.collective = true;
       } else {
-        bad_spec("unknown metric \"" + m.string + "\" (expected diameter, stretch or mttf)");
+        bad_spec("unknown metric \"" + m.string +
+                 "\" (expected diameter, stretch, mttf or collective)");
       }
     }
   }
   spec.metrics.stretch_sample_pairs = uint_field(doc, "stretch_sample_pairs", 0);
+  if (const JsonValue* sched = doc.find("collective_schedule")) {
+    if (sched->kind != JsonValue::Kind::String) {
+      bad_spec("\"collective_schedule\" must be a string");
+    }
+    try {
+      (void)sim::schedule_kind_from_name(sched->string);
+    } catch (const std::invalid_argument& e) {
+      bad_spec(e.what());
+    }
+    spec.metrics.collective_schedule = sched->string;
+  }
   return spec;
 }
 
@@ -329,12 +346,17 @@ void write_scenario_spec(JsonWriter& w, const ScenarioSpec& spec) {
   if (spec.metrics.diameter) w.value("diameter");
   if (spec.metrics.stretch) w.value("stretch");
   if (spec.metrics.mttf) w.value("mttf");
+  if (spec.metrics.collective) w.value("collective");
   w.end_array();
   // Only a set knob enters the canonical form, so pre-knob specs keep their
   // fingerprints (and checkpoints) unchanged.
   if (spec.metrics.stretch_sample_pairs != 0) {
     w.key("stretch_sample_pairs");
     w.value(spec.metrics.stretch_sample_pairs);
+  }
+  if (spec.metrics.collective) {
+    w.key("collective_schedule");
+    w.value(spec.metrics.collective_schedule);
   }
   w.end_object();
 }

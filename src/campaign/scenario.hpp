@@ -60,6 +60,15 @@ struct MetricSet {
   /// thread counts and checkpoint/resume because the pairs come from the
   /// trial's own RNG stream.
   std::uint64_t stretch_sample_pairs = 0;
+  /// Execute a collective schedule (sim/schedule.hpp) through the packet
+  /// engine every trial: on the reconfigured machine when the embedding
+  /// survived, on the degraded bare target otherwise, against a healthy
+  /// baseline measured once per cell. Surfaces rounds, hop-cycles, link
+  /// congestion and the completion-time slowdown-vs-fault-count curve.
+  /// Point-to-point families only (skipped for the bus machine).
+  bool collective = false;
+  /// Which schedule the collective metric runs (a schedule_kind_name).
+  std::string collective_schedule = "all_to_all_bruck";
 };
 
 /// The full campaign: the cartesian grid topologies x spares x fault_models,

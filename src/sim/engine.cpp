@@ -1,47 +1,53 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace ftdb::sim {
 
-namespace {
-
-struct InFlight {
-  std::uint64_t id = 0;
-  NodeId dst = 0;
-  std::uint64_t inject_cycle = 0;
-  std::uint32_t hops = 0;
-};
-
-}  // namespace
-
-SimStats run_packets(const Machine& machine, const Graph& target,
-                     const std::vector<Packet>& packets, const EngineOptions& options) {
-  SimStats stats;
-  const Graph live = machine.live_logical_graph(target);
-  const std::unique_ptr<Router> router = make_router(live, options.router);
-
+PacketSimulator::PacketSimulator(const Machine& machine, const Graph& target,
+                                 const RouterOptions& options)
+    : machine_(&machine),
+      live_(machine.live_logical_graph(target)),
+      router_(make_router(live_, options)) {
   // Directed link ids: per node, one queue per (sorted) neighbor.
-  const std::size_t n = live.num_nodes();
-  std::vector<std::size_t> link_base(n + 1, 0);
-  for (std::size_t v = 0; v < n; ++v) link_base[v + 1] = link_base[v] + live.degree(static_cast<NodeId>(v));
-  auto link_id = [&](NodeId from, NodeId to) {
-    auto nb = live.neighbors(from);
-    const auto it = std::lower_bound(nb.begin(), nb.end(), to);
-    return link_base[from] + static_cast<std::size_t>(it - nb.begin());
-  };
-  std::vector<std::deque<InFlight>> queues(link_base[n]);
+  const std::size_t n = live_.num_nodes();
+  link_base_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    link_base_[v + 1] = link_base_[v] + live_.degree(static_cast<NodeId>(v));
+  }
+  queues_.resize(link_base_[n]);
+}
+
+std::size_t PacketSimulator::link_id(NodeId from, NodeId to) const {
+  const auto nb = live_.neighbors(from);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), to);
+  if (it == nb.end() || *it != to) {
+    // A hop outside the live adjacency means the router and the live graph
+    // disagree; indexing by the lower_bound position would push the packet
+    // onto an arbitrary neighbor's queue (or one past the slab).
+    assert(false && "engine: next hop is not a live neighbor");
+    throw std::logic_error("engine: next hop " + std::to_string(to) +
+                           " is not a live neighbor of " + std::to_string(from));
+  }
+  return link_base_[from] + static_cast<std::size_t>(it - nb.begin());
+}
+
+bool PacketSimulator::node_live(NodeId logical) const {
+  return logical < machine_->num_logical() && !machine_->dead[machine_->to_physical[logical]];
+}
+
+SimStats PacketSimulator::run(const std::vector<Packet>& packets, std::uint64_t max_cycles) {
+  SimStats stats;
+  const std::size_t n = live_.num_nodes();
+  for (auto& q : queues_) q.clear();  // a truncated previous run may have left stragglers
 
   std::vector<Packet> sorted = packets;
   std::stable_sort(sorted.begin(), sorted.end(), [](const Packet& a, const Packet& b) {
     return a.inject_cycle < b.inject_cycle;
   });
-
-  auto node_live = [&](NodeId logical) {
-    return logical < machine.num_logical() && !machine.dead[machine.to_physical[logical]];
-  };
 
   std::size_t next_packet = 0;
   std::uint64_t in_flight = 0;
@@ -49,20 +55,20 @@ SimStats run_packets(const Machine& machine, const Graph& target,
   std::vector<std::pair<NodeId, InFlight>> arrivals;
 
   auto enqueue_towards = [&](NodeId at, InFlight pkt) {
-    const NodeId hop = router->next_hop(pkt.dst, at);
-    queues[link_id(at, hop)].push_back(pkt);
+    const NodeId hop = router_->next_hop(pkt.dst, at);
+    queues_[link_id(at, hop)].push_back(pkt);
   };
 
   while (true) {
     const bool pending = next_packet < sorted.size();
     if (!pending && in_flight == 0) break;
-    if (options.max_cycles != 0 && cycle >= options.max_cycles) break;
+    if (max_cycles != 0 && cycle >= max_cycles) break;
 
     // Inject this cycle's packets.
     while (next_packet < sorted.size() && sorted[next_packet].inject_cycle <= cycle) {
       const Packet& p = sorted[next_packet++];
       ++stats.injected;
-      if (!node_live(p.src) || !node_live(p.dst) || !router->reachable(p.dst, p.src)) {
+      if (!node_live(p.src) || !node_live(p.dst) || !router_->reachable(p.dst, p.src)) {
         ++stats.undeliverable;
         continue;
       }
@@ -77,9 +83,9 @@ SimStats run_packets(const Machine& machine, const Graph& target,
     // Phase 1: every directed link forwards its head packet.
     arrivals.clear();
     for (std::size_t u = 0; u < n; ++u) {
-      auto nb = live.neighbors(static_cast<NodeId>(u));
+      auto nb = live_.neighbors(static_cast<NodeId>(u));
       for (std::size_t j = 0; j < nb.size(); ++j) {
-        auto& q = queues[link_base[u] + j];
+        auto& q = queues_[link_base_[u] + j];
         if (q.empty()) continue;
         InFlight pkt = q.front();
         q.pop_front();
@@ -102,11 +108,22 @@ SimStats run_packets(const Machine& machine, const Graph& target,
       }
     }
 
-    for (const auto& q : queues) stats.max_queue_depth = std::max(stats.max_queue_depth, q.size());
+    for (const auto& q : queues_) stats.max_queue_depth = std::max(stats.max_queue_depth, q.size());
     ++cycle;
   }
+  // Every injected packet is on exactly one queue when max_cycles cut the
+  // loop short (arrivals are fully drained each cycle), so the in-flight
+  // count is precisely the timed-out population.
+  stats.timed_out = in_flight;
   stats.cycles = cycle;
+  assert(stats.injected == stats.delivered + stats.undeliverable + stats.timed_out);
   return stats;
+}
+
+SimStats run_packets(const Machine& machine, const Graph& target,
+                     const std::vector<Packet>& packets, const EngineOptions& options) {
+  PacketSimulator sim(machine, target, options.router);
+  return sim.run(packets, options.max_cycles);
 }
 
 }  // namespace ftdb::sim

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -29,6 +31,7 @@ struct SimStats {
   std::uint64_t injected = 0;
   std::uint64_t delivered = 0;
   std::uint64_t undeliverable = 0;  // no live route existed at injection time
+  std::uint64_t timed_out = 0;      // still in flight when max_cycles stopped the run
   std::uint64_t cycles = 0;
   std::uint64_t total_latency = 0;   // sum over delivered packets
   std::uint64_t max_latency = 0;
@@ -51,6 +54,8 @@ struct SimStats {
 
 struct EngineOptions {
   /// Stop after this many cycles even if packets remain (0 = run to drain).
+  /// Packets still in flight at the cut count as SimStats::timed_out, so
+  /// injected == delivered + undeliverable + timed_out holds unconditionally.
   std::uint64_t max_cycles = 0;
   /// Routing backend selection for the live logical graph. The default Auto
   /// routes healthy (and dilation-1 reconfigured) de Bruijn / shuffle-exchange
@@ -59,12 +64,55 @@ struct EngineOptions {
   RouterOptions router;
 };
 
+/// Reusable simulation context for one machine: the live logical graph, its
+/// router, and the per-link queue slab are built once and reused across
+/// run() calls. This is what collective-schedule execution leans on — a
+/// log-round schedule steps the same machine many times, and rebuilding the
+/// router per round would dominate the measurement.
+class PacketSimulator {
+ public:
+  PacketSimulator(const Machine& machine, const Graph& target,
+                  const RouterOptions& options = {});
+
+  /// Runs one batch of logical packets to completion (or to max_cycles).
+  /// Queues are drained/reset between runs, so successive batches are
+  /// independent synchronous phases.
+  SimStats run(const std::vector<Packet>& packets, std::uint64_t max_cycles = 0);
+
+  const Graph& live_graph() const { return live_; }
+  const Router& router() const { return *router_; }
+  std::size_t num_logical() const { return machine_->num_logical(); }
+
+ private:
+  struct InFlight {
+    std::uint64_t id = 0;
+    NodeId dst = 0;
+    std::uint64_t inject_cycle = 0;
+    std::uint32_t hops = 0;
+  };
+
+  /// Directed link id of the (from -> to) live edge. Fails loudly (assert in
+  /// debug, std::logic_error in release) when `to` is not a live neighbor of
+  /// `from` — a misrouted hop must never silently corrupt a sibling queue.
+  std::size_t link_id(NodeId from, NodeId to) const;
+
+  bool node_live(NodeId logical) const;
+
+  const Machine* machine_ = nullptr;
+  Graph live_;
+  std::unique_ptr<Router> router_;
+  std::vector<std::size_t> link_base_;
+  std::vector<std::deque<InFlight>> queues_;
+};
+
 /// Runs a batch of logical packets over the machine's *live* logical topology
 /// (physical links between live nodes, viewed logically). Routes are canonical
 /// shortest paths on that live graph (sim/router.hpp), stepped per-hop at
 /// forwarding time. Packets whose endpoints are dead or disconnected count as
 /// undeliverable — this is how the fragility of the bare target materializes,
 /// while a reconfigured FT machine always presents the full target graph.
+/// The accounting invariant injected == delivered + undeliverable + timed_out
+/// holds on every return path, including max_cycles truncation.
 SimStats run_packets(const Machine& machine, const Graph& target,
                      const std::vector<Packet>& packets, const EngineOptions& options = {});
 

@@ -67,8 +67,17 @@ std::vector<NodeId> shuffle_permutation(unsigned h) {
 }
 
 std::vector<Packet> hotspot_traffic(std::size_t logical_nodes, std::size_t count,
-                                    NodeId hot_node, double fraction_hot, std::uint64_t seed) {
+                                    NodeId hot_node, double fraction_hot, std::uint64_t seed,
+                                    std::uint64_t packets_per_cycle) {
+  if (logical_nodes == 0) throw std::invalid_argument("hotspot_traffic: empty machine");
   if (hot_node >= logical_nodes) throw std::out_of_range("hotspot_traffic: hot node out of range");
+  // Negated comparison so NaN is rejected too.
+  if (!(fraction_hot >= 0.0 && fraction_hot <= 1.0)) {
+    throw std::invalid_argument("hotspot_traffic: fraction_hot must be in [0, 1]");
+  }
+  if (packets_per_cycle == 0) {
+    packets_per_cycle = std::max<std::uint64_t>(logical_nodes / 4, 1);
+  }
   std::mt19937_64 rng(seed);
   std::uniform_int_distribution<NodeId> pick(0, static_cast<NodeId>(logical_nodes - 1));
   std::bernoulli_distribution hot(fraction_hot);
@@ -77,7 +86,7 @@ std::vector<Packet> hotspot_traffic(std::size_t logical_nodes, std::size_t count
     packets[i].id = i;
     packets[i].src = pick(rng);
     packets[i].dst = hot(rng) ? hot_node : pick(rng);
-    packets[i].inject_cycle = i / std::max<std::size_t>(logical_nodes / 4, 1);
+    packets[i].inject_cycle = i / packets_per_cycle;
   }
   return packets;
 }

@@ -30,7 +30,11 @@ std::vector<NodeId> transpose_permutation(unsigned h);
 std::vector<NodeId> shuffle_permutation(unsigned h);
 
 /// Uniform traffic where `fraction_hot` of packets target a single hot node.
+/// `fraction_hot` must lie in [0, 1] (it seeds a bernoulli_distribution, which
+/// is UB outside that range). `packets_per_cycle` controls the injection rate;
+/// 0 keeps the historical default of max(logical_nodes / 4, 1).
 std::vector<Packet> hotspot_traffic(std::size_t logical_nodes, std::size_t count,
-                                    NodeId hot_node, double fraction_hot, std::uint64_t seed);
+                                    NodeId hot_node, double fraction_hot, std::uint64_t seed,
+                                    std::uint64_t packets_per_cycle = 0);
 
 }  // namespace ftdb::sim

@@ -730,6 +730,158 @@ TEST(CampaignReport, ValidateAcceptsOwnOutputAndRejectsGarbage) {
   EXPECT_THROW(validate_campaign_report(R"({"schema": "ftdb-bench-v1"})"), std::runtime_error);
 }
 
+// --- collective metric -------------------------------------------------------
+
+/// De Bruijn + SE cells with the collective metric on: small enough that the
+/// per-trial schedule execution stays cheap, multi-block so determinism is
+/// exercised across steals, checkpoints and shards.
+ScenarioSpec collective_spec() {
+  ScenarioSpec spec;
+  spec.name = "collective";
+  spec.seed = 17;
+  spec.trials = 600;  // 3 blocks
+  spec.topologies = {{TopologyFamily::DeBruijn, 2, 4}, {TopologyFamily::ShuffleExchange, 2, 3}};
+  spec.spares = {0, 2};
+  spec.fault_models = {{FaultModelKind::IidBernoulli, 0.05, 1.0, 100.0, 1.0}};
+  spec.metrics.diameter = false;
+  spec.metrics.mttf = false;
+  spec.metrics.collective = true;
+  spec.metrics.collective_schedule = "all_to_all_bruck";
+  return spec;
+}
+
+TEST(Collective, SpecParsesRoundTripsAndFingerprints) {
+  const ScenarioSpec spec = parse_scenario_spec(R"({
+    "topologies": [{"family": "debruijn", "digits": 4}],
+    "spares": [2],
+    "fault_models": [{"kind": "iid", "p": 0.05}],
+    "metrics": ["collective"],
+    "collective_schedule": "allreduce_recursive_halving_doubling"
+  })");
+  EXPECT_TRUE(spec.metrics.collective);
+  EXPECT_FALSE(spec.metrics.diameter);
+  EXPECT_EQ(spec.metrics.collective_schedule, "allreduce_recursive_halving_doubling");
+  const std::string canon = scenario_spec_to_json(spec);
+  EXPECT_EQ(canon, scenario_spec_to_json(parse_scenario_spec(canon)));
+
+  // The schedule choice is part of the spec identity.
+  ScenarioSpec other = spec;
+  other.metrics.collective_schedule = "allgather_bruck";
+  EXPECT_NE(spec_fingerprint(spec), spec_fingerprint(other));
+
+  // An unknown schedule name is rejected up front, not at trial time.
+  EXPECT_THROW(parse_scenario_spec(R"({
+    "topologies": [{"family": "debruijn", "digits": 4}],
+    "spares": [2],
+    "fault_models": [{"kind": "iid", "p": 0.05}],
+    "metrics": ["collective"],
+    "collective_schedule": "all_to_all_quantum"
+  })"),
+               std::runtime_error);
+
+  // Specs without the metric keep their pre-collective canonical form (and so
+  // their fingerprints): the key only appears when the metric is on.
+  const std::string plain = scenario_spec_to_json(small_spec());
+  EXPECT_EQ(plain.find("collective"), std::string::npos);
+}
+
+TEST(Collective, SlowdownIsExactlyOneOnEverySuccessfulTrial) {
+  // The end-to-end form of the dilation-1 claim: a successful reconfiguration
+  // presents the identical logical graph, so the collective completes in
+  // exactly the healthy baseline cycles — slowdown 1.0 with zero variance.
+  ScenarioSpec spec = collective_spec();
+  spec.trials = 300;
+  spec.topologies = {{TopologyFamily::DeBruijn, 2, 4}};
+  spec.spares = {2};
+  const CampaignResult result = run_campaign(spec, {.threads = 2});
+  const ScenarioResult& r = result.scenarios.front();
+  ASSERT_GT(r.reconfig_success, 0u);
+  EXPECT_EQ(r.collective_rounds, 4u);  // ceil(log2 16) on B_{2,4}
+  EXPECT_GT(r.collective_baseline_cycles, 0u);
+  ASSERT_GT(r.collective_slowdown.count, 0u);
+  EXPECT_GE(r.collective_slowdown.count, r.reconfig_success);
+  // Degraded trials are priced against the survivors' own healthy schedule;
+  // rerouting usually costs cycles, but a reshaped route set can also shed a
+  // little queueing, so the per-trial ratio hovers around 1 rather than being
+  // bounded below by it.
+  EXPECT_GT(r.collective_slowdown.min, 0.9);
+  EXPECT_GE(r.collective_slowdown.max, 1.0);
+  EXPECT_GT(r.collective_hop_cycles.count, 0u);
+  EXPECT_GE(r.collective_congestion.min, 1.0);
+
+  // The slowdown curve partitions the trials that ran the collective.
+  std::uint64_t curve_trials = 0;
+  std::uint64_t curve_unreachable = 0;
+  ASSERT_FALSE(r.slowdown_curve.empty());
+  for (const SlowdownPoint& p : r.slowdown_curve) {
+    curve_trials += p.trials;
+    curve_unreachable += p.unreachable;
+    if (p.faults <= 2) {
+      // Under-budget draws reconfigure, so their mean slowdown is exactly 1.
+      EXPECT_EQ(p.unreachable, 0u) << "faults=" << p.faults;
+      EXPECT_EQ(p.mean_slowdown(), 1.0) << "faults=" << p.faults;
+    }
+  }
+  EXPECT_EQ(curve_trials, spec.trials);
+  EXPECT_EQ(curve_unreachable, r.collective_unreachable);
+}
+
+TEST(Collective, ReportIsByteIdenticalAcrossThreadsResumeAndShards) {
+  const ScenarioSpec spec = collective_spec();
+  const std::string serial = campaign_report_json(run_campaign(spec, {.threads = 1}));
+  EXPECT_EQ(serial, campaign_report_json(run_campaign(spec, {.threads = 3})));
+
+  // Crash after two blocks, resume: same bytes.
+  CampaignOptions crash;
+  crash.threads = 1;
+  crash.checkpoint_path = ::testing::TempDir() + "/ftdb_coll.ckpt";
+  crash.stop_after_blocks = 2;
+  EXPECT_THROW(run_campaign(spec, crash), CampaignAborted);
+  CampaignOptions resume = crash;
+  resume.threads = 2;
+  resume.stop_after_blocks = 0;
+  resume.resume = true;
+  const CampaignResult resumed = run_campaign(spec, resume);
+  EXPECT_GE(resumed.resumed_blocks, 2u);
+  EXPECT_EQ(campaign_report_json(resumed), serial);
+
+  // Two shards merged: same bytes again.
+  const Checkpoint s0 = run_shard(spec, {0, 2}, 2, "coll0");
+  const Checkpoint s1 = run_shard(spec, {1, 2}, 3, "coll1");
+  EXPECT_EQ(campaign_report_json(merge_checkpoints(spec, {s0, s1})), serial);
+
+  // And the validator accepts the document, slowdown-curve invariants included.
+  EXPECT_EQ(validate_campaign_report(serial), 4u);
+}
+
+TEST(Collective, CsvAndMarkdownCarryTheSlowdownColumns) {
+  ScenarioSpec spec = collective_spec();
+  spec.trials = 200;
+  const CampaignResult result = run_campaign(spec, {.threads = 2});
+  const std::string csv = campaign_report_csv(result);
+  EXPECT_NE(csv.find("collective_slowdown_mean"), std::string::npos);
+  EXPECT_NE(csv.find("slowdown_by_faults"), std::string::npos);
+  const std::string md = campaign_report_markdown(result);
+  EXPECT_NE(md.find("Collective slowdown by drawn fault count"), std::string::npos);
+  // Old-schema documents (no collective fields) still parse and validate.
+  const std::string plain = campaign_report_json(run_campaign(small_spec(), {.threads = 2}));
+  EXPECT_EQ(validate_campaign_report(plain), 8u);
+}
+
+TEST(Collective, BusFamilySkipsTheMetricGracefully) {
+  ScenarioSpec spec = collective_spec();
+  spec.trials = 100;
+  spec.topologies = {{TopologyFamily::Bus, 2, 3}};
+  spec.spares = {1};
+  const CampaignResult result = run_campaign(spec, {.threads = 1});
+  const ScenarioResult& r = result.scenarios.front();
+  EXPECT_EQ(r.trials, 100u);
+  EXPECT_EQ(r.collective_slowdown.count, 0u);
+  EXPECT_EQ(r.collective_rounds, 0u);
+  EXPECT_TRUE(r.slowdown_curve.empty());
+  EXPECT_EQ(validate_campaign_report(campaign_report_json(result)), 1u);
+}
+
 TEST(CampaignReport, CsvQuotesLabelsAndHasHeader) {
   const CampaignResult result = run_campaign(small_spec(), {.threads = 2});
   const std::string csv = campaign_report_csv(result);

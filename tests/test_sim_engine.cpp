@@ -64,6 +64,54 @@ TEST(Engine, MaxCyclesCutsRunShort) {
   const SimStats stats = run_packets(m, target, packets, options);
   EXPECT_LE(stats.cycles, 2u);
   EXPECT_LT(stats.delivered, 15u);
+  // Packets cut off in flight are accounted, not lost: the conservation
+  // invariant holds on the truncated path too.
+  EXPECT_GT(stats.timed_out, 0u);
+  EXPECT_EQ(stats.injected, stats.delivered + stats.undeliverable + stats.timed_out);
+}
+
+TEST(Engine, TimedOutAccountsEveryInFlightPacket) {
+  // A congested hotspot run truncated mid-flight: every injected packet must
+  // land in exactly one of delivered / undeliverable / timed_out.
+  const Graph target = debruijn_base2(5);
+  const Machine m = Machine::direct(target);
+  const auto packets = hotspot_traffic(32, 600, 0, 0.8, 11, /*packets_per_cycle=*/64);
+  for (const std::uint64_t cap : {1u, 3u, 7u, 20u, 0u}) {
+    EngineOptions options;
+    options.max_cycles = cap;
+    const SimStats stats = run_packets(m, target, packets, options);
+    EXPECT_EQ(stats.injected, stats.delivered + stats.undeliverable + stats.timed_out)
+        << "max_cycles=" << cap;
+    if (cap == 0) EXPECT_EQ(stats.timed_out, 0u);  // drained runs time nothing out
+  }
+}
+
+TEST(Engine, TimedOutZeroOnDrainedFaultyRun) {
+  const Graph target = debruijn_base2(4);
+  const FaultSet faults(16, {1, 8});
+  const Machine degraded = Machine::direct_with_faults(target, faults);
+  const auto packets = uniform_traffic(16, 300, 2, 7);
+  const SimStats stats = run_packets(degraded, target, packets);
+  EXPECT_EQ(stats.timed_out, 0u);
+  EXPECT_EQ(stats.injected, stats.delivered + stats.undeliverable + stats.timed_out);
+}
+
+TEST(Engine, SimulatorReusableAcrossTruncatedRuns) {
+  // A PacketSimulator whose previous run was cut off mid-flight must start
+  // the next run from clean queues — the collective executor depends on it.
+  const Graph target = debruijn_base2(4);
+  const Machine m = Machine::direct(target);
+  PacketSimulator sim(m, target);
+  std::vector<Packet> packets;
+  for (NodeId s = 1; s < 16; ++s) packets.push_back({s, s, 0, 0});
+  const SimStats cut = sim.run(packets, 2);
+  EXPECT_GT(cut.timed_out, 0u);
+  const SimStats full = sim.run(packets);
+  EXPECT_EQ(full.delivered, 15u);
+  EXPECT_EQ(full.timed_out, 0u);
+  const SimStats oracle = run_packets(m, target, packets);
+  EXPECT_EQ(full.cycles, oracle.cycles);
+  EXPECT_EQ(full.total_latency, oracle.total_latency);
 }
 
 TEST(Engine, FaultyBareMachineDropsTraffic) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/traffic.hpp"
 
@@ -91,6 +92,41 @@ TEST(HotspotTraffic, FractionRoughlyHonored) {
 
 TEST(HotspotTraffic, BadHotNodeThrows) {
   EXPECT_THROW(hotspot_traffic(8, 10, 8, 0.5, 1), std::out_of_range);
+}
+
+TEST(HotspotTraffic, EmptyMachineThrows) {
+  EXPECT_THROW(hotspot_traffic(0, 10, 0, 0.5, 1), std::invalid_argument);
+}
+
+TEST(HotspotTraffic, FractionOutsideUnitIntervalThrows) {
+  // bernoulli_distribution is UB outside [0, 1]; the generator must reject
+  // such inputs (including NaN) instead of handing them to the distribution.
+  EXPECT_THROW(hotspot_traffic(8, 10, 0, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(hotspot_traffic(8, 10, 0, 1.5, 1), std::invalid_argument);
+  EXPECT_THROW(hotspot_traffic(8, 10, 0, std::nan(""), 1), std::invalid_argument);
+  // The closed endpoints are legal.
+  EXPECT_EQ(hotspot_traffic(8, 10, 0, 0.0, 1).size(), 10u);
+  EXPECT_EQ(hotspot_traffic(8, 10, 0, 1.0, 1).size(), 10u);
+}
+
+TEST(HotspotTraffic, DefaultInjectionRatePreserved) {
+  // packets_per_cycle = 0 keeps the historical max(logical_nodes / 4, 1).
+  const auto legacy = hotspot_traffic(64, 100, 3, 0.5, 9);
+  const auto explicit_rate = hotspot_traffic(64, 100, 3, 0.5, 9, 16);
+  ASSERT_EQ(legacy.size(), explicit_rate.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].inject_cycle, i / 16);
+    EXPECT_EQ(legacy[i].inject_cycle, explicit_rate[i].inject_cycle);
+    EXPECT_EQ(legacy[i].src, explicit_rate[i].src);
+    EXPECT_EQ(legacy[i].dst, explicit_rate[i].dst);
+  }
+}
+
+TEST(HotspotTraffic, CustomInjectionRateHonored) {
+  const auto packets = hotspot_traffic(64, 10, 3, 0.5, 9, 2);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].inject_cycle, i / 2);
+  }
 }
 
 }  // namespace

@@ -25,6 +25,12 @@ void OnlineReconfigurator::recompute() {
 }
 
 EventStatus OnlineReconfigurator::apply(const FaultEvent& event) {
+  // Validate every referenced node before any state is consulted, so a
+  // malformed event can never be half-processed (the serving layer journals
+  // events only after this validation passes).
+  if (event.node >= ft_graph_.num_nodes()) {
+    throw std::out_of_range("OnlineReconfigurator::apply: node out of range");
+  }
   NodeId victim = kInvalidNode;
   switch (event.kind) {
     case FaultKind::kNode:
@@ -33,8 +39,15 @@ EventStatus OnlineReconfigurator::apply(const FaultEvent& event) {
       victim = event.node;
       break;
     case FaultKind::kLink: {
-      // Retire one incident endpoint; if either is already retired the link
-      // is already out of service.
+      if (event.other >= ft_graph_.num_nodes()) {
+        throw std::out_of_range("OnlineReconfigurator::apply: link endpoint out of range");
+      }
+      if (event.node == event.other) {
+        throw std::invalid_argument("OnlineReconfigurator::apply: self-link fault");
+      }
+      // Retire one incident endpoint; if either endpoint — or both — is
+      // already retired the link is already out of service, so the event is
+      // absorbed without retiring a further node or touching the budget.
       const bool node_retired =
           std::binary_search(retired_.begin(), retired_.end(), event.node);
       const bool other_retired =
@@ -43,9 +56,6 @@ EventStatus OnlineReconfigurator::apply(const FaultEvent& event) {
       victim = event.node;
       break;
     }
-  }
-  if (victim >= ft_graph_.num_nodes()) {
-    throw std::out_of_range("OnlineReconfigurator::apply: node out of range");
   }
   if (std::binary_search(retired_.begin(), retired_.end(), victim)) {
     return EventStatus::kRedundant;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <queue>
 #include <stdexcept>
+#include <utility>
 
 #include "graph/algorithms.hpp"
 #include "topology/shuffle_exchange.hpp"
@@ -157,6 +159,13 @@ CompressedRouter::CompressedRouter(const Graph& g) : n_(g.num_nodes()) {
       exception_dest_[i] = e.dest;
       exception_dist_[i] = e.dist;
     }
+    // Nodes already isolated in the input graph are adopted as retired faults,
+    // so a router built from a degraded machine supports retract_fault too.
+    for (std::size_t u = 0; u < n_; ++u) {
+      if (graph_.degree(static_cast<NodeId>(u)) == 0) {
+        faulty_.push_back(static_cast<NodeId>(u));
+      }
+    }
     return;
   }
 
@@ -257,6 +266,330 @@ std::size_t CompressedRouter::memory_bytes() const {
   bytes += run_offsets_.size() * sizeof(std::size_t) +
            run_dest_lo_.size() * sizeof(NodeId) + run_hop_.size() * sizeof(NodeId);
   return bytes;
+}
+
+// --- CompressedRouter incremental maintenance --------------------------------
+
+void CompressedRouter::reference_neighbors(NodeId x, std::vector<NodeId>& out) const {
+  if (reference_ == Reference::DeBruijn) {
+    debruijn_neighbors(db_, x, out);
+  } else {
+    shuffle_exchange_neighbors(se_h_, x, out);
+  }
+}
+
+CompressedRouter::Stats CompressedRouter::stats() const {
+  Stats s;
+  s.exception_entries = exception_dest_.size();
+  s.run_entries = run_dest_lo_.size();
+  s.bytes = memory_bytes();
+  switch (reference_) {
+    case Reference::DeBruijn:
+      s.reference = "debruijn";
+      s.reference_base = db_.base;
+      s.reference_digits = db_.digits;
+      break;
+    case Reference::ShuffleExchange:
+      s.reference = "shuffle_exchange";
+      s.reference_digits = se_h_;
+      break;
+    case Reference::None:
+      s.reference = "none";
+      break;
+  }
+  s.tracked_faults = faulty_.size();
+  // FNV-1a over the logical routing state, so two routers answering
+  // identically hash identically regardless of how they were produced
+  // (from-scratch build vs a chain of incremental patches vs journal replay).
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(n_));
+  for (const std::size_t o : exception_offsets_) mix(o);
+  for (const NodeId d : exception_dest_) mix(d);
+  for (const std::uint32_t d : exception_dist_) mix(d);
+  for (const std::size_t o : run_offsets_) mix(o);
+  for (const NodeId d : run_dest_lo_) mix(d);
+  for (const NodeId hop : run_hop_) mix(hop);
+  s.state_hash = h;
+  return s;
+}
+
+void CompressedRouter::rebuild_graph(NodeId v, const std::vector<NodeId>& add_neighbors,
+                                     bool removing) {
+  GraphBuilder b(n_);
+  b.reserve_edges(graph_.num_edges() + add_neighbors.size());
+  for (NodeId u = 0; u < n_; ++u) {
+    for (const NodeId w : graph_.neighbors(u)) {
+      if (u >= w) continue;  // each undirected edge once
+      if (removing && (u == v || w == v)) continue;
+      b.add_edge(u, w);
+    }
+  }
+  if (!removing) {
+    for (const NodeId w : add_neighbors) b.add_edge(v, w);
+  }
+  graph_ = b.build();
+}
+
+void CompressedRouter::merge_deltas(std::vector<DistDelta>& deltas) {
+  if (deltas.empty()) return;
+  std::sort(deltas.begin(), deltas.end(), [](const DistDelta& a, const DistDelta& b) {
+    return a.node != b.node ? a.node < b.node : a.dest < b.dest;
+  });
+  std::vector<std::size_t> new_offsets(n_ + 1, 0);
+  std::vector<NodeId> new_dest;
+  std::vector<std::uint32_t> new_dist;
+  new_dest.reserve(exception_dest_.size() + deltas.size());
+  new_dist.reserve(exception_dist_.size() + deltas.size());
+  std::size_t di = 0;
+  for (NodeId u = 0; u < n_; ++u) {
+    std::size_t oi = exception_offsets_[u];
+    const std::size_t oe = exception_offsets_[u + 1];
+    while (oi < oe || (di < deltas.size() && deltas[di].node == u)) {
+      bool take_delta;
+      if (di >= deltas.size() || deltas[di].node != u) {
+        take_delta = false;
+      } else if (oi >= oe) {
+        take_delta = true;
+      } else if (deltas[di].dest < exception_dest_[oi]) {
+        take_delta = true;
+      } else if (deltas[di].dest > exception_dest_[oi]) {
+        take_delta = false;
+      } else {
+        take_delta = true;  // the delta overrides the stale entry
+        ++oi;
+      }
+      if (take_delta) {
+        const DistDelta& dl = deltas[di++];
+        // Canonical form: an exception exists exactly where the true distance
+        // deviates from the reference algebra. A delta that lands back on the
+        // reference value erases the entry.
+        if (dl.dist != reference_distance(dl.dest, dl.node)) {
+          new_dest.push_back(dl.dest);
+          new_dist.push_back(dl.dist);
+        }
+      } else {
+        new_dest.push_back(exception_dest_[oi]);
+        new_dist.push_back(exception_dist_[oi]);
+        ++oi;
+      }
+    }
+    new_offsets[u + 1] = new_dest.size();
+  }
+  exception_offsets_ = std::move(new_offsets);
+  exception_dest_ = std::move(new_dest);
+  exception_dist_ = std::move(new_dist);
+}
+
+void CompressedRouter::apply_fault(NodeId v) {
+  if (reference_ == Reference::None) {
+    throw std::logic_error(
+        "CompressedRouter::apply_fault: run-length mode has no reference shape to patch");
+  }
+  if (v >= n_) throw std::invalid_argument("CompressedRouter::apply_fault: node out of range");
+  if (std::binary_search(faulty_.begin(), faulty_.end(), v)) {
+    throw std::invalid_argument("CompressedRouter::apply_fault: node already retired");
+  }
+
+  const auto nb = graph_.neighbors(v);
+  const std::vector<NodeId> old_neighbors(nb.begin(), nb.end());
+
+  std::vector<DistDelta> deltas;
+
+  // Old distances v <-> d for every d in one BFS (the graph is undirected),
+  // instead of N single-pair lookups that each pay the O(h^2) reference
+  // algebra. Also serves as the dest-v row below.
+  std::vector<std::uint32_t> row_v(n_);
+  {
+    std::vector<NodeId> bfs_cur, bfs_next;
+    bfs_row_graph(graph_, v, row_v, bfs_cur, bfs_next);
+  }
+
+  // Scratch shared across destinations: era-stamped membership in the
+  // affected set, era-stamped settled/tentative state for the repair
+  // Dijkstra, and an era-stamped memo of this destination's old distances —
+  // the cascade probes the same near-v nodes from several parents, and each
+  // raw distance() costs an O(h^2) algebra evaluation on non-exception
+  // pairs. No per-destination O(N) clearing anywhere.
+  std::vector<std::uint32_t> in_affected(n_, 0), settled(n_, 0);
+  std::vector<std::uint32_t> tentative(n_);
+  std::vector<std::uint32_t> memo_stamp(n_, 0), memo_dist(n_);
+  std::uint32_t era = 0;
+  using QItem = std::pair<std::uint32_t, NodeId>;
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<QItem>> cascade, repair;
+  std::vector<NodeId> affected;
+
+  for (NodeId d = 0; d < n_; ++d) {
+    if (d == v) continue;
+    const std::uint32_t old_v = row_v[d];
+    if (old_v == kUnreachable) continue;  // v lies on no live path to d
+    deltas.push_back({v, d, kUnreachable});
+    ++era;
+    in_affected[v] = era;
+    affected.clear();
+    const auto dist = [&](NodeId x) {
+      if (memo_stamp[x] == era) return memo_dist[x];
+      memo_stamp[x] = era;
+      return memo_dist[x] = distance(d, x);
+    };
+
+    // A node whose every shortest-path parent is v or already affected loses
+    // all of its shortest paths to d (Ramalingam–Reps deletion). Processing
+    // candidates in increasing old-distance order makes the test exact: all
+    // affected nodes of the parent level are classified before any child.
+    const auto has_live_parent = [&](NodeId u, std::uint32_t du) {
+      for (const NodeId w : graph_.neighbors(u)) {
+        if (w == v || in_affected[w] == era) continue;
+        if (dist(w) + 1 == du) return true;
+      }
+      return false;
+    };
+    for (const NodeId u : old_neighbors) {
+      const std::uint32_t du = dist(u);
+      if (du != old_v + 1 || in_affected[u] == era) continue;
+      if (has_live_parent(u, du)) continue;
+      in_affected[u] = era;
+      affected.push_back(u);
+      cascade.push({du, u});
+    }
+    while (!cascade.empty()) {
+      const auto [du, u] = cascade.top();
+      cascade.pop();
+      for (const NodeId x : graph_.neighbors(u)) {
+        if (x == v || in_affected[x] == era) continue;
+        const std::uint32_t dx = dist(x);
+        if (dx != du + 1) continue;  // not a child of u
+        if (has_live_parent(x, dx)) continue;
+        in_affected[x] = era;
+        affected.push_back(x);
+        cascade.push({dx, x});
+      }
+    }
+
+    // Exact new distances for the affected set: Dijkstra seeded from the
+    // unaffected boundary (whose distances are unchanged by the deletion).
+    for (const NodeId u : affected) {
+      std::uint32_t best = kUnreachable;
+      for (const NodeId w : graph_.neighbors(u)) {
+        if (w == v || in_affected[w] == era) continue;
+        const std::uint32_t dw = dist(w);
+        if (dw != kUnreachable && dw + 1 < best) best = dw + 1;
+      }
+      tentative[u] = best;
+      if (best != kUnreachable) repair.push({best, u});
+    }
+    while (!repair.empty()) {
+      const auto [t, u] = repair.top();
+      repair.pop();
+      if (settled[u] == era || t != tentative[u]) continue;
+      settled[u] = era;
+      for (const NodeId x : graph_.neighbors(u)) {
+        if (x == v || in_affected[x] != era || settled[x] == era) continue;
+        if (t + 1 < tentative[x]) {
+          tentative[x] = t + 1;
+          repair.push({t + 1, x});
+        }
+      }
+    }
+    for (const NodeId u : affected) {
+      deltas.push_back({u, d, settled[u] == era ? tentative[u] : kUnreachable});
+    }
+  }
+
+  // The row of destination v: an isolated node is unreachable from everyone.
+  for (NodeId u = 0; u < n_; ++u) {
+    if (u != v && row_v[u] != kUnreachable) deltas.push_back({u, v, kUnreachable});
+  }
+
+  rebuild_graph(v, {}, /*removing=*/true);
+  merge_deltas(deltas);
+  faulty_.insert(std::upper_bound(faulty_.begin(), faulty_.end(), v), v);
+}
+
+void CompressedRouter::retract_fault(NodeId v) {
+  if (reference_ == Reference::None) {
+    throw std::logic_error(
+        "CompressedRouter::retract_fault: run-length mode has no reference shape to patch");
+  }
+  const auto it = std::lower_bound(faulty_.begin(), faulty_.end(), v);
+  if (it == faulty_.end() || *it != v) {
+    throw std::invalid_argument("CompressedRouter::retract_fault: node is not retired");
+  }
+  faulty_.erase(it);
+
+  // v returns with its full reference adjacency towards every live peer.
+  std::vector<NodeId> restored;
+  reference_neighbors(v, restored);
+  std::erase_if(restored, [&](NodeId w) {
+    return std::binary_search(faulty_.begin(), faulty_.end(), w);
+  });
+  // Rebuild the graph first: the relaxation below walks the restored
+  // adjacency while distance() still answers from the pre-repair exceptions.
+  rebuild_graph(v, restored, /*removing=*/false);
+
+  std::vector<DistDelta> deltas;
+
+  // Row of destination v: one BFS over the restored graph.
+  {
+    std::vector<std::uint32_t> row(n_);
+    std::vector<NodeId> cur, next;
+    bfs_row_graph(graph_, v, row, cur, next);
+    for (NodeId u = 0; u < n_; ++u) {
+      if (u != v && row[u] != distance(v, u)) deltas.push_back({u, v, row[u]});
+    }
+  }
+
+  // Every other destination: an edge insertion only ever shortens distances,
+  // and every shortened path runs through v, so relaxing outward from v with
+  // old distances as the cap touches exactly the improved nodes.
+  std::vector<std::uint32_t> stamp(n_, 0);
+  std::vector<std::uint32_t> best(n_);
+  std::vector<std::uint32_t> memo_stamp(n_, 0), memo_dist(n_);
+  std::uint32_t era = 0;
+  using QItem = std::pair<std::uint32_t, NodeId>;
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<QItem>> relax;
+  for (NodeId d = 0; d < n_; ++d) {
+    if (d == v) continue;
+    ++era;
+    // Era-stamped memo of this destination's pre-repair distances: the
+    // relaxation frontier probes shared neighbors repeatedly, and each raw
+    // distance() pays the O(h^2) reference algebra on non-exception pairs.
+    const auto dist = [&](NodeId x) {
+      if (memo_stamp[x] == era) return memo_dist[x];
+      memo_stamp[x] = era;
+      return memo_dist[x] = distance(d, x);
+    };
+    std::uint32_t nv = kUnreachable;
+    for (const NodeId w : graph_.neighbors(v)) {
+      const std::uint32_t dw = dist(w);
+      if (dw != kUnreachable && dw + 1 < nv) nv = dw + 1;
+    }
+    if (nv >= dist(v)) continue;  // no improvement for this destination
+    stamp[v] = era;
+    best[v] = nv;
+    relax.push({nv, v});
+    while (!relax.empty()) {
+      const auto [t, u] = relax.top();
+      relax.pop();
+      if (t != best[u] || stamp[u] != era) continue;  // stale entry
+      deltas.push_back({u, d, t});
+      for (const NodeId x : graph_.neighbors(u)) {
+        const std::uint32_t cur_x = stamp[x] == era ? best[x] : dist(x);
+        if (t + 1 < cur_x) {
+          stamp[x] = era;
+          best[x] = t + 1;
+          relax.push({t + 1, x});
+        }
+      }
+    }
+  }
+
+  merge_deltas(deltas);
 }
 
 // --- ImplicitRouter ----------------------------------------------------------

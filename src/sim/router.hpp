@@ -119,6 +119,15 @@ class TableRouter final : public Router {
 ///    exceptions record the exact value wherever the algebra is wrong.
 ///  * run-length — no reference shape: the canonical next-hop matrix is kept,
 ///    run-length encoded per node over destination id.
+///
+/// Shape-delta routers additionally support *incremental* maintenance for the
+/// degraded-machine lifecycle (reference shape minus a set of failed nodes):
+/// `apply_fault` / `retract_fault` patch the exception table in place by
+/// recomputing only the (dest, node) pairs whose exact distance actually
+/// changed (a Ramalingam–Reps style affected-set sweep per destination),
+/// instead of re-running the per-destination BFS rebuild. The patched state is
+/// canonical — bit-identical to a from-scratch build over the same degraded
+/// graph — which is what the serving layer's equivalence oracle asserts.
 class CompressedRouter final : public Router {
  public:
   explicit CompressedRouter(const Graph& g);
@@ -139,10 +148,51 @@ class CompressedRouter final : public Router {
   std::size_t num_exceptions() const { return exception_dest_.size(); }
   std::size_t num_runs() const { return run_dest_lo_.size(); }
 
+  /// Observable size/shape facts, so the serving layer and the benches can
+  /// assert the ~f*h per-node exception-growth bound instead of guessing.
+  struct Stats {
+    std::size_t exception_entries = 0;  // shape-delta (node, dest) pairs stored
+    std::size_t run_entries = 0;        // run-length mode runs
+    std::size_t bytes = 0;              // == memory_bytes()
+    const char* reference = "none";     // "debruijn" | "shuffle_exchange" | "none"
+    std::uint64_t reference_base = 0;   // m of the reference B_{m,h} (0 for SE/none)
+    unsigned reference_digits = 0;      // h of the reference shape
+    std::size_t tracked_faults = 0;     // faults applied through apply_fault
+    std::uint64_t state_hash = 0;       // FNV-1a over the exception/run arrays
+  };
+  Stats stats() const;
+
+  /// Incrementally retires node `v`: removes its edges from the routed graph
+  /// and patches the exception table so the router is exactly the router of
+  /// the degraded graph. Shape-delta mode only (throws std::logic_error in
+  /// run-length mode); throws std::invalid_argument when `v` is out of range
+  /// or already retired. Cost is O(changed pairs + N * deg^2), versus the
+  /// O(N * (N + E)) from-scratch rebuild.
+  void apply_fault(NodeId v);
+
+  /// Reverses `apply_fault(v)`: restores v's reference-shape edges towards
+  /// every non-retired neighbor and retracts the now-stale exceptions.
+  /// Throws std::invalid_argument when `v` is not currently retired.
+  void retract_fault(NodeId v);
+
+  /// Faults applied through apply_fault and not yet retracted, sorted.
+  /// (Nodes that were already isolated in the constructor's graph are adopted
+  /// as retired, so a router built from a degraded graph is repairable too.)
+  const std::vector<NodeId>& tracked_faults() const { return faulty_; }
+
  private:
   enum class Reference { None, DeBruijn, ShuffleExchange };
 
+  struct DistDelta {
+    NodeId node;
+    NodeId dest;
+    std::uint32_t dist;  // new exact distance (may be unreachable)
+  };
+
   std::uint32_t reference_distance(NodeId dest, NodeId node) const;
+  void reference_neighbors(NodeId x, std::vector<NodeId>& out) const;
+  void merge_deltas(std::vector<DistDelta>& deltas);
+  void rebuild_graph(NodeId v, const std::vector<NodeId>& add_neighbors, bool removing);
 
   std::size_t n_ = 0;
   Reference reference_ = Reference::None;
@@ -152,6 +202,7 @@ class CompressedRouter final : public Router {
   // shape-delta storage: the graph (for the canonical descent) plus the
   // per-node exception CSR, sorted by destination.
   Graph graph_;
+  std::vector<NodeId> faulty_;  // nodes retired via apply_fault, sorted
   std::vector<std::size_t> exception_offsets_;
   std::vector<NodeId> exception_dest_;
   std::vector<std::uint32_t> exception_dist_;

@@ -108,12 +108,58 @@ void debruijn_neighbors(const DeBruijnParams& params, NodeId x, std::vector<Node
   out.erase(std::remove(out.begin(), out.end(), x), out.end());
 }
 
+namespace {
+
+// Base-2 fast path for debruijn_distance. Digits are bits, so the mismatch
+// set under shift offset f collapses to the set bits of x ^ (y >> f) (resp.
+// x ^ (y << -f)): bit i of x is MSB-first digit q = h-1-i, and offset f
+// compares digit q of x against digit q-f of y, i.e. bit i of x against bit
+// i+f of y. This sits on the incremental-repair hot path (reference-distance
+// probes per affected node), where the generic digit-extraction loop's 2h
+// integer divisions dominate.
+std::uint32_t debruijn_distance_base2(int h, std::uint64_t x, std::uint64_t y) {
+  std::uint32_t best = static_cast<std::uint32_t>(-1);
+  std::array<int, 64> mismatches;
+  for (int step = 0; step <= 2 * h; ++step) {
+    const int f = (step % 2 == 1) ? (step + 1) / 2 : -(step / 2);
+    if (static_cast<std::uint32_t>(std::abs(f)) >= best) break;
+    const int ilo = std::max(0, -f);
+    const int ihi = std::min(h - 1, h - 1 - f);
+    const std::uint64_t lane =
+        (~std::uint64_t{0} >> (63 - ihi)) & (~std::uint64_t{0} << ilo);
+    std::uint64_t mm = ((f >= 0) ? (x ^ (y >> f)) : (x ^ (y << -f))) & lane;
+    // Mismatch positions ascending in q = h-1-i, i.e. descending bit index.
+    int count = 0;
+    while (mm != 0) {
+      const int i = 63 - __builtin_clzll(mm);
+      mismatches[static_cast<std::size_t>(count++)] = h - 1 - i;
+      mm &= ~(std::uint64_t{1} << i);
+    }
+    const int base_max = std::max(0, f);
+    const int base_min = std::min(0, f);
+    for (int j = 0; j <= count; ++j) {
+      int walk_max = base_max;
+      int walk_min = base_min;
+      if (j > 0) walk_max = std::max(walk_max, mismatches[static_cast<std::size_t>(j - 1)] + 1);
+      if (j < count) walk_min = std::min(walk_min, mismatches[static_cast<std::size_t>(j)] - h);
+      const int hops = 2 * (walk_max - walk_min) - std::abs(f);
+      if (hops >= 0 && static_cast<std::uint32_t>(hops) < best) {
+        best = static_cast<std::uint32_t>(hops);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
 std::uint32_t debruijn_distance(const DeBruijnParams& params, NodeId x, NodeId y) {
   const std::uint64_t n = debruijn_num_nodes(params);
   const std::uint64_t m = params.base;
   const int h = static_cast<int>(params.digits);
   if (x >= n || y >= n) throw std::out_of_range("debruijn_distance: node out of range");
   if (x == y) return 0;
+  if (m == 2) return debruijn_distance_base2(h, x, y);
   // MSB-first digit strings: sx[q] is digit x_{h-1-q}. Uninitialized on
   // purpose — only the first h entries are ever written and read, and this
   // sits on the implicit router's per-hop path.

@@ -61,6 +61,33 @@ TEST(Online, LinkFaultRetiresOneEndpoint) {
   EXPECT_EQ(mgr.faults_outstanding(), 1u);
 }
 
+TEST(Online, LinkFaultBothEndpointsRetiredIsRedundant) {
+  // Regression: a link fault whose endpoints are both already retired must be
+  // absorbed as redundant — it must not retire a third node and must not
+  // count against the spare budget a second time.
+  auto mgr = make(4, 3);
+  ASSERT_EQ(mgr.apply({FaultKind::kNode, 3, 0}), EventStatus::kAccepted);
+  ASSERT_EQ(mgr.apply({FaultKind::kNode, 7, 0}), EventStatus::kAccepted);
+  const auto retired_before = mgr.retired();
+  const auto spares_before = mgr.spares_remaining();
+  EXPECT_EQ(mgr.apply({FaultKind::kLink, 3, 7}), EventStatus::kRedundant);
+  EXPECT_EQ(mgr.apply({FaultKind::kLink, 7, 3}), EventStatus::kRedundant);
+  EXPECT_EQ(mgr.retired(), retired_before);
+  EXPECT_EQ(mgr.spares_remaining(), spares_before);
+  EXPECT_TRUE(mgr.invariant_holds());
+}
+
+TEST(Online, LinkFaultValidatesBothEndpoints) {
+  auto mgr = make(4, 2);
+  // An out-of-range endpoint is rejected up front, even when the other
+  // endpoint's retirement would otherwise short-circuit the event.
+  ASSERT_EQ(mgr.apply({FaultKind::kNode, 3, 0}), EventStatus::kAccepted);
+  EXPECT_THROW(mgr.apply({FaultKind::kLink, 3, 99}), std::out_of_range);
+  EXPECT_THROW(mgr.apply({FaultKind::kLink, 99, 3}), std::out_of_range);
+  EXPECT_THROW(mgr.apply({FaultKind::kLink, 5, 5}), std::invalid_argument);
+  EXPECT_EQ(mgr.faults_outstanding(), 1u);
+}
+
 TEST(Online, BusFaultRetiresDriver) {
   auto mgr = make(4, 2);
   EXPECT_EQ(mgr.apply({FaultKind::kBus, 9, 0}), EventStatus::kAccepted);

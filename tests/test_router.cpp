@@ -8,9 +8,11 @@
 // auto-selection, and next-hop totality + termination.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "ft/ft_debruijn.hpp"
@@ -318,6 +320,127 @@ TEST(RouterPath, SelfPathIsTrivialAcrossBackends) {
     EXPECT_EQ(r->next_hop(5, 5), 5u);
     EXPECT_EQ(r->distance(5, 5), 0u);
   }
+}
+
+/// Target shape with every edge incident to a fault removed — the degraded
+/// machine model (dead nodes keep their ids, traffic routes around them).
+Graph degraded_graph(const Graph& target, const std::vector<NodeId>& faults) {
+  std::vector<bool> dead(target.num_nodes(), false);
+  for (const NodeId f : faults) dead[f] = true;
+  GraphBuilder b(target.num_nodes());
+  for (NodeId u = 0; u < target.num_nodes(); ++u) {
+    if (dead[u]) continue;
+    for (const NodeId w : target.neighbors(u)) {
+      if (u < w && !dead[w]) b.add_edge(u, w);
+    }
+  }
+  return b.build();
+}
+
+/// Drives a random fault/repair chain through one incrementally-maintained
+/// CompressedRouter and, after EVERY event, checks it is indistinguishable
+/// from a from-scratch build over the same degraded graph: identical
+/// canonical state (exception count + state hash) and hop-for-hop identical
+/// answers against the BFS oracle.
+void run_incremental_chain(const Graph& target, unsigned max_faults, int events,
+                           std::uint64_t seed, const std::string& context) {
+  CompressedRouter inc(target);
+  ASSERT_TRUE(inc.uses_reference_shape()) << context;
+  ASSERT_EQ(inc.num_exceptions(), 0u) << context;
+  std::mt19937_64 rng(seed);
+  std::vector<NodeId> faults;
+  const auto n = static_cast<NodeId>(target.num_nodes());
+  for (int e = 0; e < events; ++e) {
+    const bool repair = !faults.empty() && (faults.size() >= max_faults || rng() % 3 == 0);
+    if (repair) {
+      const std::size_t idx = rng() % faults.size();
+      const NodeId v = faults[idx];
+      faults.erase(faults.begin() + static_cast<std::ptrdiff_t>(idx));
+      inc.retract_fault(v);
+    } else {
+      NodeId v = static_cast<NodeId>(rng() % n);
+      while (std::find(faults.begin(), faults.end(), v) != faults.end()) {
+        v = static_cast<NodeId>(rng() % n);
+      }
+      faults.push_back(v);
+      inc.apply_fault(v);
+    }
+    std::vector<NodeId> sorted_faults = faults;
+    std::sort(sorted_faults.begin(), sorted_faults.end());
+    ASSERT_EQ(inc.tracked_faults(), sorted_faults) << context << " event " << e;
+    const Graph g = degraded_graph(target, faults);
+    const CompressedRouter scratch(g);
+    ASSERT_EQ(inc.num_exceptions(), scratch.num_exceptions()) << context << " event " << e;
+    ASSERT_EQ(inc.stats().state_hash, scratch.stats().state_hash) << context << " event " << e;
+    expect_equivalent(g, {&inc, &scratch}, context + " event " + std::to_string(e));
+  }
+}
+
+TEST(CompressedIncremental, DeBruijnChainsMatchScratchBuilds) {
+  run_incremental_chain(debruijn_base2(4), 3, 30, 11, "B(2,4)");
+  run_incremental_chain(debruijn_base2(5), 4, 30, 12, "B(2,5)");
+  run_incremental_chain(debruijn_graph({.base = 3, .digits = 3}), 3, 25, 13, "B(3,3)");
+}
+
+TEST(CompressedIncremental, ShuffleExchangeChainsMatchScratchBuilds) {
+  run_incremental_chain(shuffle_exchange_graph(4), 3, 25, 21, "SE_4");
+  run_incremental_chain(shuffle_exchange_graph(5), 4, 30, 22, "SE_5");
+}
+
+TEST(CompressedIncremental, ExceptionGrowthStaysNearFTimesH) {
+  // The shape-delta representation's selling point: f faults cost about f*h
+  // exception entries per node, not a dense N^2 rebuild. Assert the bound the
+  // serving layer and benches rely on (generous constant, exact canonical
+  // form checked by the chain tests above).
+  const unsigned h = 8;
+  const Graph target = debruijn_base2(h);
+  const double n = static_cast<double>(target.num_nodes());
+  CompressedRouter inc(target);
+  std::size_t previous = 0;
+  for (unsigned f = 1; f <= 4; ++f) {
+    inc.apply_fault(static_cast<NodeId>(f * 37 % target.num_nodes()));
+    const auto s = inc.stats();
+    EXPECT_EQ(s.tracked_faults, f);
+    EXPECT_GT(s.exception_entries, previous);
+    EXPECT_LE(static_cast<double>(s.exception_entries), 8.0 * f * h * n)
+        << "f=" << f << " exceptions=" << s.exception_entries;
+    previous = s.exception_entries;
+  }
+  EXPECT_STREQ(inc.stats().reference, "debruijn");
+  EXPECT_EQ(inc.stats().reference_digits, h);
+}
+
+TEST(CompressedIncremental, RunLengthModeRefusesIncrementalOps) {
+  // A graph with no containing reference shape falls back to run-length
+  // encoding, which has nothing to patch incrementally.
+  const Graph ring = make_graph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}});
+  CompressedRouter r(ring);
+  ASSERT_FALSE(r.uses_reference_shape());
+  EXPECT_STREQ(r.stats().reference, "none");
+  EXPECT_GT(r.stats().run_entries, 0u);
+  EXPECT_THROW(r.apply_fault(0), std::logic_error);
+  EXPECT_THROW(r.retract_fault(0), std::logic_error);
+}
+
+TEST(CompressedIncremental, ArgumentValidation) {
+  CompressedRouter r(debruijn_base2(4));
+  EXPECT_THROW(r.apply_fault(16), std::invalid_argument);
+  EXPECT_THROW(r.retract_fault(3), std::invalid_argument);  // not retired
+  r.apply_fault(3);
+  EXPECT_THROW(r.apply_fault(3), std::invalid_argument);  // already retired
+  r.retract_fault(3);
+  EXPECT_EQ(r.stats().state_hash, CompressedRouter(debruijn_base2(4)).stats().state_hash);
+}
+
+TEST(CompressedIncremental, ScratchBuildFromDegradedGraphAdoptsIsolatedNodes) {
+  // Building from an already-degraded graph adopts isolated nodes as retired,
+  // so the repair lifecycle works without the healthy-build provenance.
+  const Graph target = debruijn_base2(4);
+  CompressedRouter scratch(degraded_graph(target, {5}));
+  ASSERT_EQ(scratch.tracked_faults(), (std::vector<NodeId>{5}));
+  scratch.retract_fault(5);
+  EXPECT_EQ(scratch.stats().state_hash, CompressedRouter(target).stats().state_hash);
+  expect_equivalent(target, {&scratch}, "repaired from degraded build");
 }
 
 }  // namespace

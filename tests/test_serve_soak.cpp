@@ -1,0 +1,145 @@
+// Multithreaded soak for the reconfiguration service, built to run under
+// ThreadSanitizer in CI: reader threads hammer both query surfaces while the
+// writer streams fault/repair events and checkpoints, exercising the epoch
+// pin/publish/reclaim protocol. Between phases the service is torn down and
+// replayed from its journal, and the recovered state must hash identically —
+// the kill-and-recover path under concurrency.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ft/online.hpp"
+#include "serve/service.hpp"
+
+namespace ftdb::serve {
+namespace {
+
+ServeConfig soak_config(const std::string& journal) {
+  ServeConfig config;
+  config.family = Family::kDeBruijn;
+  config.base = 2;
+  config.digits = 5;  // N = 32, physical = 35
+  config.spares = 3;
+  config.journal_path = journal;
+  config.fsync_journal = false;
+  return config;
+}
+
+/// One reader thread: random FT-surface and bare-surface queries with cheap
+/// per-answer sanity checks. Each individual query is epoch-consistent, so
+/// the checks hold no matter how the writer interleaves.
+void reader_loop(ReconfigurationService& service, std::uint64_t seed,
+                 const std::atomic<bool>& stop, std::atomic<std::uint64_t>& queries) {
+  auto reader = service.reader();
+  std::mt19937_64 rng(seed);
+  const auto n = static_cast<NodeId>(service.num_logical_nodes());
+  const auto physical = static_cast<NodeId>(service.num_physical_nodes());
+  std::uint64_t local = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const NodeId from = static_cast<NodeId>(rng() % n);
+    const NodeId dest = static_cast<NodeId>(rng() % n);
+
+    // FT surface: the healthy-shape route always exists; its physical
+    // endpoints are the current embedding of from/dest.
+    const auto path = reader.route(from, dest);
+    ASSERT_FALSE(path.empty());
+    ASSERT_LT(path.front(), physical);
+    ASSERT_LT(path.back(), physical);
+    if (from == dest) {
+      ASSERT_EQ(path.size(), 1u);
+    }
+    const NodeId hop = reader.next_hop(dest, from);
+    ASSERT_LT(hop, physical);
+
+    // Bare surface: either unreachable around the faults or a real path of
+    // in-range logical nodes starting and ending correctly. Each call pins
+    // its own epoch, so the route and the next hop are checked independently
+    // (the writer may publish between the two queries).
+    const auto bare = reader.bare_route(from, dest);
+    if (!bare.empty()) {
+      ASSERT_EQ(bare.front(), from);
+      ASSERT_EQ(bare.back(), dest);
+      for (const NodeId node : bare) ASSERT_LT(node, n);
+    }
+    const NodeId bare_hop = reader.bare_next_hop(dest, from);
+    ASSERT_TRUE(bare_hop == kInvalidNode || bare_hop < n);
+
+    (void)reader.epoch_id();
+    (void)reader.degraded();
+    ++local;
+  }
+  queries.fetch_add(local, std::memory_order_relaxed);
+}
+
+TEST(ServeSoak, ConcurrentReadersWriterAndReplay) {
+  const std::string journal = ::testing::TempDir() + "ftdb_serve_soak_" +
+                              std::to_string(::getpid()) + ".jrn";
+  std::remove(journal.c_str());
+
+  constexpr int kPhases = 3;
+  constexpr int kReaders = 3;
+  constexpr int kWriterEvents = 60;
+
+  std::uint64_t previous_hash = 0;
+  std::mt19937_64 rng(7);
+  std::atomic<std::uint64_t> queries{0};
+
+  for (int phase = 0; phase < kPhases; ++phase) {
+    ReconfigurationService service(soak_config(journal));
+    if (phase > 0) {
+      // The journal replay must resurrect the exact pre-teardown state.
+      ASSERT_EQ(service.state_hash(), previous_hash) << "phase " << phase;
+      ASSERT_GT(service.replayed_events(), 0u);
+    }
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kReaders);
+    for (int r = 0; r < kReaders; ++r) {
+      threads.emplace_back(reader_loop, std::ref(service),
+                           static_cast<std::uint64_t>(phase * 100 + r), std::cref(stop),
+                           std::ref(queries));
+    }
+
+    const auto physical = static_cast<NodeId>(service.num_physical_nodes());
+    for (int event = 0; event < kWriterEvents; ++event) {
+      const unsigned roll = static_cast<unsigned>(rng() % 8);
+      if (roll < 3) {
+        const auto snapshot = service.snapshot();
+        if (!snapshot->retired.empty()) {
+          service.repair(snapshot->retired[rng() % snapshot->retired.size()]);
+          continue;
+        }
+      }
+      if (roll == 7) {
+        service.checkpoint();
+        continue;
+      }
+      FaultEvent fe;
+      fe.kind = roll % 2 == 0 ? FaultKind::kNode : FaultKind::kBus;
+      fe.node = static_cast<NodeId>(rng() % physical);
+      service.fault(fe);  // any status is fine; readers must never notice
+    }
+
+    stop.store(true);
+    for (std::thread& t : threads) t.join();
+
+    const auto stats = service.stats();
+    EXPECT_LE(stats.faults_outstanding, stats.spare_budget);
+    previous_hash = service.state_hash();
+  }
+
+  EXPECT_GT(queries.load(), 0u);
+  std::remove(journal.c_str());
+  std::remove((journal + ".tmp").c_str());
+}
+
+}  // namespace
+}  // namespace ftdb::serve

@@ -177,10 +177,30 @@ Journal::~Journal() {
 }
 
 void Journal::append(const JournalRecord& record) {
+  if (fd_ < 0) {
+    throw std::runtime_error("Journal: " + path_ +
+                             " is poisoned by an earlier failed append; restart and recover");
+  }
   unsigned char frame[kRecordBytes];
   encode_record(frame, record);
-  write_all(fd_, frame, sizeof frame, path_);
-  if (fsync_) fsync_or_throw(fd_, path_);
+  // The file length always equals size_bytes() here: construction truncates
+  // any torn tail, and a failed append rolls back (or poisons fd_).
+  const off_t before = static_cast<off_t>(size_bytes());
+  try {
+    write_all(fd_, frame, sizeof frame, path_);
+    if (fsync_) fsync_or_throw(fd_, path_);
+  } catch (...) {
+    // Bytes may have reached the file before the failure; the caller observes
+    // a failed mutation, so a post-crash replay must not see this record.
+    // Roll the file back to its pre-append length. If the rollback itself
+    // fails, poison the journal — every later append throws, forcing a
+    // restart-and-recover instead of silently diverging from the log.
+    if (::ftruncate(fd_, before) != 0 || ::lseek(fd_, before, SEEK_SET) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    throw;
+  }
   ++num_records_;
 }
 

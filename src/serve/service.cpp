@@ -213,7 +213,7 @@ void ReconfigurationService::publish(std::shared_ptr<const Epoch> next) {
   sweep_retired_epochs();
 }
 
-void ReconfigurationService::sweep_retired_epochs() {
+void ReconfigurationService::sweep_retired_epochs() const {
   std::erase_if(retired_epochs_, [this](const std::shared_ptr<const Epoch>& epoch) {
     const Epoch* raw = epoch.get();
     if (raw == head_.load()) return false;
@@ -238,11 +238,13 @@ ReconfigurationService::Reader ReconfigurationService::reader() {
 
 std::shared_ptr<const Epoch> ReconfigurationService::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
+  sweep_retired_epochs();
   return head_owner_;
 }
 
 ReconfigurationService::ServiceStats ReconfigurationService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
+  sweep_retired_epochs();
   ServiceStats s;
   s.epoch = head_owner_->id;
   s.epochs_live = 1 + retired_epochs_.size();

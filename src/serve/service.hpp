@@ -204,7 +204,7 @@ class ReconfigurationService {
   MutationStatus apply_event(const FaultEvent& event, bool journal);
   MutationStatus apply_repair(NodeId node, bool journal);
   void publish(std::shared_ptr<const Epoch> next);  // writer lock held
-  void sweep_retired_epochs();                      // writer lock held
+  void sweep_retired_epochs() const;                // writer lock held
   std::shared_ptr<const Epoch> build_epoch(
       std::shared_ptr<const sim::CompressedRouter> bare);  // writer lock held
 
@@ -219,7 +219,10 @@ class ReconfigurationService {
   OnlineReconfigurator recon_;
   std::uint64_t epoch_counter_ = 0;
   std::shared_ptr<const Epoch> head_owner_;
-  std::vector<std::shared_ptr<const Epoch>> retired_epochs_;
+  // Swept from publish() and from the lock-taking read paths (snapshot/stats),
+  // so an epoch unpinned after the last mutation is still reclaimed; mutable
+  // lets the const read paths run the sweep.
+  mutable std::vector<std::shared_ptr<const Epoch>> retired_epochs_;
 
   std::atomic<const Epoch*> head_{nullptr};
   std::array<std::atomic<const Epoch*>, kMaxReaders> pinned_{};

@@ -125,8 +125,12 @@ std::uint32_t debruijn_distance_base2(int h, std::uint64_t x, std::uint64_t y) {
     if (static_cast<std::uint32_t>(std::abs(f)) >= best) break;
     const int ilo = std::max(0, -f);
     const int ihi = std::min(h - 1, h - 1 - f);
+    // f == ±h leaves no overlapping digits (ihi < ilo): the mask shift would
+    // be 64 (UB), and the correct mismatch set is empty — every digit of x is
+    // shifted out, giving the unconditional hops = h candidate below.
     const std::uint64_t lane =
-        (~std::uint64_t{0} >> (63 - ihi)) & (~std::uint64_t{0} << ilo);
+        (ilo > ihi) ? 0
+                    : (~std::uint64_t{0} >> (63 - ihi)) & (~std::uint64_t{0} << ilo);
     std::uint64_t mm = ((f >= 0) ? (x ^ (y >> f)) : (x ^ (y << -f))) & lane;
     // Mismatch positions ascending in q = h-1-i, i.e. descending bit index.
     int count = 0;

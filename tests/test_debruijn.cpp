@@ -122,6 +122,19 @@ TEST(DeBruijnDistance, MatchesBfsExhaustively) {
   }
 }
 
+TEST(DeBruijnDistance, DiameterPairsReachFullShiftOffsetSafely) {
+  // 0...0 -> 1...1 in B_{2,h} needs all h digits replaced, so the search
+  // reaches the f == ±h iterations where no digit windows overlap. The lane
+  // mask there must be empty (a naive build shifts by 64 — UB) and the
+  // surviving candidate is hops = h, the true distance.
+  for (unsigned h = 2; h <= 6; ++h) {
+    const DeBruijnParams params{.base = 2, .digits = h};
+    const auto ones = static_cast<NodeId>((std::uint64_t{1} << h) - 1);
+    EXPECT_EQ(debruijn_distance(params, 0, ones), h) << "h=" << h;
+    EXPECT_EQ(debruijn_distance(params, ones, 0), h) << "h=" << h;
+  }
+}
+
 TEST(DeBruijnDistance, MixedShiftsBeatTheLeftOnlyRoute) {
   // 0001 -> 1000 in B_{2,4}: one right shift, but three left shifts — the
   // undirected distance is 1, strictly below the paper's left-shift route.

@@ -133,6 +133,10 @@ TEST(ServeSoak, ConcurrentReadersWriterAndReplay) {
 
     const auto stats = service.stats();
     EXPECT_LE(stats.faults_outstanding, stats.spare_budget);
+    // All readers have unpinned: the lock-taking stats() path sweeps retired
+    // epochs, so an epoch pinned at the moment of the last mutation must not
+    // be retained past this point (idle services shed old epochs too).
+    EXPECT_EQ(stats.epochs_live, 1u);
     previous_hash = service.state_hash();
   }
 

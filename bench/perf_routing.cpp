@@ -61,6 +61,33 @@ FTDB_BENCH(build_implicit, "perf_routing/build_implicit_b2_h10") {
   build_bench(ctx, RouterOptions::Backend::Auto, 5);
 }
 
+/// Destination-sharded build: same bit-identical table, build_threads-way
+/// parallel per-destination BFS. On a single-core runner this measures the
+/// sharding overhead (thread spawn + join); on real hardware the speedup.
+void build_sharded_bench(BenchContext& ctx, RouterOptions::Backend backend, unsigned threads,
+                         int iterations) {
+  const ftdb::Graph g = ftdb::debruijn_base2(kSmallH);
+  RouterOptions options = forced(backend);
+  options.build_threads = threads;
+  std::size_t memory = 0;
+  for (int i = 0; i < iterations; ++i) {
+    const auto router = ftdb::sim::make_router(g, options);
+    memory = router->memory_bytes();
+  }
+  ctx.report("iterations", iterations);
+  ctx.report("nodes", static_cast<double>(g.num_nodes()));
+  ctx.report("build_threads", static_cast<double>(threads));
+  ctx.report("router_memory_bytes", static_cast<double>(memory));
+}
+
+FTDB_BENCH(build_table_sharded, "perf_routing/build_table_b2_h10_threads0") {
+  build_sharded_bench(ctx, RouterOptions::Backend::Table, 0, 5);
+}
+
+FTDB_BENCH(build_compressed_sharded, "perf_routing/build_compressed_b2_h10_threads0") {
+  build_sharded_bench(ctx, RouterOptions::Backend::Compressed, 0, 5);
+}
+
 /// Routes `pairs` random (src, dst) pairs hop by hop through next_hop() —
 /// the forwarding loop's access pattern — and reports per-hop latency.
 void next_hop_bench(BenchContext& ctx, const ftdb::Graph& g, const Router& router,

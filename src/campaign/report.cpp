@@ -233,10 +233,15 @@ std::size_t validate_campaign_report(const std::string& json_text) {
   if (scenarios.kind != JsonValue::Kind::Array || scenarios.array.empty()) {
     throw std::runtime_error("scenarios must be a non-empty array");
   }
+  // Partial documents (elastic `merge --partial`) legitimately carry cells no
+  // worker has touched yet; everything else about them must still validate.
+  const JsonValue* partial = doc.find("partial");
+  const bool is_partial = partial != nullptr && partial->kind == JsonValue::Kind::Bool &&
+                          partial->boolean;
   for (const JsonValue& s : scenarios.array) {
     // parse_scenario_result throws on any missing/mistyped field.
     const ScenarioResult r = parse_scenario_result(s);
-    if (r.trials == 0) throw std::runtime_error("scenario with zero trials");
+    if (r.trials == 0 && !is_partial) throw std::runtime_error("scenario with zero trials");
     if (r.reconfig_success > r.trials) {
       throw std::runtime_error("scenario with more successes than trials");
     }

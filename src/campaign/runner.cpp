@@ -6,8 +6,8 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdint>
 #include <cstdlib>
-#include <deque>
 #include <exception>
 #include <fstream>
 #include <map>
@@ -270,8 +270,13 @@ void run_trial(const ScenarioContext& ctx, std::uint64_t trial_idx, ScenarioResu
   ++dense_hist[faults];
   if (success) ++dense_survived[faults];
 
+  // Stretch runs on both point-to-point families: de Bruijn via the shift
+  // algebra, shuffle-exchange via the exact SE distance (the bus machine has
+  // no logical routing engine to audit).
+  const bool se_family = ctx.cell.topology.family == TopologyFamily::ShuffleExchange;
   const bool want_stretch =
-      ctx.metrics.stretch && success && ctx.cell.topology.family == TopologyFamily::DeBruijn;
+      ctx.metrics.stretch && success &&
+      (ctx.cell.topology.family == TopologyFamily::DeBruijn || se_family);
   const bool want_collective = ctx.schedule.has_value();
   std::optional<sim::Machine> reconfigured;
   if (success && ((ctx.metrics.diameter) || want_stretch || want_collective)) {
@@ -293,7 +298,10 @@ void run_trial(const ScenarioContext& ctx, std::uint64_t trial_idx, ScenarioResu
     if (want_stretch) {
       if (ctx.metrics.stretch_sample_pairs == 0) {
         acc.route_stretch.add(
-            sim::max_route_stretch(machine, ctx.cell.topology.base, ctx.cell.topology.digits));
+            se_family
+                ? sim::max_route_stretch_se(machine, ctx.cell.topology.digits)
+                : sim::max_route_stretch(machine, ctx.cell.topology.base,
+                                         ctx.cell.topology.digits));
       } else {
         // Counter-based pair sample: drawn from the trial's own RNG stream
         // (after the fault draw), so the report stays byte-identical across
@@ -307,8 +315,11 @@ void run_trial(const ScenarioContext& ctx, std::uint64_t trial_idx, ScenarioResu
           const NodeId d = static_cast<NodeId>(rng.next_u64() % n_nodes);
           if (s != d) pairs.emplace_back(s, d);
         }
-        acc.route_stretch.add(sim::max_route_stretch_sampled(
-            machine, ctx.cell.topology.base, ctx.cell.topology.digits, pairs));
+        acc.route_stretch.add(
+            se_family
+                ? sim::max_route_stretch_se_sampled(machine, ctx.cell.topology.digits, pairs)
+                : sim::max_route_stretch_sampled(machine, ctx.cell.topology.base,
+                                                 ctx.cell.topology.digits, pairs));
       }
     }
   } else if (!success && ctx.metrics.diameter) {
@@ -402,6 +413,24 @@ void fold_histogram(ScenarioResult& acc, const BlockScratch& scratch) {
   }
 }
 
+/// Runs one complete trial block of a cell and returns its partial
+/// accumulator — the unit both the work-stealing scheduler and the elastic
+/// CellRunner execute. Reads the context only, so any number of threads can
+/// run different blocks of the same cell concurrently.
+ScenarioResult run_one_block(const ScenarioContext& ctx, std::uint64_t total_trials,
+                             std::uint64_t block) {
+  ScenarioResult partial;
+  partial.scenario_index = ctx.cell.index;
+  BlockScratch scratch;
+  const std::uint64_t lo = block * kTrialBlock;
+  const std::uint64_t hi = std::min(total_trials, lo + kTrialBlock);
+  for (std::uint64_t t = lo; t < hi; ++t) {
+    run_trial(ctx, t, partial, scratch);
+  }
+  fold_histogram(partial, scratch);
+  return partial;
+}
+
 /// Exact E[time of the (k+1)-st failure] when all n fabric nodes fail
 /// independently with probability p per step: summing the survival function,
 /// E = sum_{t >= 0} P[at most k of n failed by step t], with per-node
@@ -425,6 +454,31 @@ double exact_iid_mttf(std::uint64_t n, unsigned spares, double p) {
     log_alive += log_1mp;
   }
   return std::numeric_limits<double>::quiet_NaN();
+}
+
+/// Fills the cell-level metadata and analytic companions on a fully-merged
+/// accumulator — shared by the scheduler's cell finalization and the elastic
+/// runner/merge paths (which must produce byte-identical reports).
+void finalize_result(const ScenarioContext& ctx, const ScenarioCase& cell, ScenarioResult& r) {
+  r.scenario_index = cell.index;
+  r.label = cell.label();
+  r.target_nodes = ctx.target.num_nodes();
+  r.fabric_nodes = ctx.fabric.num_nodes();
+  r.target_diameter = ctx.target_diameter;
+  if (ctx.schedule) {
+    r.collective_rounds = ctx.schedule->rounds();
+    r.collective_baseline_cycles = ctx.collective_baseline_cycles;
+  }
+  const FaultModelSpec& model = cell.fault_model;
+  if (model.kind == FaultModelKind::IidBernoulli) {
+    r.analytic_survival = static_cast<double>(survival_probability(
+        r.target_nodes, cell.spares, static_cast<long double>(model.p)));
+    r.analytic_mttf = exact_iid_mttf(r.fabric_nodes, cell.spares, model.p);
+  } else if (model.kind == FaultModelKind::Weibull) {
+    // The model draws full lifetimes, so the empirical MTTF column is exactly
+    // the (k+1)-st order statistic this closed form computes.
+    r.analytic_mttf = weibull_mttf(r.fabric_nodes, cell.spares, model.shape, model.scale);
+  }
 }
 
 void write_file_atomically(const std::string& path, const std::string& content) {
@@ -760,35 +814,68 @@ struct WorkUnit {
   std::uint64_t block = 0;
 };
 
-/// A mutex-guarded deque, one per worker. The owner pops from the front (its
-/// units stay in cell-then-block order, keeping the pending maps small and
-/// the scenario contexts warm); thieves steal from the back, which under the
-/// contiguous initial deal is usually a different cell than the one the owner
-/// is working through. All units are enqueued before the workers start, so an
-/// empty sweep over every deque means no unstarted work remains.
+/// A lock-free Chase–Lev work-stealing deque, one per worker (memory-order
+/// formulation after Lê/Pop/Cohen/Nardelli, PPoPP'13). The owner pops from
+/// the bottom; thieves CAS the top. Two campaign-specific simplifications
+/// keep it simple and TSan-clean without the usual circular-buffer hazard:
+/// the buffer is bounded (every unit is seeded before any worker starts, so
+/// there is no owner push racing a thief's buffer read — the array is
+/// immutable once the pool spawns), and the seed is stored *reversed* so the
+/// owner's pop-bottom yields the original front order (cell-then-block,
+/// keeping the pending maps small and the scenario contexts warm) while
+/// thieves take the original back — exactly the old mutex deque's policy.
+/// All units are enqueued before the workers start, so once a deque reads
+/// empty it stays empty: an empty sweep over every deque means no unstarted
+/// work remains.
 class StealDeque {
  public:
-  void seed(std::deque<WorkUnit> units) { q_ = std::move(units); }
-
-  bool pop_front(WorkUnit& out) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (q_.empty()) return false;
-    out = q_.front();
-    q_.pop_front();
-    return true;
+  void seed(const std::vector<WorkUnit>& units) {
+    buf_.assign(units.rbegin(), units.rend());
+    top_.store(0, std::memory_order_relaxed);
+    bottom_.store(static_cast<std::int64_t>(buf_.size()), std::memory_order_relaxed);
   }
 
+  /// Owner-only: take the most recently seeded end (original front order).
+  bool pop_front(WorkUnit& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t <= b) {
+      out = buf_[static_cast<std::size_t>(b)];
+      if (t == b) {
+        // Last element: race the thieves for it.
+        const bool won = top_.compare_exchange_strong(
+            t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return won;
+      }
+      return true;
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Thief: take the oldest-seeded end (original back). Retries internally on
+  /// a lost CAS, so false means the deque was genuinely empty when observed.
   bool steal_back(WorkUnit& out) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (q_.empty()) return false;
-    out = q_.back();
-    q_.pop_back();
-    return true;
+    for (;;) {
+      std::int64_t t = top_.load(std::memory_order_acquire);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const std::int64_t b = bottom_.load(std::memory_order_acquire);
+      if (t >= b) return false;
+      out = buf_[static_cast<std::size_t>(t)];
+      if (top_.compare_exchange_weak(t, t + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed)) {
+        return true;
+      }
+    }
   }
 
  private:
-  std::mutex mu_;
-  std::deque<WorkUnit> q_;
+  std::vector<WorkUnit> buf_;  // immutable between seed() and the last pop
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
 };
 
 /// Mutable per-cell reduction state. `mu` guards everything below it; the
@@ -813,38 +900,9 @@ struct CellState {
 /// checkpointed blocks).
 void finalize_cell(const ScenarioSpec& spec, CellState& st) {
   if (st.ctx == nullptr) st.ctx = std::make_unique<ScenarioContext>(build_context(spec, st.cell));
-  ScenarioResult& r = st.prefix;
-  r.scenario_index = st.cell.index;
-  r.label = st.cell.label();
-  r.target_nodes = st.ctx->target.num_nodes();
-  r.fabric_nodes = st.ctx->fabric.num_nodes();
-  r.target_diameter = st.ctx->target_diameter;
-  if (st.ctx->schedule) {
-    r.collective_rounds = st.ctx->schedule->rounds();
-    r.collective_baseline_cycles = st.ctx->collective_baseline_cycles;
-  }
-  const FaultModelSpec& model = st.cell.fault_model;
-  if (model.kind == FaultModelKind::IidBernoulli) {
-    r.analytic_survival = static_cast<double>(survival_probability(
-        r.target_nodes, st.cell.spares, static_cast<long double>(model.p)));
-    r.analytic_mttf = exact_iid_mttf(r.fabric_nodes, st.cell.spares, model.p);
-  } else if (model.kind == FaultModelKind::Weibull) {
-    // The model draws full lifetimes, so the empirical MTTF column is exactly
-    // the (k+1)-st order statistic this closed form computes.
-    r.analytic_mttf = weibull_mttf(r.fabric_nodes, st.cell.spares, model.shape, model.scale);
-  }
+  finalize_result(*st.ctx, st.cell, st.prefix);
   st.finalized = true;
   st.ctx.reset();  // the graphs are the heavy part; drop them as cells finish
-}
-
-/// Trials covered by blocks [0, blocks) of a `trials`-trial cell.
-std::uint64_t trials_in_prefix(std::uint64_t trials, std::uint64_t blocks) {
-  return std::min(trials, blocks * kTrialBlock);
-}
-
-std::uint64_t trials_in_block(std::uint64_t trials, std::uint64_t block) {
-  const std::uint64_t lo = block * kTrialBlock;
-  return std::min(trials, lo + kTrialBlock) - lo;
 }
 
 }  // namespace
@@ -953,12 +1011,10 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
   {
     const std::size_t per = (units.size() + workers - 1) / std::max(1u, workers);
     for (unsigned w = 0; w < workers; ++w) {
-      std::deque<WorkUnit> slice;
       const std::size_t lo = std::min(units.size(), w * per);
       const std::size_t hi = std::min(units.size(), lo + per);
-      slice.assign(units.begin() + static_cast<std::ptrdiff_t>(lo),
-                   units.begin() + static_cast<std::ptrdiff_t>(hi));
-      deques[w].seed(std::move(slice));
+      deques[w].seed(std::vector<WorkUnit>(units.begin() + static_cast<std::ptrdiff_t>(lo),
+                                           units.begin() + static_cast<std::ptrdiff_t>(hi)));
     }
   }
 
@@ -983,15 +1039,7 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
     std::call_once(st.ctx_once, [&] {
       if (st.ctx == nullptr) st.ctx = std::make_unique<ScenarioContext>(build_context(spec, st.cell));
     });
-    ScenarioResult partial;
-    partial.scenario_index = st.cell.index;
-    BlockScratch scratch;
-    const std::uint64_t lo = u.block * kTrialBlock;
-    const std::uint64_t hi = std::min(spec.trials, lo + kTrialBlock);
-    for (std::uint64_t t = lo; t < hi; ++t) {
-      run_trial(*st.ctx, t, partial, scratch);
-    }
-    fold_histogram(partial, scratch);
+    ScenarioResult partial = run_one_block(*st.ctx, spec.trials, u.block);
 
     bool completed_cell = false;
     {
@@ -1147,6 +1195,32 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& opt
     result.scenarios[st.cell.index] = std::move(st.prefix);
   }
   return result;
+}
+
+// --- CellRunner -------------------------------------------------------------
+
+struct CellRunner::Impl {
+  std::uint64_t trials;
+  ScenarioCase cell;
+  ScenarioContext ctx;
+};
+
+CellRunner::CellRunner(const ScenarioSpec& spec, const ScenarioCase& cell)
+    : impl_(new Impl{spec.trials, cell, build_context(spec, cell)}) {}
+
+CellRunner::~CellRunner() = default;
+CellRunner::CellRunner(CellRunner&&) noexcept = default;
+CellRunner& CellRunner::operator=(CellRunner&&) noexcept = default;
+
+std::uint64_t CellRunner::num_blocks() const { return num_trial_blocks(impl_->trials); }
+
+ScenarioResult CellRunner::run_block(std::uint64_t block) const {
+  if (block >= num_blocks()) throw std::out_of_range("CellRunner::run_block: block out of range");
+  return run_one_block(impl_->ctx, impl_->trials, block);
+}
+
+void CellRunner::finalize(ScenarioResult& r) const {
+  finalize_result(impl_->ctx, impl_->cell, r);
 }
 
 }  // namespace ftdb::campaign

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -47,6 +48,20 @@ inline constexpr std::uint64_t kTrialBlock = 256;
 /// Blocks a cell of `trials` trials decomposes into (the last may be short).
 inline constexpr std::uint64_t num_trial_blocks(std::uint64_t trials) {
   return (trials + kTrialBlock - 1) / kTrialBlock;
+}
+
+/// Trials covered by blocks [0, blocks) of a `trials`-trial cell.
+inline constexpr std::uint64_t trials_in_prefix(std::uint64_t trials, std::uint64_t blocks) {
+  const std::uint64_t t = blocks * kTrialBlock;
+  return t < trials ? t : trials;
+}
+
+/// Trials inside block `block` of a `trials`-trial cell (the last block may
+/// be short).
+inline constexpr std::uint64_t trials_in_block(std::uint64_t trials, std::uint64_t block) {
+  const std::uint64_t lo = block * kTrialBlock;
+  const std::uint64_t hi = lo + kTrialBlock < trials ? lo + kTrialBlock : trials;
+  return hi - lo;
 }
 
 /// Welford/Chan streaming moments with min/max. Deterministic under the
@@ -122,7 +137,7 @@ struct ScenarioResult {
   /// ...and how many failed trials left the survivors disconnected.
   std::uint64_t degraded_disconnected = 0;
 
-  // stretch metric (de Bruijn family only) ---------------------------------
+  // stretch metric (point-to-point families: de Bruijn + shuffle-exchange) --
   StreamingStats route_stretch;
 
   // mttf metric -------------------------------------------------------------
@@ -211,6 +226,35 @@ struct CampaignAborted : std::runtime_error {
 /// unusable specs or an incompatible checkpoint, CampaignAborted when the
 /// stop_after_blocks hook fires.
 CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignOptions& options = {});
+
+/// Executes one grid cell's trial blocks outside the full scheduler — the
+/// unit the elastic campaign service (campaign/elastic/) leases and runs.
+/// The scenario context (graphs, fault model, collective baseline) is built
+/// once in the constructor; run_block only reads it, so one CellRunner can
+/// serve many threads concurrently. Blocks produced here are bit-identical
+/// to the ones run_campaign's scheduler folds, because every trial's
+/// randomness is counter-based.
+class CellRunner {
+ public:
+  CellRunner(const ScenarioSpec& spec, const ScenarioCase& cell);
+  ~CellRunner();
+  CellRunner(CellRunner&&) noexcept;
+  CellRunner& operator=(CellRunner&&) noexcept;
+
+  std::uint64_t num_blocks() const;
+
+  /// Runs block `block` (kTrialBlock trials; the last block may be short) and
+  /// returns its partial accumulator — exactly what the scheduler would merge.
+  ScenarioResult run_block(std::uint64_t block) const;
+
+  /// Fills the cell-level metadata and analytic companions on a fully-merged
+  /// accumulator (the step that finalizes a completed cell for reporting).
+  void finalize(ScenarioResult& r) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 // --- checkpoint / result serialization (shared with report.cpp) ------------
 

@@ -165,6 +165,28 @@ std::vector<ScenarioCase> expand_grid(const ScenarioSpec& spec) {
   return cells;
 }
 
+double predicted_cell_cost(const ScenarioSpec& spec, const ScenarioCase& cell) {
+  const double n = static_cast<double>(cell.topology.target_nodes());
+  // Fabric construction + fault draw + embedding repair: a handful of passes
+  // over the fabric, which is N plus spares wide.
+  double per_trial = 4.0 * (n + static_cast<double>(cell.spares));
+  if (spec.metrics.diameter) {
+    // 64-way multi-source BFS sweeps: ~N^2/64 edge visits on degree-bounded
+    // machines, plus a constant number of whole-machine passes.
+    per_trial += n * n / 64.0 + 4.0 * n;
+  }
+  if (spec.metrics.stretch && cell.topology.family != TopologyFamily::Bus) {
+    per_trial += spec.metrics.stretch_sample_pairs != 0
+                     ? static_cast<double>(spec.metrics.stretch_sample_pairs) * n / 64.0
+                     : n * n / 64.0 + n * n;  // full sweep also walks every route
+  }
+  if (spec.metrics.collective && cell.topology.family != TopologyFamily::Bus) {
+    // Packet engine: rounds ~ log N, each moving O(N) packets a few hops.
+    per_trial += 8.0 * n * (1.0 + std::log2(n > 1.0 ? n : 2.0));
+  }
+  return per_trial * static_cast<double>(spec.trials);
+}
+
 ScenarioSpec parse_scenario_spec(const std::string& json_text) {
   const JsonValue doc = analysis::json_parse(json_text);
   if (doc.kind != JsonValue::Kind::Object) bad_spec("document must be a JSON object");

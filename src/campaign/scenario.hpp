@@ -52,7 +52,7 @@ struct FaultModelSpec {
 /// is always measured). The heavier the metric, the more it costs per trial.
 struct MetricSet {
   bool diameter = true;  ///< diameter of the post-fault (reconfigured or degraded) machine
-  bool stretch = false;  ///< max logical-route stretch (de Bruijn family only)
+  bool stretch = false;  ///< max logical-route stretch (point-to-point families)
   bool mttf = true;      ///< time of the (k+1)-st failure under the model's clock
   /// When nonzero, the stretch metric is evaluated on this many counter-based
   /// random (src, dst) pairs per trial instead of all N^2 — what keeps
@@ -97,6 +97,14 @@ struct ScenarioCase {
 };
 
 std::vector<ScenarioCase> expand_grid(const ScenarioSpec& spec);
+
+/// Rough per-trial work estimate for one grid cell, in arbitrary but
+/// mutually comparable units. Used only to *order* work (elastic workers
+/// lease expensive cells first so the campaign's tail is short), so the
+/// model just has to be monotone in the dominant terms: every enabled
+/// metric contributes its asymptotic cost at the cell's target size N.
+/// Deliberately cheap — no graphs are built.
+double predicted_cell_cost(const ScenarioSpec& spec, const ScenarioCase& cell);
 
 /// One machine's slice of a campaign: shard `index` of `count` owns every
 /// grid cell whose expansion index is congruent to `index` mod `count`. The

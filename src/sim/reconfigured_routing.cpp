@@ -7,6 +7,7 @@
 #include "graph/multi_source_bfs.hpp"
 #include "graph/subgraph.hpp"
 #include "topology/debruijn.hpp"
+#include "topology/shuffle_exchange.hpp"
 
 namespace ftdb::sim {
 
@@ -75,10 +76,10 @@ SurvivorView make_survivor_view(const Machine& machine) {
   return view;
 }
 
-}  // namespace
-
-double max_route_stretch(const Machine& machine, std::uint64_t m, unsigned h) {
-  const Graph target = debruijn_graph({.base = m, .digits = h});
+/// The family-agnostic core of the full audit: the target graph is already
+/// built, everything else (the survivor BFS sweeps, the ratio) is shared
+/// between the de Bruijn and shuffle-exchange entry points.
+double max_route_stretch_on_target(const Machine& machine, const Graph& target) {
   const std::unique_ptr<Router> router = machine_logical_router(machine, target);
   const SurvivorView view = make_survivor_view(machine);
 
@@ -115,9 +116,9 @@ double max_route_stretch(const Machine& machine, std::uint64_t m, unsigned h) {
   return worst;
 }
 
-double max_route_stretch_sampled(const Machine& machine, std::uint64_t m, unsigned h,
-                                 const std::vector<std::pair<NodeId, NodeId>>& pairs) {
-  const Graph target = debruijn_graph({.base = m, .digits = h});
+/// Sampled core over a prebuilt target, shared by both topology families.
+double max_route_stretch_sampled_on_target(const Machine& machine, const Graph& target,
+                                           const std::vector<std::pair<NodeId, NodeId>>& pairs) {
   const std::unique_ptr<Router> router = machine_logical_router(machine, target);
   const SurvivorView view = make_survivor_view(machine);
 
@@ -170,6 +171,27 @@ double max_route_stretch_sampled(const Machine& machine, std::uint64_t m, unsign
     }
   }
   return worst;
+}
+
+}  // namespace
+
+double max_route_stretch(const Machine& machine, std::uint64_t m, unsigned h) {
+  return max_route_stretch_on_target(machine, debruijn_graph({.base = m, .digits = h}));
+}
+
+double max_route_stretch_sampled(const Machine& machine, std::uint64_t m, unsigned h,
+                                 const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+  return max_route_stretch_sampled_on_target(machine, debruijn_graph({.base = m, .digits = h}),
+                                             pairs);
+}
+
+double max_route_stretch_se(const Machine& machine, unsigned h) {
+  return max_route_stretch_on_target(machine, shuffle_exchange_graph(h));
+}
+
+double max_route_stretch_se_sampled(const Machine& machine, unsigned h,
+                                    const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+  return max_route_stretch_sampled_on_target(machine, shuffle_exchange_graph(h), pairs);
 }
 
 }  // namespace ftdb::sim

@@ -66,4 +66,12 @@ double max_route_stretch(const Machine& machine, std::uint64_t m, unsigned h);
 double max_route_stretch_sampled(const Machine& machine, std::uint64_t m, unsigned h,
                                  const std::vector<std::pair<NodeId, NodeId>>& pairs);
 
+/// Shuffle-exchange variants of the stretch audit: the machine carries SE_h
+/// as its logical target (everything past the target construction — the
+/// survivor-graph BFS sweeps and the ratio — is family-agnostic and shared
+/// with the de Bruijn versions above).
+double max_route_stretch_se(const Machine& machine, unsigned h);
+double max_route_stretch_se_sampled(const Machine& machine, unsigned h,
+                                    const std::vector<std::pair<NodeId, NodeId>>& pairs);
+
 }  // namespace ftdb::sim

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <exception>
 #include <queue>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "graph/algorithms.hpp"
@@ -84,9 +86,43 @@ bool subgraph_of_shape(const Graph& g, NeighborsOf&& neighbors_of) {
   return true;
 }
 
+/// Runs fn(chunk_index, dest_lo, dest_hi) over `chunks` contiguous
+/// destination ranges, on `chunks` threads when more than one. Exceptions
+/// propagate (first one wins).
+template <class Fn>
+void for_each_dest_chunk(std::size_t n, unsigned chunks, Fn&& fn) {
+  if (chunks <= 1) {
+    fn(0u, std::size_t{0}, n);
+    return;
+  }
+  const std::size_t per = (n + chunks - 1) / chunks;
+  std::vector<std::exception_ptr> errors(chunks);
+  std::vector<std::thread> pool;
+  pool.reserve(chunks);
+  for (unsigned c = 0; c < chunks; ++c) {
+    pool.emplace_back([&, c] {
+      try {
+        fn(c, std::min(n, c * per), std::min(n, (c + 1) * per));
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+unsigned effective_build_threads(unsigned requested, std::size_t n) {
+  unsigned threads =
+      requested == 0 ? std::max(1u, std::thread::hardware_concurrency()) : requested;
+  return static_cast<unsigned>(std::min<std::size_t>(threads, std::max<std::size_t>(n, 1)));
+}
+
 }  // namespace
 
-CompressedRouter::CompressedRouter(const Graph& g) : n_(g.num_nodes()) {
+CompressedRouter::CompressedRouter(const Graph& g, unsigned build_threads) : n_(g.num_nodes()) {
   // Reference-shape search: any (m, h >= 2) factorization of N whose B_{m,h}
   // contains g, else SE_h. h = 1 (the complete graph) is excluded — every
   // graph embeds in K_N, but K_N's algebra shares nothing useful.
@@ -110,14 +146,16 @@ CompressedRouter::CompressedRouter(const Graph& g) : n_(g.num_nodes()) {
     }
   }
 
-  std::vector<std::uint32_t> row(n_);
-  std::vector<NodeId> cur, next;
+  const unsigned threads = effective_build_threads(build_threads, n_);
 
   if (reference_ != Reference::None) {
     // Shape-delta: per destination, diff the exact BFS row against a BFS of
     // the reference shape (cheaper than N evaluations of the O(h^2) formula,
     // and provably equal to it); only the deviations are kept. The graph
-    // itself is retained for the canonical descent at query time.
+    // itself is retained for the canonical descent at query time. Each
+    // destination's scan is independent, so contiguous destination chunks run
+    // on separate threads and their raw vectors concatenate in chunk order —
+    // the same dest-major sequence a serial scan produces.
     graph_ = g;
     const auto reference_neighbors = [&](NodeId x, std::vector<NodeId>& out) {
       if (reference_ == Reference::DeBruijn) {
@@ -126,27 +164,37 @@ CompressedRouter::CompressedRouter(const Graph& g) : n_(g.num_nodes()) {
         shuffle_exchange_neighbors(se_h_, x, out);
       }
     };
-    std::vector<std::uint32_t> ref_row(n_);
-    std::vector<NodeId> scratch;
     struct RawException {
       NodeId node;
       NodeId dest;
       std::uint32_t dist;
     };
-    std::vector<RawException> raw;
-    for (std::size_t dest = 0; dest < n_; ++dest) {
-      bfs_row_graph(g, static_cast<NodeId>(dest), row, cur, next);
-      // Same BFS over the algebraic adjacency (the shapes are symmetric, so
-      // rooting at dest gives distance-to-dest).
-      bfs_row(static_cast<NodeId>(dest), ref_row, cur, next, [&](NodeId u, auto&& visit) {
-        reference_neighbors(u, scratch);
-        for (const NodeId v : scratch) visit(v);
-      });
-      for (std::size_t v = 0; v < n_; ++v) {
-        if (row[v] != ref_row[v]) {
-          raw.push_back({static_cast<NodeId>(v), static_cast<NodeId>(dest), row[v]});
+    std::vector<std::vector<RawException>> chunk_raw(threads);
+    for_each_dest_chunk(n_, threads, [&](unsigned chunk, std::size_t lo, std::size_t hi) {
+      std::vector<std::uint32_t> row(n_), ref_row(n_);
+      std::vector<NodeId> cur, next, scratch;
+      for (std::size_t dest = lo; dest < hi; ++dest) {
+        bfs_row_graph(g, static_cast<NodeId>(dest), row, cur, next);
+        // Same BFS over the algebraic adjacency (the shapes are symmetric, so
+        // rooting at dest gives distance-to-dest).
+        bfs_row(static_cast<NodeId>(dest), ref_row, cur, next, [&](NodeId u, auto&& visit) {
+          reference_neighbors(u, scratch);
+          for (const NodeId v : scratch) visit(v);
+        });
+        for (std::size_t v = 0; v < n_; ++v) {
+          if (row[v] != ref_row[v]) {
+            chunk_raw[chunk].push_back(
+                {static_cast<NodeId>(v), static_cast<NodeId>(dest), row[v]});
+          }
         }
       }
+    });
+    std::vector<RawException> raw;
+    {
+      std::size_t total = 0;
+      for (const auto& c : chunk_raw) total += c.size();
+      raw.reserve(total);
+      for (auto& c : chunk_raw) raw.insert(raw.end(), c.begin(), c.end());
     }
     exception_offsets_.assign(n_ + 1, 0);
     for (const RawException& e : raw) ++exception_offsets_[e.node + 1];
@@ -169,32 +217,58 @@ CompressedRouter::CompressedRouter(const Graph& g) : n_(g.num_nodes()) {
     return;
   }
 
-  // Run-length fallback: one destination-major sweep; a new run whenever a
+  // Run-length fallback: a destination-major sweep; a new run whenever a
   // node's canonical hop differs from its previous destination's. The full
-  // N^2 matrix is never materialized.
+  // N^2 matrix is never materialized. The cross-destination `last` dependency
+  // is the only thing coupling the sweep, so each chunk scans independently
+  // (emitting a run for every node at its first destination) and the stitch
+  // drops each chunk's boundary runs that merely continue the previous
+  // chunk's final hop — reproducing the serial run sequence exactly.
   struct RawRun {
     NodeId node;
     NodeId dest_lo;
     NodeId hop;
   };
+  struct RunChunk {
+    std::size_t dest_lo = 0;
+    std::vector<RawRun> raw;
+    std::vector<NodeId> final_hop;  // each node's hop at the chunk's last dest
+  };
+  std::vector<RunChunk> chunks(threads);
+  for_each_dest_chunk(n_, threads, [&](unsigned chunk, std::size_t lo, std::size_t hi) {
+    RunChunk& out = chunks[chunk];
+    out.dest_lo = lo;
+    std::vector<std::uint32_t> row(n_);
+    std::vector<NodeId> cur, next;
+    std::vector<NodeId> last(n_, kInvalidNode);
+    const auto dist_of = [&](NodeId w) { return row[w]; };
+    for (std::size_t dest = lo; dest < hi; ++dest) {
+      bfs_row_graph(g, static_cast<NodeId>(dest), row, cur, next);
+      for (std::size_t v = 0; v < n_; ++v) {
+        NodeId hop;
+        if (v == dest) {
+          hop = static_cast<NodeId>(dest);
+        } else if (row[v] == kUnreachable) {
+          hop = kInvalidNode;
+        } else {
+          hop = canonical_descent_step(g, static_cast<NodeId>(v), dist_of);
+        }
+        if (dest == lo || hop != last[v]) {
+          out.raw.push_back({static_cast<NodeId>(v), static_cast<NodeId>(dest), hop});
+        }
+        last[v] = hop;
+      }
+    }
+    out.final_hop = std::move(last);
+  });
   std::vector<RawRun> raw;
-  std::vector<NodeId> last(n_, kInvalidNode);
-  const auto dist_of = [&](NodeId w) { return row[w]; };
-  for (std::size_t dest = 0; dest < n_; ++dest) {
-    bfs_row_graph(g, static_cast<NodeId>(dest), row, cur, next);
-    for (std::size_t v = 0; v < n_; ++v) {
-      NodeId hop;
-      if (v == dest) {
-        hop = static_cast<NodeId>(dest);
-      } else if (row[v] == kUnreachable) {
-        hop = kInvalidNode;
-      } else {
-        hop = canonical_descent_step(g, static_cast<NodeId>(v), dist_of);
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    for (const RawRun& r : chunks[c].raw) {
+      if (c > 0 && r.dest_lo == chunks[c].dest_lo &&
+          r.hop == chunks[c - 1].final_hop[r.node]) {
+        continue;  // continuation of the previous chunk's open run
       }
-      if (dest == 0 || hop != last[v]) {
-        raw.push_back({static_cast<NodeId>(v), static_cast<NodeId>(dest), hop});
-      }
-      last[v] = hop;
+      raw.push_back(r);
     }
   }
   // Counting-sort the destination-major runs into per-node CSR order (stable,
@@ -642,13 +716,13 @@ std::unique_ptr<Router> make_router(const Graph& g, const RouterOptions& options
       if (implicit_fits) {
         return std::make_unique<ImplicitRouter>(ImplicitRouter::for_debruijn(*db));
       }
-      return std::make_unique<TableRouter>(g);
+      return std::make_unique<TableRouter>(g, options.build_threads);
     }
     if (const auto se_h = shuffle_exchange_shape_of(g)) {
       if (implicit_fits) {
         return std::make_unique<ImplicitRouter>(ImplicitRouter::for_shuffle_exchange(*se_h));
       }
-      return std::make_unique<TableRouter>(g);
+      return std::make_unique<TableRouter>(g, options.build_threads);
     }
     if (options.backend == Backend::Implicit) {
       throw std::invalid_argument(
@@ -657,9 +731,9 @@ std::unique_ptr<Router> make_router(const Graph& g, const RouterOptions& options
   }
   if (options.backend == Backend::Compressed ||
       (options.backend == Backend::Auto && g.max_degree() <= options.compressed_max_degree)) {
-    return std::make_unique<CompressedRouter>(g);
+    return std::make_unique<CompressedRouter>(g, options.build_threads);
   }
-  return std::make_unique<TableRouter>(g);
+  return std::make_unique<TableRouter>(g, options.build_threads);
 }
 
 }  // namespace ftdb::sim

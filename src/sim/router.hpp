@@ -89,7 +89,10 @@ class Router {
 /// The uint16-slab BFS table (general fallback and test oracle).
 class TableRouter final : public Router {
  public:
-  explicit TableRouter(const Graph& g) : table_(g) {}
+  /// `build_threads` shards the per-destination BFS table build (see
+  /// RoutingTable); the resulting table is bit-identical to a serial build.
+  explicit TableRouter(const Graph& g, unsigned build_threads = 1)
+      : table_(g, build_threads) {}
 
   RouterBackend backend() const override { return RouterBackend::Table; }
   std::size_t num_nodes() const override { return table_.num_nodes(); }
@@ -130,7 +133,12 @@ class TableRouter final : public Router {
 /// graph — which is what the serving layer's equivalence oracle asserts.
 class CompressedRouter final : public Router {
  public:
-  explicit CompressedRouter(const Graph& g);
+  /// `build_threads` destination-shards the per-destination BFS scans of the
+  /// build (0 = hardware concurrency). Both modes produce storage
+  /// bit-identical to a serial build: shape-delta chunks concatenate in
+  /// destination order, and run-length chunks stitch by dropping each chunk's
+  /// boundary runs that merely continue the previous chunk's final hop.
+  explicit CompressedRouter(const Graph& g, unsigned build_threads = 1);
 
   RouterBackend backend() const override { return RouterBackend::Compressed; }
   std::size_t num_nodes() const override { return n_; }
@@ -255,6 +263,11 @@ struct RouterOptions {
   /// count and the O(1)-memory algebra at or above it. 0 restores
   /// shape-implies-implicit. Forcing a backend bypasses the policy entirely.
   std::size_t implicit_min_nodes = std::size_t{1} << 12;
+  /// Threads for the compressed/table build's destination-sharded BFS scans
+  /// (0 = hardware concurrency). The built router is bit-identical for any
+  /// value; 1 keeps construction inline (no thread spawn) — the right default
+  /// inside already-parallel campaign workers.
+  unsigned build_threads = 1;
 };
 
 /// Builds the right router for `g`. Auto order: for a recognized B_{m,h} /

@@ -29,7 +29,11 @@ namespace ftdb::sim {
 /// exceeds 65534 hops rather than wrapping.
 class RoutingTable {
  public:
-  explicit RoutingTable(const Graph& g);
+  /// `build_threads` shards the per-destination BFS across that many threads
+  /// (0 = hardware concurrency): destinations write into disjoint slab rows,
+  /// so the table is bit-identical to a serial build. 1 (the default) builds
+  /// inline with no thread spawn.
+  explicit RoutingTable(const Graph& g, unsigned build_threads = 1);
 
   NodeId next_hop(NodeId dest, NodeId node) const { return table_[index(dest, node)]; }
 

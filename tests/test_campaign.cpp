@@ -386,6 +386,38 @@ TEST(Campaign, SampledStretchIsDeterministicAndBounded) {
   EXPECT_LE(r.route_stretch.max, c.scenarios.front().route_stretch.max + 1e-12);
 }
 
+TEST(Campaign, ShuffleExchangeStretchIsPopulatedAndBounded) {
+  // The stretch metric now covers the whole point-to-point family: an SE cell
+  // with stretch on must actually populate route_stretch (it used to be a
+  // de Bruijn-only metric), with the SE route-length bound 2h as the ceiling.
+  ScenarioSpec spec;
+  spec.seed = 19;
+  spec.trials = 60;
+  spec.topologies = {{TopologyFamily::ShuffleExchange, 2, 3}};
+  spec.spares = {2};
+  spec.fault_models = {{FaultModelKind::IidBernoulli, 0.08, 1.0, 1.0, 1.0}};
+  spec.metrics = {false, true, false};
+
+  CampaignOptions serial;
+  serial.threads = 1;
+  CampaignOptions pooled;
+  pooled.threads = 3;
+  const CampaignResult a = run_campaign(spec, serial);
+  EXPECT_EQ(campaign_report_json(a), campaign_report_json(run_campaign(spec, pooled)));
+
+  const ScenarioResult& r = a.scenarios.front();
+  ASSERT_GT(r.route_stretch.count, 0u);
+  EXPECT_GE(r.route_stretch.min, 1.0);
+  EXPECT_LE(r.route_stretch.max, 6.0);  // SE logical routes never exceed 2h hops
+
+  // Sampled SE stretch stays under the full audit, like the de Bruijn case.
+  ScenarioSpec sampled = spec;
+  sampled.metrics.stretch_sample_pairs = 24;
+  const CampaignResult s = run_campaign(sampled, serial);
+  ASSERT_GT(s.scenarios.front().route_stretch.count, 0u);
+  EXPECT_LE(s.scenarios.front().route_stretch.max, r.route_stretch.max + 1e-12);
+}
+
 TEST(Campaign, ReportIsIndependentOfThreadCount) {
   const ScenarioSpec spec = small_spec();
   CampaignOptions serial;

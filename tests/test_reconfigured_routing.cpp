@@ -6,6 +6,8 @@
 
 #include "ft/ft_debruijn.hpp"
 #include "ft/ft_shuffle_exchange.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/subgraph.hpp"
 #include "sim/reconfigured_routing.hpp"
 #include "topology/debruijn.hpp"
 #include "topology/shuffle_exchange.hpp"
@@ -121,6 +123,84 @@ TEST(MaxRouteStretch, SampledSubsetNeverExceedsTheFullAuditAndIgnoresSelfPairs) 
   EXPECT_GE(sampled, 1.0);
   EXPECT_LE(sampled, full + 1e-12);
   EXPECT_DOUBLE_EQ(max_route_stretch_sampled(m, 2, 4, {}), 1.0);
+}
+
+/// Brute-force stretch oracle: one plain BFS per logical source on the live
+/// logical graph (numerators) and one per source on the survivor-induced
+/// physical graph (denominators). Deliberately avoids the router and the
+/// bit-parallel batch kernel that the production audit uses.
+double stretch_oracle(const Machine& m, const Graph& target) {
+  const Graph logical = m.live_logical_graph(target);
+  std::vector<NodeId> live;
+  for (NodeId v = 0; v < m.physical.num_nodes(); ++v) {
+    if (!m.dead[v]) live.push_back(v);
+  }
+  const InducedSubgraph survivors = induced_subgraph(m.physical, live);
+  std::vector<NodeId> p2s(m.physical.num_nodes(), kInvalidNode);
+  for (std::size_t i = 0; i < survivors.to_original.size(); ++i) {
+    p2s[survivors.to_original[i]] = static_cast<NodeId>(i);
+  }
+
+  double worst = 1.0;
+  const std::size_t n = m.num_logical();
+  for (NodeId src = 0; src < n; ++src) {
+    const auto logical_dist = bfs_distances(logical, src);
+    const auto phys_dist = bfs_distances(survivors.graph, p2s[m.to_physical[src]]);
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (src == dst || logical_dist[dst] == kUnreachable) continue;
+      const std::uint32_t shortest = phys_dist[p2s[m.to_physical[dst]]];
+      if (shortest == 0 || shortest == kUnreachable) continue;
+      worst = std::max(worst,
+                       static_cast<double>(logical_dist[dst]) / static_cast<double>(shortest));
+    }
+  }
+  return worst;
+}
+
+TEST(MaxRouteStretchSe, HopExactAgainstDoubleBfsOracle) {
+  // The campaign's shuffle-exchange stretch metric must be hop-exact: the
+  // batched survivor sweeps and the logical router have to agree with the
+  // naive per-source double-BFS audit on every fault set.
+  const unsigned h = 4;
+  const unsigned k = 2;
+  const auto se = ftdb::ft_shuffle_exchange_natural(h, k);
+  std::mt19937_64 rng(1992);
+  for (int trial = 0; trial < 8; ++trial) {
+    const FaultSet faults = FaultSet::random(se.ft_graph.num_nodes(), k, rng);
+    const Machine m = Machine::reconfigured(se.ft_graph, faults, std::size_t{1} << h);
+    EXPECT_DOUBLE_EQ(max_route_stretch_se(m, h),
+                     stretch_oracle(m, shuffle_exchange_graph(h)))
+        << "trial=" << trial;
+  }
+}
+
+TEST(MaxRouteStretchSe, SampledOverAllPairsEqualsTheFullAudit) {
+  const unsigned h = 4;
+  const auto se = ftdb::ft_shuffle_exchange_natural(h, 2);
+  std::mt19937_64 rng(77);
+  const FaultSet faults = FaultSet::random(se.ft_graph.num_nodes(), 2, rng);
+  const Machine m = Machine::reconfigured(se.ft_graph, faults, std::size_t{1} << h);
+  std::vector<std::pair<NodeId, NodeId>> all_pairs;
+  for (NodeId s = 0; s < (1u << h); ++s) {
+    for (NodeId d = 0; d < (1u << h); ++d) {
+      if (s != d) all_pairs.emplace_back(s, d);
+    }
+  }
+  EXPECT_DOUBLE_EQ(max_route_stretch_se_sampled(m, h, all_pairs), max_route_stretch_se(m, h));
+  EXPECT_DOUBLE_EQ(max_route_stretch_se_sampled(m, h, {}), 1.0);
+}
+
+TEST(MaxRouteStretchDeBruijn, HopExactAgainstDoubleBfsOracle) {
+  // Same oracle, de Bruijn family: pins the shared core from the other entry
+  // point so a regression in either target builder shows up here.
+  std::mt19937_64 rng(42);
+  const Graph ft = ft_debruijn_base2(4, 2);
+  for (int trial = 0; trial < 4; ++trial) {
+    const FaultSet faults = FaultSet::random(ft.num_nodes(), 2, rng);
+    const Machine m = Machine::reconfigured(ft, faults, 16);
+    EXPECT_DOUBLE_EQ(max_route_stretch(m, 2, 4), stretch_oracle(m, debruijn_base2(4)))
+        << "trial=" << trial;
+  }
 }
 
 TEST(MachineLogicalRouter, PicksImplicitExactlyWhenDilationOneSurvives) {

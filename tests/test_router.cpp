@@ -432,6 +432,77 @@ TEST(CompressedIncremental, ArgumentValidation) {
   EXPECT_EQ(r.stats().state_hash, CompressedRouter(debruijn_base2(4)).stats().state_hash);
 }
 
+/// Parallel construction must be invisible: destination-sharded builds are
+/// documented to produce storage *bit-identical* to a serial build, which the
+/// campaign relies on for byte-identical reports regardless of worker count.
+TEST(ParallelBuild, TableRouterIsBitIdenticalAcrossThreadCounts) {
+  // A degraded graph: unreachable rows and detours exercise the sentinel
+  // paths in every shard, not just the happy BFS.
+  const Graph g = degraded_graph(debruijn_base2(5), {7, 19});
+  const TableRouter serial(g, 1);
+  for (const unsigned threads : {3u, 5u, 0u}) {
+    const TableRouter sharded(g, threads);
+    for (NodeId dest = 0; dest < g.num_nodes(); ++dest) {
+      for (NodeId node = 0; node < g.num_nodes(); ++node) {
+        ASSERT_EQ(sharded.next_hop(dest, node), serial.next_hop(dest, node))
+            << "threads=" << threads << " dest=" << +dest << " node=" << +node;
+        ASSERT_EQ(sharded.distance(dest, node), serial.distance(dest, node))
+            << "threads=" << threads << " dest=" << +dest << " node=" << +node;
+      }
+    }
+  }
+}
+
+TEST(ParallelBuild, ShapeDeltaCompressedBuildsAreBitIdentical) {
+  // Shape-delta path: degraded B_{2,5} and SE_4 carry real exception tables,
+  // so chunk concatenation order is observable through the state hash.
+  for (const Graph& g : {degraded_graph(debruijn_base2(5), {7, 19}),
+                         degraded_graph(shuffle_exchange_graph(4), {3, 10})}) {
+    const CompressedRouter serial(g, 1);
+    ASSERT_TRUE(serial.uses_reference_shape());
+    ASSERT_GT(serial.num_exceptions(), 0u);
+    for (const unsigned threads : {2u, 3u, 0u}) {
+      const CompressedRouter sharded(g, threads);
+      ASSERT_EQ(sharded.num_exceptions(), serial.num_exceptions()) << "threads=" << threads;
+      ASSERT_EQ(sharded.stats().state_hash, serial.stats().state_hash) << "threads=" << threads;
+      ASSERT_EQ(sharded.memory_bytes(), serial.memory_bytes()) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelBuild, RunLengthCompressedStitchesChunkBoundaries) {
+  // Run-length fallback: a long even cycle has runs that span any chunk
+  // boundary, so the boundary-stitching (dropping runs that merely continue
+  // the previous chunk's final hop) is what this pins down.
+  std::vector<Edge> edges;
+  const NodeId n = 24;
+  for (NodeId v = 0; v < n; ++v) edges.push_back({v, static_cast<NodeId>((v + 1) % n)});
+  const Graph ring = make_graph(n, edges);
+  const CompressedRouter serial(ring, 1);
+  ASSERT_FALSE(serial.uses_reference_shape());
+  for (const unsigned threads : {2u, 3u, 7u, 0u}) {
+    const CompressedRouter sharded(ring, threads);
+    ASSERT_EQ(sharded.num_runs(), serial.num_runs()) << "threads=" << threads;
+    ASSERT_EQ(sharded.stats().state_hash, serial.stats().state_hash) << "threads=" << threads;
+    expect_equivalent(ring, {&sharded}, "run-length threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelBuild, MakeRouterPassesBuildThreadsThrough) {
+  const Graph g = degraded_graph(debruijn_base2(5), {7});
+  RouterOptions opts = forced(RouterOptions::Backend::Compressed);
+  opts.build_threads = 3;
+  const auto sharded = make_router(g, opts);
+  const auto* compressed = dynamic_cast<const CompressedRouter*>(sharded.get());
+  ASSERT_NE(compressed, nullptr);
+  EXPECT_EQ(compressed->stats().state_hash, CompressedRouter(g, 1).stats().state_hash);
+
+  opts.backend = RouterOptions::Backend::Table;
+  const auto table = make_router(g, opts);
+  EXPECT_EQ(table->backend(), RouterBackend::Table);
+  expect_equivalent(g, {table.get(), compressed}, "make_router build_threads=3");
+}
+
 TEST(CompressedIncremental, ScratchBuildFromDegradedGraphAdoptsIsolatedNodes) {
   // Building from an already-degraded graph adopts isolated nodes as retired,
   // so the repair lifecycle works without the healthy-build provenance.

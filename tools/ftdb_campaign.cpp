@@ -15,6 +15,13 @@
 //   ftdb_campaign run --spec big.json --shard 1/2 --checkpoint s1.ckpt
 //   ftdb_campaign merge --spec big.json --out report.json s0.ckpt s1.ckpt
 //
+//   # elastic: any number of workers join/leave through a shared directory;
+//   # dead workers' cell leases age out and are reclaimed
+//   ftdb_campaign run --spec big.json --elastic /shared/big &
+//   ftdb_campaign run --spec big.json --elastic /shared/big &
+//   ftdb_campaign merge --elastic /shared/big --partial       # live snapshot
+//   ftdb_campaign merge --elastic /shared/big --out report.json
+//
 //   ftdb_campaign validate report.json
 #include <cstdio>
 #include <fstream>
@@ -24,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "campaign/elastic/elastic.hpp"
+#include "campaign/elastic/partial.hpp"
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/scenario.hpp"
@@ -35,6 +44,7 @@ int usage() {
       << "usage:\n"
          "  ftdb_campaign run --spec FILE [options]\n"
          "  ftdb_campaign merge --spec FILE --out FILE [--csv FILE] [--md FILE] CKPT...\n"
+         "  ftdb_campaign merge --elastic DIR [--partial] [--out FILE] [--csv FILE] [--md FILE]\n"
          "  ftdb_campaign example-spec\n"
          "  ftdb_campaign validate REPORT.json\n"
          "\n"
@@ -52,12 +62,25 @@ int usage() {
          "                          mergeable partial checkpoint (requires --checkpoint;\n"
          "                          no report is emitted — `merge` produces it)\n"
          "  --stop-after-blocks N   crash-simulation hook: checkpoint and abort (exit 3)\n"
-         "                          once N trial blocks completed\n"
+         "                          once N trial blocks completed (elastic: the held cell\n"
+         "                          lease is left behind, like a hard-killed worker)\n"
          "  --quiet                 no per-scenario progress on stderr\n"
+         "\n"
+         "elastic run options (workers coordinate through a shared directory):\n"
+         "  --elastic DIR           join the elastic campaign at DIR: lease cells, append\n"
+         "                          completed blocks to DIR/logs/<worker>.blk, reclaim\n"
+         "                          dead workers' leases (no report; `merge --elastic`\n"
+         "                          produces it). Excludes --checkpoint/--resume/--shard\n"
+         "  --worker-id ID          stable worker name (default: <host>-<pid>)\n"
+         "  --lease-ttl SEC         lease staleness horizon (default 30)\n"
+         "  --no-fsync              skip fsync on block appends (tests only)\n"
          "\n"
          "merge fuses the partial checkpoints of a sharded campaign into the full\n"
          "report: fingerprints are checked, overlapping or missing cells rejected,\n"
-         "and the output is byte-identical to a single-machine run of the spec.\n";
+         "and the output is byte-identical to a single-machine run of the spec.\n"
+         "merge --elastic reads the campaign from DIR (spec.json + compacted.ckpt +\n"
+         "block logs); --partial emits a stamped JSON coverage snapshot of a still-\n"
+         "running campaign instead of requiring completion.\n";
   return 2;
 }
 
@@ -117,6 +140,7 @@ int run_command(const std::vector<std::string>& args) {
   std::string csv_path;
   std::string md_path;
   CampaignOptions options;
+  ftdb::campaign::elastic::ElasticOptions elastic;
   bool quiet = false;
   bool sharded = false;
 
@@ -150,6 +174,14 @@ int run_command(const std::vector<std::string>& args) {
       sharded = !options.shard.whole_campaign();
     } else if (arg == "--stop-after-blocks") {
       options.stop_after_blocks = std::stoull(next());
+    } else if (arg == "--elastic") {
+      elastic.dir = next();
+    } else if (arg == "--worker-id") {
+      elastic.worker_id = next();
+    } else if (arg == "--lease-ttl") {
+      elastic.lease_ttl_seconds = std::stoull(next());
+    } else if (arg == "--no-fsync") {
+      elastic.fsync = false;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -160,6 +192,42 @@ int run_command(const std::vector<std::string>& args) {
   if (spec_path.empty()) {
     std::cerr << "ftdb_campaign: run needs --spec\n";
     return usage();
+  }
+  if (!elastic.dir.empty()) {
+    if (!options.checkpoint_path.empty() || options.resume || sharded) {
+      std::cerr << "ftdb_campaign: --elastic has its own checkpointing; it excludes "
+                   "--checkpoint, --resume, and --shard\n";
+      return usage();
+    }
+    if (!(out_path.empty() && csv_path.empty() && md_path.empty())) {
+      std::cerr << "ftdb_campaign: --elastic does not emit reports; run `merge --elastic` "
+                   "on the shared directory instead\n";
+      return usage();
+    }
+    const auto spec_text = read_file(spec_path);
+    if (!spec_text) {
+      std::cerr << "ftdb_campaign: cannot read " << spec_path << "\n";
+      return 2;
+    }
+    using namespace ftdb::campaign::elastic;
+    elastic.threads = options.threads;
+    elastic.stop_after_blocks = options.stop_after_blocks;
+    if (!quiet) elastic.progress = &std::cerr;
+    const ScenarioSpec spec = parse_scenario_spec(*spec_text);
+    try {
+      const ElasticResult r = run_elastic_worker(spec, elastic);
+      if (!quiet) {
+        std::cerr << "elastic worker done: " << r.blocks_run << " blocks run, "
+                  << r.blocks_skipped << " already durable, " << r.cells_leased
+                  << " cells leased, " << r.leases_reclaimed << " stale leases reclaimed"
+                  << (r.campaign_complete ? "; campaign complete\n" : "\n");
+      }
+    } catch (const ElasticAborted& aborted) {
+      std::cerr << "ftdb_campaign: " << aborted.what() << "; durable blocks stay in "
+                << elastic.dir << "\n";
+      return 3;
+    }
+    return 0;
   }
   if (options.stop_after_blocks != 0 && options.checkpoint_path.empty()) {
     std::cerr << "ftdb_campaign: --stop-after-blocks needs --checkpoint (aborting without one "
@@ -215,6 +283,8 @@ int merge_command(const std::vector<std::string>& args) {
   std::string out_path;
   std::string csv_path;
   std::string md_path;
+  std::string elastic_dir;
+  bool partial_snapshot = false;
   std::vector<std::string> partial_paths;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -234,12 +304,60 @@ int merge_command(const std::vector<std::string>& args) {
       csv_path = next();
     } else if (arg == "--md") {
       md_path = next();
+    } else if (arg == "--elastic") {
+      elastic_dir = next();
+    } else if (arg == "--partial") {
+      partial_snapshot = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "ftdb_campaign: unknown option " << arg << "\n";
       return usage();
     } else {
       partial_paths.push_back(arg);
     }
+  }
+  if (!elastic_dir.empty()) {
+    if (!partial_paths.empty()) {
+      std::cerr << "ftdb_campaign: merge --elastic reads the shared directory; it takes no "
+                   "checkpoint arguments\n";
+      return usage();
+    }
+    // The directory carries its own canonical spec; an explicit --spec just
+    // has to agree with it.
+    ScenarioSpec spec = elastic::load_elastic_spec(elastic_dir);
+    if (!spec_path.empty()) {
+      const auto spec_text = read_file(spec_path);
+      if (!spec_text) {
+        std::cerr << "ftdb_campaign: cannot read " << spec_path << "\n";
+        return 2;
+      }
+      if (spec_fingerprint(parse_scenario_spec(*spec_text)) != spec_fingerprint(spec)) {
+        std::cerr << "ftdb_campaign: --spec disagrees with " << elastic_dir << "/spec.json\n";
+        return 1;
+      }
+    }
+    if (partial_snapshot) {
+      if (!csv_path.empty() || !md_path.empty()) {
+        std::cerr << "ftdb_campaign: --partial emits the JSON snapshot only\n";
+        return usage();
+      }
+      const std::string report = elastic::partial_elastic_report_json(spec, elastic_dir);
+      if (out_path.empty()) {
+        std::cout << report;
+      } else if (!write_file(out_path, report)) {
+        std::cerr << "ftdb_campaign: cannot write " << out_path << "\n";
+        return 2;
+      }
+      return 0;
+    }
+    const CampaignResult result = elastic::merge_elastic(spec, elastic_dir);
+    if (!emit_reports(result, out_path, csv_path, md_path)) return 2;
+    std::cerr << "merged elastic campaign " << elastic_dir << ": " << result.scenarios.size()
+              << " scenarios x " << spec.trials << " trials\n";
+    return 0;
+  }
+  if (partial_snapshot) {
+    std::cerr << "ftdb_campaign: --partial needs --elastic DIR\n";
+    return usage();
   }
   if (spec_path.empty() || partial_paths.empty()) {
     std::cerr << "ftdb_campaign: merge needs --spec and at least one checkpoint\n";

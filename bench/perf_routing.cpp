@@ -13,6 +13,8 @@
 // N^2 * 6 bytes ≈ 412 GB (reported as table_equivalent_bytes). No N^2
 // allocation happens anywhere in the entry.
 #include <chrono>
+#include <span>
+#include <vector>
 
 #include "analysis/bench_registry.hpp"
 #include "sim/router.hpp"
@@ -143,6 +145,103 @@ FTDB_BENCH(implicit_h18, "perf_routing/implicit_b2_h18") {
   ctx.report("nodes", n);
   ctx.report("table_equivalent_bytes", n * n * 6.0);
   next_hop_bench(ctx, g, *router, 2000);
+}
+
+FTDB_BENCH(route_many_h18, "perf_routing/route_many_implicit_b2_h18") {
+  // The batched forwarding hot path at N = 2^18: a cohort of in-flight
+  // walks advances one wave per route_many call, each walk carrying its
+  // RouteHint across hops exactly like the packet engine's per-cycle waves.
+  // This is the path the scalar implicit_b2_h18 entry is the baseline for —
+  // identical canonical routes (same checksum discipline), batched latency.
+  const ftdb::Graph g = ftdb::debruijn_base2(18);  // N = 262144
+  const auto router = ftdb::sim::make_router(g);   // auto: must go implicit
+  ctx.report("implicit_selected",
+             router->backend() == RouterBackend::Implicit ? 1.0 : 0.0);
+  const std::size_t n = g.num_nodes();
+  ctx.report("nodes", static_cast<double>(n));
+
+  const std::size_t pairs = 2000;
+  std::vector<ftdb::NodeId> dests(pairs), cur(pairs), hops(pairs);
+  std::vector<ftdb::sim::RouteHint> hints(pairs);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    do {
+      cur[i] = static_cast<ftdb::NodeId>(ctx.rng()() % n);
+      dests[i] = static_cast<ftdb::NodeId>(ctx.rng()() % n);
+    } while (cur[i] == dests[i]);
+  }
+
+  std::uint64_t hop_count = 0;
+  std::uint64_t checksum = 0;
+  std::size_t live = pairs;
+  const auto start = std::chrono::steady_clock::now();
+  while (live > 0) {
+    router->route_many(std::span(dests).first(live), std::span(cur).first(live),
+                       std::span(hops).first(live), std::span(hints).first(live));
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < live; ++i) {
+      const ftdb::NodeId hop = hops[i];
+      ++hop_count;
+      checksum += hop;
+      if (hop == dests[i]) continue;  // delivered: drop from the cohort
+      dests[w] = dests[i];
+      cur[w] = hop;
+      hints[w] = hints[i];
+      ++w;
+    }
+    live = w;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  ctx.report("pairs", static_cast<double>(pairs));
+  ctx.report("hops", static_cast<double>(hop_count));
+  ctx.report("ns_per_hop", hop_count == 0 ? 0.0 : ns / static_cast<double>(hop_count));
+  ctx.report("checksum", static_cast<double>(checksum));
+  ctx.report("router_memory_bytes", static_cast<double>(router->memory_bytes()));
+}
+
+FTDB_BENCH(step_kernel_h18, "perf_routing/step_kernel_b2_h18") {
+  // The distance stepper's O(h) incremental step() against its full-rescan
+  // reset(), measured bare (no router, no memo cache): a long random walk
+  // over algebraic neighbors for the step cost, and a random node sample for
+  // the rescan cost. The ratio is the win the batched router banks per hop.
+  const ftdb::DeBruijnParams params{.base = 2, .digits = 18};
+  const std::uint64_t n = 1ull << 18;
+  ftdb::DebruijnDistanceStepper st(params, static_cast<ftdb::NodeId>(ctx.rng()() % n));
+
+  const std::size_t steps = 200000;
+  std::uint64_t checksum = st.reset(static_cast<ftdb::NodeId>(ctx.rng()() % n));
+  auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < steps; ++i) {
+    const std::uint64_t v = st.node();
+    const std::uint64_t r = ctx.rng()();
+    ftdb::NodeId next;  // one of the four algebraic de Bruijn neighbors
+    switch (r & 3) {
+      case 0: next = static_cast<ftdb::NodeId>((v << 1) & (n - 1)); break;
+      case 1: next = static_cast<ftdb::NodeId>(((v << 1) | 1) & (n - 1)); break;
+      case 2: next = static_cast<ftdb::NodeId>(v >> 1); break;
+      default: next = static_cast<ftdb::NodeId>((v >> 1) | (n >> 1)); break;
+    }
+    checksum += st.step(next);
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  const double step_ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+
+  const std::size_t resets = 20000;
+  start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < resets; ++i) {
+    checksum += st.reset(static_cast<ftdb::NodeId>(ctx.rng()() % n));
+  }
+  elapsed = std::chrono::steady_clock::now() - start;
+  const double reset_ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+
+  ctx.report("steps", static_cast<double>(steps));
+  ctx.report("ns_per_step", step_ns / static_cast<double>(steps));
+  ctx.report("resets", static_cast<double>(resets));
+  ctx.report("ns_per_reset", reset_ns / static_cast<double>(resets));
+  ctx.report("checksum", static_cast<double>(checksum));
 }
 
 }  // namespace

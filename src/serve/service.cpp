@@ -329,6 +329,24 @@ NodeId ReconfigurationService::Reader::next_hop(NodeId dest, NodeId node) const 
   return physical;
 }
 
+void ReconfigurationService::Reader::next_hops(std::span<const NodeId> dests,
+                                               std::span<const NodeId> nodes,
+                                               std::span<NodeId> out) const {
+  if (dests.size() != nodes.size() || dests.size() != out.size()) {
+    throw std::invalid_argument("Reader::next_hops: span sizes differ");
+  }
+  const std::size_t n = service_->target_.num_nodes();
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    if (dests[i] >= n || nodes[i] >= n) {
+      throw std::out_of_range("Reader::next_hops: logical id out of range");
+    }
+  }
+  service_->healthy_->route_many(dests, nodes, out);
+  const Epoch* e = pin();
+  for (NodeId& hop : out) hop = e->phi[hop];
+  unpin();
+}
+
 std::vector<NodeId> ReconfigurationService::Reader::route(NodeId from, NodeId dest) const {
   const std::size_t n = service_->target_.num_nodes();
   if (dest >= n || from >= n) {

@@ -51,6 +51,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -141,6 +142,13 @@ class ReconfigurationService {
     /// FT surface: physical id of the next hop towards logical `dest` from
     /// logical `node` (phi of the canonical healthy-shape hop).
     NodeId next_hop(NodeId dest, NodeId node) const;
+
+    /// Batched FT surface: out[i] = next_hop(dests[i], nodes[i]) resolved
+    /// under ONE epoch pin and one Router::route_many call, so a whole
+    /// forwarding wave shares the implicit backend's incremental state and
+    /// sees a single consistent embedding.
+    void next_hops(std::span<const NodeId> dests, std::span<const NodeId> nodes,
+                   std::span<NodeId> out) const;
 
     /// FT surface: full physical path for logical from -> dest (inclusive).
     std::vector<NodeId> route(NodeId from, NodeId dest) const;

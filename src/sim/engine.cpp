@@ -43,6 +43,7 @@ SimStats PacketSimulator::run(const std::vector<Packet>& packets, std::uint64_t 
   SimStats stats;
   const std::size_t n = live_.num_nodes();
   for (auto& q : queues_) q.clear();  // a truncated previous run may have left stragglers
+  route_batch_.clear();               // likewise a run abandoned mid-flush
 
   std::vector<Packet> sorted = packets;
   std::stable_sort(sorted.begin(), sorted.end(), [](const Packet& a, const Packet& b) {
@@ -54,9 +55,27 @@ SimStats PacketSimulator::run(const std::vector<Packet>& packets, std::uint64_t 
   std::uint64_t cycle = 0;
   std::vector<std::pair<NodeId, InFlight>> arrivals;
 
-  auto enqueue_towards = [&](NodeId at, InFlight pkt) {
-    const NodeId hop = router_->next_hop(pkt.dst, at);
-    queues_[link_id(at, hop)].push_back(pkt);
+  // Batched forwarding: each wave gathers its queries, resolves them with a
+  // single route_many call, and enqueues in gathering order — identical
+  // queue contents to a scalar next_hop loop.
+  auto enqueue_towards = [&](NodeId at, const InFlight& pkt) {
+    route_batch_.emplace_back(at, pkt);
+  };
+  auto flush_enqueues = [&] {
+    if (route_batch_.empty()) return;
+    const std::size_t k = route_batch_.size();
+    route_dests_.resize(k);
+    route_nodes_.resize(k);
+    route_hops_.resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      route_dests_[i] = route_batch_[i].second.dst;
+      route_nodes_[i] = route_batch_[i].first;
+    }
+    router_->route_many(route_dests_, route_nodes_, route_hops_);
+    for (std::size_t i = 0; i < k; ++i) {
+      queues_[link_id(route_batch_[i].first, route_hops_[i])].push_back(route_batch_[i].second);
+    }
+    route_batch_.clear();
   };
 
   while (true) {
@@ -79,6 +98,7 @@ SimStats PacketSimulator::run(const std::vector<Packet>& packets, std::uint64_t 
       enqueue_towards(p.src, InFlight{p.id, p.dst, p.inject_cycle, 0});
       ++in_flight;
     }
+    flush_enqueues();
 
     // Phase 1: every directed link forwards its head packet.
     arrivals.clear();
@@ -107,6 +127,7 @@ SimStats PacketSimulator::run(const std::vector<Packet>& packets, std::uint64_t 
         enqueue_towards(at, pkt);
       }
     }
+    flush_enqueues();
 
     for (const auto& q : queues_) stats.max_queue_depth = std::max(stats.max_queue_depth, q.size());
     ++cycle;

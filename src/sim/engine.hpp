@@ -103,6 +103,15 @@ class PacketSimulator {
   std::unique_ptr<Router> router_;
   std::vector<std::size_t> link_base_;
   std::vector<std::deque<InFlight>> queues_;
+  // Per-cycle batched-routing scratch: the injection wave and the phase-2
+  // arrival wave each gather their (dst, at) queries and resolve them with
+  // one route_many call, preserving enqueue order exactly — hop-for-hop the
+  // stats match the scalar loop, but the implicit backend amortizes its
+  // incremental state across the whole wave.
+  std::vector<std::pair<NodeId, InFlight>> route_batch_;
+  std::vector<NodeId> route_dests_;
+  std::vector<NodeId> route_nodes_;
+  std::vector<NodeId> route_hops_;
 };
 
 /// Runs a batch of logical packets over the machine's *live* logical topology

@@ -91,6 +91,12 @@ double max_route_stretch_on_target(const Machine& machine, const Graph& target) 
   MultiSourceBfs scan(sn);
   std::vector<std::uint32_t> dist;
   std::vector<NodeId> batch;
+  // Logical distances come batched too: one distance_many row per source lets
+  // the implicit backend reuse its incremental stepper across the whole row.
+  std::vector<NodeId> all_dsts(n);
+  for (NodeId v = 0; v < n; ++v) all_dsts[v] = v;
+  std::vector<NodeId> src_rep(n);
+  std::vector<std::uint32_t> logical_row(n);
   for (NodeId base = 0; base < n; base += MultiSourceBfs::kBatchWidth) {
     const NodeId end =
         static_cast<NodeId>(std::min<std::size_t>(n, base + MultiSourceBfs::kBatchWidth));
@@ -101,9 +107,11 @@ double max_route_stretch_on_target(const Machine& machine, const Graph& target) 
     scan.run_batch(view.survivors.graph, batch, &dist);
     for (NodeId src = base; src < end; ++src) {
       const std::uint32_t* row = dist.data() + static_cast<std::size_t>(src - base) * sn;
+      std::fill(src_rep.begin(), src_rep.end(), src);
+      router->distance_many(all_dsts, src_rep, logical_row);
       for (NodeId dst = 0; dst < n; ++dst) {
         if (src == dst) continue;
-        const std::uint32_t logical = router->distance(dst, src);
+        const std::uint32_t logical = logical_row[dst];
         if (logical == static_cast<std::uint32_t>(-1)) continue;
         const NodeId p_dst = view.physical_to_survivor[machine.to_physical[dst]];
         const std::uint32_t shortest = row[p_dst];
@@ -139,6 +147,9 @@ double max_route_stretch_sampled_on_target(const Machine& machine, const Graph& 
     std::size_t end;
   };
   std::vector<Group> groups;
+  std::vector<NodeId> ld_dsts;
+  std::vector<NodeId> ld_srcs;
+  std::vector<std::uint32_t> logical_row;
   std::size_t i = 0;
   while (i < sorted.size()) {
     batch.clear();
@@ -153,16 +164,27 @@ double max_route_stretch_sampled_on_target(const Machine& machine, const Graph& 
       i = j;
     }
     scan.run_batch(view.survivors.graph, batch, &dist);
+    // One distance_many call covers every pair of this 64-source wave.
+    const std::size_t wave_begin = groups.empty() ? 0 : groups.front().begin;
+    const std::size_t wave_end = groups.empty() ? 0 : groups.back().end;
+    ld_dsts.clear();
+    ld_srcs.clear();
+    for (std::size_t p = wave_begin; p < wave_end; ++p) {
+      if (sorted[p].second >= n) {
+        throw std::out_of_range("max_route_stretch_sampled: destination out of range");
+      }
+      ld_dsts.push_back(sorted[p].second);
+      ld_srcs.push_back(sorted[p].first);
+    }
+    logical_row.resize(ld_dsts.size());
+    router->distance_many(ld_dsts, ld_srcs, logical_row);
     for (std::size_t gi = 0; gi < groups.size(); ++gi) {
       const std::uint32_t* row = dist.data() + gi * sn;
       for (std::size_t p = groups[gi].begin; p < groups[gi].end; ++p) {
         const NodeId src = sorted[p].first;
         const NodeId dst = sorted[p].second;
-        if (dst >= n) {
-          throw std::out_of_range("max_route_stretch_sampled: destination out of range");
-        }
         if (src == dst) continue;
-        const std::uint32_t logical = router->distance(dst, src);
+        const std::uint32_t logical = logical_row[p - wave_begin];
         if (logical == static_cast<std::uint32_t>(-1)) continue;
         const std::uint32_t shortest = row[view.physical_to_survivor[machine.to_physical[dst]]];
         if (shortest == 0 || shortest == kUnreachable) continue;

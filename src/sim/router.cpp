@@ -1,8 +1,11 @@
 #include "sim/router.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <bit>
 #include <exception>
+#include <optional>
 #include <queue>
 #include <stdexcept>
 #include <thread>
@@ -31,6 +34,37 @@ std::vector<NodeId> Router::path(NodeId from, NodeId dest) const {
     route.push_back(cur);
   }
   return route;
+}
+
+namespace {
+
+void check_batch_spans(std::size_t dests, std::size_t nodes, std::size_t out) {
+  if (dests != nodes || dests != out) {
+    throw std::invalid_argument("Router batch query: span sizes differ");
+  }
+}
+
+}  // namespace
+
+void Router::route_many(std::span<const NodeId> dests, std::span<const NodeId> nodes,
+                        std::span<NodeId> out) const {
+  check_batch_spans(dests.size(), nodes.size(), out.size());
+  for (std::size_t i = 0; i < dests.size(); ++i) out[i] = next_hop(dests[i], nodes[i]);
+}
+
+void Router::route_many(std::span<const NodeId> dests, std::span<const NodeId> nodes,
+                        std::span<NodeId> out, std::span<RouteHint> hints) const {
+  check_batch_spans(dests.size(), nodes.size(), out.size());
+  if (hints.size() != dests.size()) {
+    throw std::invalid_argument("Router batch query: hint span size differs");
+  }
+  route_many(dests, nodes, out);  // backends without incremental state: no-op hints
+}
+
+void Router::distance_many(std::span<const NodeId> dests, std::span<const NodeId> nodes,
+                           std::span<std::uint32_t> out) const {
+  check_batch_spans(dests.size(), nodes.size(), out.size());
+  for (std::size_t i = 0; i < dests.size(); ++i) out[i] = distance(dests[i], nodes[i]);
 }
 
 // --- CompressedRouter --------------------------------------------------------
@@ -114,12 +148,6 @@ void for_each_dest_chunk(std::size_t n, unsigned chunks, Fn&& fn) {
   }
 }
 
-unsigned effective_build_threads(unsigned requested, std::size_t n) {
-  unsigned threads =
-      requested == 0 ? std::max(1u, std::thread::hardware_concurrency()) : requested;
-  return static_cast<unsigned>(std::min<std::size_t>(threads, std::max<std::size_t>(n, 1)));
-}
-
 }  // namespace
 
 CompressedRouter::CompressedRouter(const Graph& g, unsigned build_threads) : n_(g.num_nodes()) {
@@ -146,7 +174,7 @@ CompressedRouter::CompressedRouter(const Graph& g, unsigned build_threads) : n_(
     }
   }
 
-  const unsigned threads = effective_build_threads(build_threads, n_);
+  const unsigned threads = sharded_build_threads(build_threads, n_);
 
   if (reference_ != Reference::None) {
     // Shape-delta: per destination, diff the exact BFS row against a BFS of
@@ -668,6 +696,287 @@ void CompressedRouter::retract_fault(NodeId v) {
 
 // --- ImplicitRouter ----------------------------------------------------------
 
+namespace {
+
+// Thread-local direct-mapped memo cache behind the batched implicit queries.
+// Keyed by (router id, dest, node); a full entry also knows the canonical
+// hop, a partial one (hop == kInvalidNode) only the distance + witness — the
+// forward-seeded state a route_many batch leaves for the next engine cycle,
+// when the same packet asks again from one hop closer. The slab is process
+// scratch shared by every ImplicitRouter: router ids come from a never-reused
+// counter, so a destroyed router's entries can never alias a new one, and
+// memory_bytes() legitimately stays 0.
+struct RouteCacheEntry {
+  std::uint32_t id = 0;  // 0 = empty (router ids start at 1)
+  NodeId dest = 0;
+  NodeId node = 0;
+  NodeId hop = 0;
+  std::uint32_t dist = 0;
+  std::int32_t wit = 0;
+  std::uint64_t opt = 0;  // optimal-offset mask at `node` (0 = unknown)
+};
+
+// 4-way set-associative: a route_many cohort keeps two live keys per packet
+// (the pending query and its forward-seed), and a direct-mapped table at
+// realistic cohort sizes evicts enough of them to pay a full rescan per
+// collision. Four ways push the overflow probability per set to ~1%.
+constexpr std::size_t kRouteCacheWays = 4;
+constexpr std::size_t kRouteCacheSets = 4096;  // x 4 ways x 32 B = 512 KiB
+using RouteCache = std::array<RouteCacheEntry, kRouteCacheSets * kRouteCacheWays>;
+
+RouteCache& route_cache() {
+  thread_local RouteCache cache{};
+  return cache;
+}
+
+inline std::uint64_t route_cache_hash(std::uint32_t id, NodeId dest, NodeId node) {
+  std::uint64_t k = (static_cast<std::uint64_t>(dest) << 32) | node;
+  k ^= static_cast<std::uint64_t>(id) * 0x9E3779B97F4A7C15ull;
+  k *= 0xBF58476D1CE4E5B9ull;
+  k ^= k >> 29;
+  k *= 0x94D049BB133111EBull;
+  k ^= k >> 32;
+  return k;
+}
+
+inline RouteCacheEntry* route_cache_find(RouteCache& cache, std::uint32_t id, NodeId dest,
+                                         NodeId node) {
+  const std::uint64_t k = route_cache_hash(id, dest, node);
+  RouteCacheEntry* set = &cache[(static_cast<std::size_t>(k) & (kRouteCacheSets - 1)) *
+                                kRouteCacheWays];
+  for (std::size_t w = 0; w < kRouteCacheWays; ++w) {
+    if (set[w].id == id && set[w].dest == dest && set[w].node == node) return &set[w];
+  }
+  return nullptr;
+}
+
+// The slot to (over)write for this key: its existing entry if present, else
+// an empty/foreign-id way, else a key-hashed victim (stateless pseudo-LRU —
+// two keys sharing a set pick different victims with high probability).
+inline RouteCacheEntry& route_cache_store(RouteCache& cache, std::uint32_t id, NodeId dest,
+                                          NodeId node) {
+  const std::uint64_t k = route_cache_hash(id, dest, node);
+  RouteCacheEntry* set = &cache[(static_cast<std::size_t>(k) & (kRouteCacheSets - 1)) *
+                                kRouteCacheWays];
+  for (std::size_t w = 0; w < kRouteCacheWays; ++w) {
+    if (set[w].id == id && set[w].dest == dest && set[w].node == node) return set[w];
+  }
+  for (std::size_t w = 0; w < kRouteCacheWays; ++w) {
+    if (set[w].id != id) return set[w];
+  }
+  return set[(k >> 32) & (kRouteCacheWays - 1)];
+}
+
+std::uint32_t next_route_cache_id() {
+  static std::atomic<std::uint32_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// The implicit backend's per-shape plumbing, shared by the scalar and batched
+// paths via templates over the topology steppers. Neighbor enumeration goes
+// into a fixed stack array — the algebraic degree is <= 2m <= 32 on every
+// packed shape (wider bases take the next_hop_wide fallback), and SE is <= 3.
+constexpr int kMaxFixedDegree = 32;
+
+struct DebruijnShapeOps {
+  using Stepper = DebruijnDistanceStepper;
+  DeBruijnParams params;
+  Stepper make(NodeId dest) const { return Stepper(params, dest); }
+};
+
+struct ShuffleExchangeShapeOps {
+  using Stepper = ShuffleExchangeDistanceStepper;
+  unsigned h;
+  Stepper make(NodeId dest) const { return Stepper(h, dest); }
+};
+
+// Canonical hop from the stepper's current node: the algebraic enumeration
+// produces exactly the graph's sorted adjacency, so the first neighbor whose
+// capped probe proves dist-1 is the canonical (lowest-id) hop — and at
+// dist == 1 the only closer node is dest itself, no probes needed. The
+// winner's witness comes back so the caller can advance/memoize it without
+// another scan. Neighbors come pre-packaged from the stepper
+// (probe_neighbors/probe_pre): the shift classification and its modular
+// divisions happen once per hop, not once per probe.
+template <class Stepper>
+NodeId canonical_hop(const Stepper& st, DistanceWitness* hop_wit, std::uint64_t* hop_opt) {
+  const std::uint32_t here = st.distance();
+  if (here == 1) {
+    hop_wit->offset = 0;
+    *hop_opt = 0;
+    return st.dest();
+  }
+  typename Stepper::ProbeNeighbor nbrs[kMaxFixedDegree];
+  const int count = st.probe_neighbors(nbrs);
+  for (int i = 0; i < count; ++i) {
+    if (st.probe_pre(nbrs[i], here - 1, hop_wit, hop_opt) == here - 1) return nbrs[i].id;
+  }
+  return kInvalidNode;  // unreachable on a connected shape: cannot happen
+}
+
+template <class Ops>
+NodeId scalar_next_hop(const Ops& ops, NodeId dest, NodeId node) {
+  typename Ops::Stepper st = ops.make(dest);
+  st.reset(node);
+  DistanceWitness w;
+  std::uint64_t opt = 0;
+  return canonical_hop(st, &w, &opt);
+}
+
+template <class Ops>
+void route_many_impl(const Ops& ops, std::uint32_t cache_id, std::uint64_t n,
+                     std::span<const NodeId> dests, std::span<const NodeId> nodes,
+                     std::span<NodeId> out) {
+  RouteCache& cache = route_cache();
+  std::optional<typename Ops::Stepper> st;
+  NodeId st_dest = kInvalidNode;
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    const NodeId dest = dests[i];
+    const NodeId node = nodes[i];
+    if (node >= n || dest >= n) throw std::out_of_range("ImplicitRouter: node out of range");
+    if (node == dest) {
+      out[i] = dest;
+      continue;
+    }
+    RouteCacheEntry* e = route_cache_find(cache, cache_id, dest, node);
+    if (e != nullptr && e->hop != kInvalidNode) {
+      out[i] = e->hop;
+      continue;
+    }
+    if (!st) {
+      st.emplace(ops.make(dest));
+      st_dest = dest;
+    } else if (st_dest != dest) {
+      st->retarget(dest);
+      st_dest = dest;
+    }
+    if (e != nullptr) {
+      // Partial hit: skip the full scan and restore the optimal-offset mask
+      // the previous hop's probe computed for free.
+      st->seed_opt(node, e->dist, DistanceWitness{e->wit}, e->opt);
+    } else {
+      st->reset(node);
+    }
+    DistanceWitness hop_wit{};
+    std::uint64_t hop_opt = 0;
+    const NodeId hop = canonical_hop(*st, &hop_wit, &hop_opt);
+    out[i] = hop;
+    if (hop == kInvalidNode) continue;
+    const std::uint32_t here = st->distance();
+    // A partial hit upgrades in place — no second hashed lookup.
+    RouteCacheEntry& full = e != nullptr ? *e : route_cache_store(cache, cache_id, dest, node);
+    full = {cache_id, dest, node, hop, here, st->witness().offset, st->opt_mask()};
+    if (hop != dest) {
+      // Forward-seed the hop's slot: next cycle this packet asks from `hop`
+      // at distance here-1, and the winner's witness + mask make that query
+      // O(popcount(mask)). Never downgrade a full entry that already knows
+      // its hop.
+      RouteCacheEntry& f = route_cache_store(cache, cache_id, dest, hop);
+      const bool keep =
+          f.id == cache_id && f.dest == dest && f.node == hop && f.hop != kInvalidNode;
+      if (!keep) f = {cache_id, dest, hop, kInvalidNode, here - 1, hop_wit.offset, hop_opt};
+    }
+  }
+}
+
+// The hinted batch: per-packet state rides in the caller's RouteHint array
+// instead of the hashed memo cache, so a warm packet costs one seed + the
+// adjacent-offset probes and touches no shared scratch at all. A hint is
+// trusted only when its (dest, node) matches the query — fresh or stale
+// entries fall back to a full positioning scan and are then overwritten.
+template <class Ops>
+void route_many_hinted_impl(const Ops& ops, std::uint64_t n, std::span<const NodeId> dests,
+                            std::span<const NodeId> nodes, std::span<NodeId> out,
+                            std::span<RouteHint> hints) {
+  std::optional<typename Ops::Stepper> st;
+  NodeId st_dest = kInvalidNode;
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    const NodeId dest = dests[i];
+    const NodeId node = nodes[i];
+    if (node >= n || dest >= n) throw std::out_of_range("ImplicitRouter: node out of range");
+    if (node == dest) {
+      out[i] = dest;
+      continue;
+    }
+    if (!st) {
+      st.emplace(ops.make(dest));
+      st_dest = dest;
+    } else if (st_dest != dest) {
+      st->retarget(dest);
+      st_dest = dest;
+    }
+    RouteHint& hint = hints[i];
+    if (hint.dest == dest && hint.node == node) {
+      st->seed_opt(node, hint.dist, DistanceWitness{hint.wit}, hint.opt);
+    } else {
+      st->reset(node);
+    }
+    DistanceWitness hop_wit{};
+    std::uint64_t hop_opt = 0;
+    const NodeId hop = canonical_hop(*st, &hop_wit, &hop_opt);
+    out[i] = hop;
+    if (hop == kInvalidNode) continue;
+    hint = {dest, hop, st->distance() - 1, hop_wit.offset, hop_opt};
+  }
+}
+
+template <class Ops>
+void distance_many_impl(const Ops& ops, std::uint32_t cache_id, std::uint64_t n,
+                        std::span<const NodeId> dests, std::span<const NodeId> nodes,
+                        std::span<std::uint32_t> out) {
+  RouteCache& cache = route_cache();
+  std::optional<typename Ops::Stepper> st;
+  NodeId st_dest = kInvalidNode;
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    const NodeId dest = dests[i];
+    const NodeId node = nodes[i];
+    if (node >= n || dest >= n) throw std::out_of_range("ImplicitRouter: node out of range");
+    if (node == dest) {
+      out[i] = 0;
+      continue;
+    }
+    const RouteCacheEntry* e = route_cache_find(cache, cache_id, dest, node);
+    if (e != nullptr) {
+      out[i] = e->dist;  // full and partial entries both know the distance
+      continue;
+    }
+    if (!st) {
+      st.emplace(ops.make(dest));
+      st_dest = dest;
+    } else if (st_dest != dest) {
+      st->retarget(dest);
+      st_dest = dest;
+    }
+    out[i] = st->reset(node);
+    route_cache_store(cache, cache_id, dest, node) = {
+        cache_id, dest, node, kInvalidNode, st->distance(), st->witness().offset,
+        st->opt_mask()};
+  }
+}
+
+template <class Ops>
+std::vector<NodeId> path_impl(const Ops& ops, NodeId from, NodeId dest) {
+  typename Ops::Stepper st = ops.make(dest);
+  st.reset(from);
+  std::vector<NodeId> route{from};
+  route.reserve(st.distance() + 1);
+  while (st.node() != dest) {
+    DistanceWitness hop_wit{};
+    std::uint64_t hop_opt = 0;
+    const NodeId hop = canonical_hop(st, &hop_wit, &hop_opt);
+    // seed_opt rather than advance: it repositions just as cheaply and keeps
+    // the winner's optimal-offset mask for the next hop's probes.
+    st.seed_opt(hop, st.distance() - 1, hop_wit, hop_opt);
+    route.push_back(hop);
+  }
+  return route;
+}
+
+}  // namespace
+
+ImplicitRouter::ImplicitRouter(Shape shape, DeBruijnParams db, unsigned se_h, std::uint64_t n)
+    : shape_(shape), db_(db), se_h_(se_h), n_(n), cache_id_(next_route_cache_id()) {}
+
 ImplicitRouter ImplicitRouter::for_debruijn(const DeBruijnParams& params) {
   return ImplicitRouter(Shape::DeBruijn, params, 0, debruijn_num_nodes(params));
 }
@@ -675,6 +984,8 @@ ImplicitRouter ImplicitRouter::for_debruijn(const DeBruijnParams& params) {
 ImplicitRouter ImplicitRouter::for_shuffle_exchange(unsigned h) {
   return ImplicitRouter(Shape::ShuffleExchange, {}, h, shuffle_exchange_num_nodes(h));
 }
+
+std::size_t ImplicitRouter::route_cache_bytes() { return sizeof(RouteCache); }
 
 std::uint32_t ImplicitRouter::distance(NodeId dest, NodeId node) const {
   return shape_ == Shape::DeBruijn ? debruijn_distance(db_, node, dest)
@@ -684,20 +995,79 @@ std::uint32_t ImplicitRouter::distance(NodeId dest, NodeId node) const {
 NodeId ImplicitRouter::next_hop(NodeId dest, NodeId node) const {
   if (node >= n_ || dest >= n_) throw std::out_of_range("ImplicitRouter: node out of range");
   if (node == dest) return dest;
-  const std::uint32_t here = distance(dest, node);
-  // The algebraic neighbor enumeration produces exactly the graph's sorted
-  // adjacency list, so the first strictly-closer neighbor is the canonical
-  // (lowest-id) hop. thread_local scratch keeps the hot path allocation-free.
-  thread_local std::vector<NodeId> neighbors;
   if (shape_ == Shape::DeBruijn) {
-    debruijn_neighbors(db_, node, neighbors);
-  } else {
-    shuffle_exchange_neighbors(se_h_, node, neighbors);
+    if (2 * db_.base > kMaxFixedDegree) return next_hop_wide(dest, node);
+    return scalar_next_hop(DebruijnShapeOps{db_}, dest, node);
   }
+  return scalar_next_hop(ShuffleExchangeShapeOps{se_h_}, dest, node);
+}
+
+// Wide-base shapes (algebraic degree > kMaxFixedDegree): the original
+// vector-based enumeration with full distance evaluations. Cold by
+// construction — every packed B_{m,h} has degree <= 2m <= 32.
+NodeId ImplicitRouter::next_hop_wide(NodeId dest, NodeId node) const {
+  const std::uint32_t here = distance(dest, node);
+  if (here == 1) return dest;
+  std::vector<NodeId> neighbors;
+  debruijn_neighbors(db_, node, neighbors);
   for (const NodeId w : neighbors) {
     if (distance(dest, w) + 1 == here) return w;
   }
   return kInvalidNode;  // unreachable on a connected shape: cannot happen
+}
+
+void ImplicitRouter::route_many(std::span<const NodeId> dests, std::span<const NodeId> nodes,
+                                std::span<NodeId> out) const {
+  check_batch_spans(dests.size(), nodes.size(), out.size());
+  if (shape_ == Shape::DeBruijn) {
+    if (2 * db_.base > kMaxFixedDegree) {
+      for (std::size_t i = 0; i < dests.size(); ++i) out[i] = next_hop(dests[i], nodes[i]);
+      return;
+    }
+    route_many_impl(DebruijnShapeOps{db_}, cache_id_, n_, dests, nodes, out);
+    return;
+  }
+  route_many_impl(ShuffleExchangeShapeOps{se_h_}, cache_id_, n_, dests, nodes, out);
+}
+
+void ImplicitRouter::route_many(std::span<const NodeId> dests, std::span<const NodeId> nodes,
+                                std::span<NodeId> out, std::span<RouteHint> hints) const {
+  check_batch_spans(dests.size(), nodes.size(), out.size());
+  if (hints.size() != dests.size()) {
+    throw std::invalid_argument("Router batch query: hint span size differs");
+  }
+  if (shape_ == Shape::DeBruijn) {
+    if (2 * db_.base > kMaxFixedDegree) {
+      for (std::size_t i = 0; i < dests.size(); ++i) out[i] = next_hop(dests[i], nodes[i]);
+      return;
+    }
+    route_many_hinted_impl(DebruijnShapeOps{db_}, n_, dests, nodes, out, hints);
+    return;
+  }
+  route_many_hinted_impl(ShuffleExchangeShapeOps{se_h_}, n_, dests, nodes, out, hints);
+}
+
+void ImplicitRouter::distance_many(std::span<const NodeId> dests, std::span<const NodeId> nodes,
+                                   std::span<std::uint32_t> out) const {
+  check_batch_spans(dests.size(), nodes.size(), out.size());
+  if (shape_ == Shape::DeBruijn) {
+    if (2 * db_.base > kMaxFixedDegree) {
+      for (std::size_t i = 0; i < dests.size(); ++i) out[i] = distance(dests[i], nodes[i]);
+      return;
+    }
+    distance_many_impl(DebruijnShapeOps{db_}, cache_id_, n_, dests, nodes, out);
+    return;
+  }
+  distance_many_impl(ShuffleExchangeShapeOps{se_h_}, cache_id_, n_, dests, nodes, out);
+}
+
+std::vector<NodeId> ImplicitRouter::path(NodeId from, NodeId dest) const {
+  if (from >= n_ || dest >= n_) return {};
+  if (shape_ == Shape::DeBruijn) {
+    if (2 * db_.base > kMaxFixedDegree) return Router::path(from, dest);
+    return path_impl(DebruijnShapeOps{db_}, from, dest);
+  }
+  return path_impl(ShuffleExchangeShapeOps{se_h_}, from, dest);
 }
 
 // --- construction ------------------------------------------------------------

@@ -43,6 +43,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -54,6 +55,22 @@ namespace ftdb::sim {
 enum class RouterBackend { Table, Compressed, Implicit };
 
 const char* router_backend_name(RouterBackend backend);
+
+/// Caller-carried memo for one in-flight packet's routing state, filled by
+/// the hinted route_many overload. Self-validating: a hint is consulted only
+/// when its (dest, node) matches the query, so zero-initialized or stale
+/// hints are always safe — they just cost a fresh scan. Callers that keep
+/// one RouteHint per packet across cycles turn the implicit backend's
+/// per-hop work into a single adjacent-offset check (the witness, distance
+/// and optimal-offset mask ride along instead of round-tripping through the
+/// thread-local memo cache).
+struct RouteHint {
+  NodeId dest = kInvalidNode;
+  NodeId node = kInvalidNode;
+  std::uint32_t dist = 0;
+  std::int32_t wit = 0;
+  std::uint64_t opt = 0;
+};
 
 /// The routing interface. All queries are in the logical node space of the
 /// graph the router was built for; `Machine::to_physical` composes the
@@ -73,6 +90,29 @@ class Router {
   /// Hop count, or uint32(-1) when unreachable (the BFS convention).
   virtual std::uint32_t distance(NodeId dest, NodeId node) const = 0;
 
+  /// Batched next hops: out[i] = next_hop(dests[i], nodes[i]), hop-for-hop
+  /// identical to the scalar loop on every backend (that loop *is* the
+  /// default). ImplicitRouter overrides it with witness-reusing incremental
+  /// scans plus a thread-local memo cache, amortizing per-lookup setup over
+  /// thousands of in-flight packets. Spans must have equal length (throws
+  /// std::invalid_argument otherwise).
+  virtual void route_many(std::span<const NodeId> dests, std::span<const NodeId> nodes,
+                          std::span<NodeId> out) const;
+
+  /// route_many with caller-carried per-packet state: hints[i] is consulted
+  /// when it matches (dests[i], nodes[i]) and rewritten with the state of
+  /// the answered hop, so re-presenting the same packet one hop later skips
+  /// the fresh scan entirely. Results are hop-for-hop identical to the
+  /// hint-less overload; backends without incremental state ignore the
+  /// hints. `hints` must match the query length.
+  virtual void route_many(std::span<const NodeId> dests, std::span<const NodeId> nodes,
+                          std::span<NodeId> out, std::span<RouteHint> hints) const;
+
+  /// Batched distances: out[i] = distance(dests[i], nodes[i]); same contract
+  /// and override story as route_many.
+  virtual void distance_many(std::span<const NodeId> dests, std::span<const NodeId> nodes,
+                             std::span<std::uint32_t> out) const;
+
   virtual bool reachable(NodeId dest, NodeId node) const {
     return distance(dest, node) != static_cast<std::uint32_t>(-1);
   }
@@ -82,8 +122,9 @@ class Router {
   virtual std::size_t memory_bytes() const = 0;
 
   /// Full canonical path node -> dest (inclusive); empty when unreachable.
-  /// Identical across backends by the shared policy.
-  std::vector<NodeId> path(NodeId from, NodeId dest) const;
+  /// Identical across backends by the shared policy (ImplicitRouter walks it
+  /// with the witness-chained stepper instead of per-hop full scans).
+  virtual std::vector<NodeId> path(NodeId from, NodeId dest) const;
 };
 
 /// The uint16-slab BFS table (general fallback and test oracle).
@@ -222,8 +263,16 @@ class CompressedRouter final : public Router {
 };
 
 /// O(1)-memory algebraic routing for de Bruijn / shuffle-exchange shapes:
-/// distances come from the exact label formulas, next hops from enumerating
-/// the (sorted) algebraic neighbors through the same canonical rule.
+/// distances come from the exact label formulas, next hops from probing the
+/// (sorted) algebraic neighbors through the same canonical rule. The probes
+/// run on the incremental distance steppers (topology/*): a success-exit
+/// capped scan per neighbor, hinted by the current node's alignment witness,
+/// instead of a fresh O(h^2) scan each — and the batched route_many /
+/// distance_many / path overrides additionally carry the witness across hops
+/// through a small thread-local memo cache. The cache is process-wide
+/// per-thread scratch shared by every ImplicitRouter (epoch-stamped with a
+/// never-reused per-router id), not router state: memory_bytes() stays 0,
+/// and route_cache_bytes() reports the fixed per-thread slab.
 class ImplicitRouter final : public Router {
  public:
   static ImplicitRouter for_debruijn(const DeBruijnParams& params);
@@ -233,21 +282,35 @@ class ImplicitRouter final : public Router {
   std::size_t num_nodes() const override { return static_cast<std::size_t>(n_); }
   NodeId next_hop(NodeId dest, NodeId node) const override;
   std::uint32_t distance(NodeId dest, NodeId node) const override;
+  void route_many(std::span<const NodeId> dests, std::span<const NodeId> nodes,
+                  std::span<NodeId> out) const override;
+  void route_many(std::span<const NodeId> dests, std::span<const NodeId> nodes,
+                  std::span<NodeId> out, std::span<RouteHint> hints) const override;
+  void distance_many(std::span<const NodeId> dests, std::span<const NodeId> nodes,
+                     std::span<std::uint32_t> out) const override;
+  std::vector<NodeId> path(NodeId from, NodeId dest) const override;
   bool reachable(NodeId dest, NodeId node) const override {
     return node < n_ && dest < n_;  // both shapes are connected
   }
   std::size_t memory_bytes() const override { return 0; }
 
+  /// Fixed size of the per-thread memo cache slab backing the batched
+  /// overrides (reported separately from memory_bytes(): the slab is shared
+  /// process scratch, not owned by any router instance).
+  static std::size_t route_cache_bytes();
+
  private:
   enum class Shape { DeBruijn, ShuffleExchange };
 
-  ImplicitRouter(Shape shape, DeBruijnParams db, unsigned se_h, std::uint64_t n)
-      : shape_(shape), db_(db), se_h_(se_h), n_(n) {}
+  ImplicitRouter(Shape shape, DeBruijnParams db, unsigned se_h, std::uint64_t n);
+
+  NodeId next_hop_wide(NodeId dest, NodeId node) const;
 
   Shape shape_;
   DeBruijnParams db_{};
   unsigned se_h_ = 0;
   std::uint64_t n_ = 0;
+  std::uint32_t cache_id_ = 0;  // memo-cache epoch stamp, unique per router
 };
 
 struct RouterOptions {

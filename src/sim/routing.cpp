@@ -49,9 +49,7 @@ RoutingTable::RoutingTable(const Graph& g, unsigned build_threads)
     }
   };
 
-  unsigned threads =
-      build_threads == 0 ? std::max(1u, std::thread::hardware_concurrency()) : build_threads;
-  threads = static_cast<unsigned>(std::min<std::size_t>(threads, std::max<std::size_t>(n_, 1)));
+  const unsigned threads = sharded_build_threads(build_threads, n_);
   if (threads <= 1) {
     build_range(0, n_);
     return;

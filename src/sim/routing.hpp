@@ -10,13 +10,35 @@
 //    (rotate) steps, at most 2h hops.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "graph/graph.hpp"
 
 namespace ftdb::sim {
+
+/// Auto-sized (build_threads == 0) destination-sharded builds claim a thread
+/// only per this many destinations: below it, thread spawn + join overhead
+/// makes the "parallel" build *lose* to serial (BENCH_pr8's
+/// build_compressed_b2_h10_threads0 regression).
+inline constexpr std::size_t kMinDestsPerBuildThread = 256;
+
+/// Thread count for a destination-sharded build over n destinations:
+/// `requested` (0 = hardware concurrency), floored by the min-work rule when
+/// auto-sized, and never more than n. Both sharded builders (RoutingTable,
+/// CompressedRouter) route through this so the policy stays in one place;
+/// the result is bit-identical for any value.
+inline unsigned sharded_build_threads(unsigned requested, std::size_t n) {
+  std::size_t threads =
+      requested == 0 ? std::max(1u, std::thread::hardware_concurrency()) : requested;
+  if (requested == 0) {
+    threads = std::min(threads, std::max<std::size_t>(n / kMinDestsPerBuildThread, 1));
+  }
+  return static_cast<unsigned>(std::min(threads, std::max<std::size_t>(n, 1)));
+}
 
 /// Dense next-hop tables: next_hop(dest, node) = the *lowest-id* neighbor of
 /// `node` one step closer to `dest` (the library's canonical shortest-path

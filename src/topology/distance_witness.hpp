@@ -1,0 +1,21 @@
+// Witness of a winning alignment from a label-distance scan.
+//
+// Both label-distance formulas (de Bruijn window offsets, shuffle-exchange
+// rotations) minimize over a 1-D family of alignments. The winner is worth
+// keeping: along a route each hop shifts exactly one digit, so the winning
+// alignment for the next node is almost always the current one shifted by
+// one. Seeding the next scan with that hint turns the O(h^2) re-scan into an
+// O(h) confirmation — the core of the incremental distance-step kernels.
+#pragma once
+
+namespace ftdb {
+
+struct DistanceWitness {
+  // de Bruijn: the winning window offset f in [-h, h] (y's digit window sits
+  // at offset f on x's tape). Shuffle-exchange: the winning rotation rho in
+  // [0, h). Only meaningful when the scan that produced it returned an exact
+  // distance (result <= its cap).
+  int offset = 0;
+};
+
+}  // namespace ftdb

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -51,44 +52,313 @@ void shuffle_exchange_neighbors(unsigned h, NodeId x, std::vector<NodeId>& out) 
   out.erase(std::remove(out.begin(), out.end(), x), out.end());
 }
 
-std::uint32_t shuffle_exchange_distance(unsigned h, NodeId x, NodeId y) {
-  const std::uint64_t n = shuffle_exchange_num_nodes(h);
-  if (x >= n || y >= n) throw std::out_of_range("shuffle_exchange_distance: node out of range");
-  if (x == y) return 0;
-  const int hh = static_cast<int>(h);
-  std::uint32_t best = static_cast<std::uint32_t>(-1);
-  std::array<int, 64> required;  // residues the rotation walk must visit
-  std::uint64_t aligned = y;       // rotr^rho(y): the flip targets in x's frame
-  for (unsigned rho = 0; rho < h; ++rho) {
-    if (rho > 0) aligned = labels::rotate_right(aligned, 2, h);
-    const std::uint64_t diff = static_cast<std::uint64_t>(x) ^ aligned;
-    const int flips = std::popcount(diff);
-    // Bit i is exchangeable when the net rotation r satisfies r ≡ -i (mod h).
-    int count = 0;
-    for (unsigned i = 0; i < h; ++i) {
-      if ((diff >> i) & 1u) required[static_cast<std::size_t>(count++)] = static_cast<int>((h - i) % h);
-    }
-    std::sort(required.begin(), required.begin() + count);
-    const int endpoints[3] = {static_cast<int>(rho) - hh, static_cast<int>(rho),
-                              static_cast<int>(rho) + hh};
-    // Split the sorted residues: the first j are reached sweeping up (at
-    // their value), the rest sweeping down (at value - h).
-    for (int j = 0; j <= count; ++j) {
-      const int cover_max = (j > 0) ? required[static_cast<std::size_t>(j - 1)] : 0;
-      const int cover_min = (j < count) ? required[static_cast<std::size_t>(j)] - hh : 0;
-      for (const int f : endpoints) {
-        const int walk_max = std::max(cover_max, std::max(0, f));
-        const int walk_min = std::min(cover_min, std::min(0, f));
-        const int up_first = walk_max + (walk_max - walk_min) + (f - walk_min);
-        const int down_first = (-walk_min) + (walk_max - walk_min) + (walk_max - f);
-        const int hops = flips + std::min(up_first, down_first);
-        if (hops >= 0 && static_cast<std::uint32_t>(hops) < best) {
-          best = static_cast<std::uint32_t>(hops);
-        }
+namespace {
+
+constexpr std::uint32_t kUncapped = 0xFFFFFFFEu;
+constexpr int kNoHint = std::numeric_limits<int>::min();
+
+struct SeScanState {
+  std::uint32_t best;
+  int witness;
+};
+
+// Evaluate one final alignment rho exactly against the current best, given
+// aligned == rotr^rho(y). Any rotation walk ending on rho's residue class
+// has length >= min(rho, h-rho), so flips + that floor rejects most
+// alignments before the per-residue split scan. The residues come out
+// sorted for free: ascending bit index i gives residue (h-i) % h, which is
+// 0 for i == 0 and then descends — so bit 0 first, then bits h-1 down to 1.
+void se_eval_rho(std::uint64_t x, std::uint64_t aligned, int h, int rho, SeScanState& e) {
+  const std::uint64_t diff = x ^ aligned;
+  const int flips = std::popcount(diff);
+  const int rot_floor = std::min(rho, h - rho);
+  if (static_cast<std::uint32_t>(flips + rot_floor) >= e.best) return;
+  if (diff == 0) {
+    e.best = static_cast<std::uint32_t>(rot_floor);
+    e.witness = rho;
+    return;
+  }
+  // Bit i is exchangeable when the net rotation r satisfies r ≡ -i (mod h).
+  std::array<int, 64> required;  // residues the rotation walk must visit, ascending
+  int count = 0;
+  if (diff & 1u) required[static_cast<std::size_t>(count++)] = 0;
+  std::uint64_t rest = diff & ~std::uint64_t{1};
+  while (rest != 0) {
+    const int i = 63 - __builtin_clzll(rest);
+    required[static_cast<std::size_t>(count++)] = h - i;
+    rest &= ~(std::uint64_t{1} << i);
+  }
+  const int endpoints[3] = {rho - h, rho, rho + h};
+  // Split the sorted residues: the first j are reached sweeping up (at
+  // their value), the rest sweeping down (at value - h).
+  for (int j = 0; j <= count; ++j) {
+    const int cover_max = (j > 0) ? required[static_cast<std::size_t>(j - 1)] : 0;
+    const int cover_min = (j < count) ? required[static_cast<std::size_t>(j)] - h : 0;
+    for (const int f : endpoints) {
+      const int walk_max = std::max(cover_max, std::max(0, f));
+      const int walk_min = std::min(cover_min, std::min(0, f));
+      const int up_first = walk_max + (walk_max - walk_min) + (f - walk_min);
+      const int down_first = (-walk_min) + (walk_max - walk_min) + (walk_max - f);
+      const int hops = flips + std::min(up_first, down_first);
+      if (hops >= 0 && static_cast<std::uint32_t>(hops) < e.best) {
+        e.best = static_cast<std::uint32_t>(hops);
+        e.witness = rho;
       }
     }
   }
-  return best;
+}
+
+// Exact cost of the best tour constrained to final alignment rho — a fresh
+// single-rho evaluation with no running best to reject against.
+int se_cost_at(std::uint64_t x, std::uint64_t y, int h, int rho) {
+  const std::uint64_t aligned =
+      rho == 0 ? y : (((y >> rho) | (y << (h - rho))) & ((std::uint64_t{1} << h) - 1));
+  SeScanState e{kUncapped + 1, 0};
+  se_eval_rho(x, aligned, h, rho, e);
+  return static_cast<int>(e.best);
+}
+
+// Full-alignment scan with the hinted rotation tried first and the
+// floor-stop exit of the de Bruijn kernel: `floor_stop` is a caller
+// guaranteed lower bound on the true distance, so matching it is proof.
+// Results <= cap are exact; anything above cap means "farther than cap".
+std::uint32_t se_distance_scan(std::uint64_t x, std::uint64_t y, int h, std::uint32_t cap,
+                               std::uint32_t floor_stop, int hint, int* witness) {
+  SeScanState e{std::min(cap, kUncapped) + 1, 0};
+  if (hint != kNoHint && hint >= 0 && hint < h) {
+    const std::uint64_t aligned =
+        hint == 0 ? y : (((y >> hint) | (y << (h - hint))) & ((std::uint64_t{1} << h) - 1));
+    se_eval_rho(x, aligned, h, hint, e);
+    if (e.best <= floor_stop) {
+      if (witness != nullptr) *witness = e.witness;
+      return e.best;
+    }
+  } else {
+    hint = kNoHint;
+  }
+  std::uint64_t aligned = y;  // rotr^rho(y): the flip targets in x's frame
+  for (int rho = 0; rho < h; ++rho) {
+    if (rho > 0) aligned = labels::rotate_right(aligned, 2, static_cast<unsigned>(h));
+    if (rho == hint) continue;
+    se_eval_rho(x, aligned, h, rho, e);
+    if (e.best <= floor_stop) break;
+  }
+  if (witness != nullptr) *witness = e.witness;
+  return e.best;
+}
+
+}  // namespace
+
+std::uint32_t shuffle_exchange_distance(unsigned h, NodeId x, NodeId y) {
+  return shuffle_exchange_distance_witness(h, x, y, nullptr);
+}
+
+std::uint32_t shuffle_exchange_distance_witness(unsigned h, NodeId x, NodeId y,
+                                                DistanceWitness* witness) {
+  const std::uint64_t n = shuffle_exchange_num_nodes(h);
+  if (x >= n || y >= n) throw std::out_of_range("shuffle_exchange_distance: node out of range");
+  if (witness != nullptr) witness->offset = 0;
+  if (x == y) return 0;
+  return se_distance_scan(x, y, static_cast<int>(h), kUncapped, 0, kNoHint,
+                          witness != nullptr ? &witness->offset : nullptr);
+}
+
+std::uint32_t shuffle_exchange_distance_step(unsigned h, NodeId x, NodeId x_next, NodeId y,
+                                             std::uint32_t dist, DistanceWitness* witness) {
+  ShuffleExchangeDistanceStepper stepper(h, y);
+  stepper.seed(x, dist, witness != nullptr ? *witness : DistanceWitness{});
+  const std::uint32_t d = stepper.step(x_next);
+  if (witness != nullptr) *witness = stepper.witness();
+  return d;
+}
+
+int shuffle_exchange_neighbors_fixed(unsigned h, NodeId x, NodeId* out) {
+  const std::uint64_t n = shuffle_exchange_num_nodes(h);
+  if (x >= n) throw std::out_of_range("shuffle_exchange_neighbors_fixed: node out of range");
+  NodeId cand[3] = {se_exchange(x), se_shuffle(x, h), se_unshuffle(x, h)};
+  int count = 0;
+  for (const NodeId w : cand) {
+    if (w == x) continue;
+    int i = count;
+    while (i > 0 && out[i - 1] > w) --i;
+    if (i > 0 && out[i - 1] == w) continue;
+    for (int j = count; j > i; --j) out[j] = out[j - 1];
+    out[i] = w;
+    ++count;
+  }
+  return count;
+}
+
+ShuffleExchangeDistanceStepper::ShuffleExchangeDistanceStepper(unsigned h, NodeId dest)
+    : dest_(dest), h_(static_cast<int>(h)) {
+  n_ = shuffle_exchange_num_nodes(h);
+  if (dest >= n_) throw std::out_of_range("ShuffleExchangeDistanceStepper: dest out of range");
+}
+
+void ShuffleExchangeDistanceStepper::retarget(NodeId dest) {
+  if (dest >= n_) throw std::out_of_range("ShuffleExchangeDistanceStepper: dest out of range");
+  dest_ = dest;
+  node_ = kInvalidNode;
+  opt_valid_ = false;
+}
+
+std::uint32_t ShuffleExchangeDistanceStepper::reset(NodeId node) {
+  if (node >= n_) throw std::out_of_range("ShuffleExchangeDistanceStepper: node out of range");
+  node_ = node;
+  wit_.offset = 0;
+  opt_valid_ = false;
+  dist_ = (node == dest_) ? 0 : se_distance_scan(node, dest_, h_, kUncapped, 0, kNoHint,
+                                                 &wit_.offset);
+  return dist_;
+}
+
+void ShuffleExchangeDistanceStepper::seed(NodeId node, std::uint32_t dist,
+                                          const DistanceWitness& witness) {
+  if (node >= n_) throw std::out_of_range("ShuffleExchangeDistanceStepper: node out of range");
+  node_ = node;
+  dist_ = dist;
+  wit_ = witness;
+  opt_valid_ = false;
+}
+
+void ShuffleExchangeDistanceStepper::seed_opt(NodeId node, std::uint32_t dist,
+                                              const DistanceWitness& witness, std::uint64_t opt) {
+  seed(node, dist, witness);
+  opt_ = opt;
+  opt_valid_ = opt != 0;
+}
+
+// Collect {rho : cost(rho) == dist_} exactly: h single-rho evaluations, each
+// cheap because se_eval_rho's own flips + rotation floor usually rejects.
+void ShuffleExchangeDistanceStepper::collect_opt() const {
+  opt_ = 0;
+  const int d = static_cast<int>(dist_);
+  for (int rho = 0; rho < h_; ++rho) {
+    if (se_cost_at(node_, dest_, h_, rho) == d) opt_ |= std::uint64_t{1} << rho;
+  }
+  opt_valid_ = true;
+}
+
+int ShuffleExchangeDistanceStepper::hint_for(NodeId neighbor) const {
+  // Moving x by a shuffle (rotate-left) relabels alignment rho+1 of x as rho
+  // of x'; unshuffle the opposite; the exchange keeps the frame. The hint is
+  // only a guess (the winner can genuinely change), so ties between
+  // coinciding moves are harmless.
+  const unsigned h = static_cast<unsigned>(h_);
+  if (neighbor == se_exchange(node_)) return wit_.offset;
+  if (neighbor == se_shuffle(node_, h)) return (wit_.offset + h_ - 1) % h_;
+  if (neighbor == se_unshuffle(node_, h)) return (wit_.offset + 1) % h_;
+  throw std::invalid_argument("ShuffleExchangeDistanceStepper: not a neighbor");
+}
+
+std::uint32_t ShuffleExchangeDistanceStepper::step(NodeId neighbor) {
+  opt_valid_ = false;
+  const int hint = hint_for(neighbor);
+  const std::uint32_t floor_stop = dist_ > 0 ? dist_ - 1 : 0;
+  dist_ = (neighbor == dest_) ? 0 : se_distance_scan(neighbor, dest_, h_, dist_ + 1, floor_stop,
+                                                     hint, &wit_.offset);
+  node_ = neighbor;
+  return dist_;
+}
+
+std::uint32_t ShuffleExchangeDistanceStepper::probe(NodeId neighbor, std::uint32_t cap) const {
+  return probe_witness(neighbor, cap, nullptr);
+}
+
+std::uint32_t ShuffleExchangeDistanceStepper::probe_witness(NodeId neighbor, std::uint32_t cap,
+                                                            DistanceWitness* witness) const {
+  if (neighbor == dest_) {
+    if (witness != nullptr) witness->offset = 0;
+    return 0;
+  }
+  const int hint = hint_for(neighbor);
+  const std::uint32_t floor_stop = dist_ > 0 ? dist_ - 1 : 0;
+  return se_distance_scan(neighbor, dest_, h_, cap, floor_stop, hint,
+                          witness != nullptr ? &witness->offset : nullptr);
+}
+
+void ShuffleExchangeDistanceStepper::advance(NodeId neighbor, std::uint32_t dist,
+                                             const DistanceWitness& witness) {
+  node_ = neighbor;
+  dist_ = dist;
+  wit_ = witness;
+  opt_valid_ = false;
+}
+
+int ShuffleExchangeDistanceStepper::probe_neighbors(ProbeNeighbor* out) const {
+  const unsigned h = static_cast<unsigned>(h_);
+  int count = 0;
+  auto push = [&](NodeId id, int hint, int dir) {
+    if (id == node_) return;
+    int i = count;
+    while (i > 0 && out[i - 1].id > id) --i;
+    if (i > 0 && out[i - 1].id == id) return;
+    for (int j = count; j > i; --j) out[j] = out[j - 1];
+    out[i] = {id, hint, dir};
+    ++count;
+  };
+  push(se_exchange(node_), wit_.offset, 0);
+  push(se_shuffle(node_, h), (wit_.offset + h_ - 1) % h_, -1);
+  push(se_unshuffle(node_, h), (wit_.offset + 1) % h_, +1);
+  return count;
+}
+
+std::uint32_t ShuffleExchangeDistanceStepper::probe_pre(const ProbeNeighbor& nb, std::uint32_t cap,
+                                                        DistanceWitness* witness,
+                                                        std::uint64_t* opt_out) const {
+  if (opt_out != nullptr) *opt_out = 0;
+  if (nb.id == dest_) {
+    if (witness != nullptr) witness->offset = 0;
+    // The destination's own optimal set: diff == 0, so cost(rho) is the pure
+    // rotation floor min(rho, h - rho), zero only at rho == 0.
+    if (opt_out != nullptr) *opt_out = 1;
+    return 0;
+  }
+  if (dist_ > 0 && cap == dist_ - 1) {
+    // Refutation probe: is this neighbor exactly one hop closer? A tour for
+    // the neighbor at alignment rho, extended by the reverse edge, is a tour
+    // for the current node at the move-remapped alignment with one more hop
+    // — so the neighbor can hit dist-1 only at alignments whose image under
+    // the move lies in the current optimal set. Evaluate exactly those; the
+    // evaluations double as the neighbor's complete optimal set at dist-1.
+    if (!opt_valid_) collect_opt();
+    std::uint64_t cands = opt_;
+    if (nb.dir != 0 && h_ > 1) {
+      const std::uint64_t lane = (std::uint64_t{1} << h_) - 1;
+      cands = nb.dir < 0 ? (((opt_ >> 1) | (opt_ << (h_ - 1))) & lane)
+                         : (((opt_ << 1) | (opt_ >> (h_ - 1))) & lane);
+    }
+    const int target = static_cast<int>(dist_) - 1;
+    std::uint64_t hits = 0;
+    int first_rho = 0;
+    while (cands != 0) {
+      const int rho = __builtin_ctzll(cands);
+      cands &= cands - 1;
+      if (se_cost_at(nb.id, dest_, h_, rho) == target) {
+        if (hits == 0) first_rho = rho;
+        hits |= std::uint64_t{1} << rho;
+      }
+    }
+    if (hits != 0) {
+      if (witness != nullptr) witness->offset = first_rho;
+      if (opt_out != nullptr) *opt_out = hits;
+      return static_cast<std::uint32_t>(target);
+    }
+    return cap + 1;
+  }
+  const std::uint32_t floor_stop = dist_ > 0 ? dist_ - 1 : 0;
+  return se_distance_scan(nb.id, dest_, h_, cap, floor_stop, nb.hint,
+                          witness != nullptr ? &witness->offset : nullptr);
+}
+
+void ShuffleExchangeDistanceStepper::advance_pre(const ProbeNeighbor& nb, std::uint32_t dist,
+                                                 const DistanceWitness& witness,
+                                                 std::uint64_t opt) {
+  node_ = nb.id;
+  dist_ = dist;
+  wit_ = witness;
+  opt_ = opt;
+  opt_valid_ = opt != 0;
 }
 
 std::optional<unsigned> shuffle_exchange_shape_of(const Graph& g) {

@@ -91,6 +91,33 @@ void expect_equivalent(const Graph& g, const std::vector<const Router*>& routers
       }
     }
   }
+  // Batched queries: route_many / distance_many over every pair must be
+  // hop-for-hop identical to the scalar loops on every backend (the implicit
+  // backend's override runs witness-seeded scans through its memo cache —
+  // run the batch twice so warm cache hits are exercised too).
+  std::vector<NodeId> dests, nodes, hops(n * n);
+  std::vector<std::uint32_t> dists(n * n);
+  dests.reserve(n * n);
+  nodes.reserve(n * n);
+  for (NodeId dst = 0; dst < n; ++dst) {
+    for (NodeId src = 0; src < n; ++src) {
+      dests.push_back(dst);
+      nodes.push_back(src);
+    }
+  }
+  for (const Router* r : routers) {
+    for (int round = 0; round < 2; ++round) {
+      r->route_many(dests, nodes, hops);
+      r->distance_many(dests, nodes, dists);
+      for (std::size_t i = 0; i < dests.size(); ++i) {
+        ASSERT_EQ(hops[i], r->next_hop(dests[i], nodes[i]))
+            << context << " backend=" << router_backend_name(r->backend()) << " round=" << round
+            << " " << +nodes[i] << "->" << +dests[i];
+        ASSERT_EQ(dists[i], r->distance(dests[i], nodes[i]))
+            << context << " backend=" << router_backend_name(r->backend()) << " round=" << round;
+      }
+    }
+  }
 }
 
 struct Params {
@@ -319,6 +346,111 @@ TEST(RouterPath, SelfPathIsTrivialAcrossBackends) {
     EXPECT_EQ(path[0], 5u);
     EXPECT_EQ(r->next_hop(5, 5), 5u);
     EXPECT_EQ(r->distance(5, 5), 0u);
+  }
+}
+
+TEST(RouteMany, SpanSizeMismatchThrows) {
+  const Graph g = debruijn_base2(3);
+  const auto router = make_router(g, auto_implicit());
+  std::vector<NodeId> dests{1, 2}, nodes{3}, hops(2);
+  std::vector<std::uint32_t> dists(2);
+  EXPECT_THROW(router->route_many(dests, nodes, hops), std::invalid_argument);
+  EXPECT_THROW(router->distance_many(dests, nodes, dists), std::invalid_argument);
+}
+
+TEST(RouteMany, MemoCacheSurvivesInterleavedRoutersAndStaysExact) {
+  // Two implicit routers of *different* shapes share the thread-local memo
+  // slab; interleaved batches must never cross-contaminate (never-reused
+  // router ids stamp every entry). Random walk batches simulate the packet
+  // engine's access pattern: the same (dest, node) pairs recur cycle after
+  // cycle, one hop closer each time — the forward-seeded partial entries'
+  // home turf.
+  const DeBruijnParams db{.base = 2, .digits = 8};
+  const Graph gb = debruijn_graph(db);
+  const Graph gs = shuffle_exchange_graph(8);
+  const auto rb = make_router(gb, auto_implicit());
+  const auto rs = make_router(gs, auto_implicit());
+  ASSERT_EQ(rb->backend(), RouterBackend::Implicit);
+  ASSERT_EQ(rs->backend(), RouterBackend::Implicit);
+  EXPECT_EQ(rb->memory_bytes(), 0u);
+  EXPECT_GT(ImplicitRouter::route_cache_bytes(), 0u);
+
+  std::mt19937_64 rng(2024);
+  const std::size_t walks = 300;
+  for (const Router* r : {rb.get(), rs.get()}) {
+    const auto n = static_cast<NodeId>(r->num_nodes());
+    std::vector<NodeId> dests(walks), cur(walks), hops(walks);
+    for (std::size_t i = 0; i < walks; ++i) {
+      dests[i] = static_cast<NodeId>(rng() % n);
+      cur[i] = static_cast<NodeId>(rng() % n);
+    }
+    for (int cycle = 0; cycle < 24; ++cycle) {
+      // Alternate routers mid-walk to stress id-stamped slot eviction.
+      const Router* other = r == rb.get() ? rs.get() : rb.get();
+      std::vector<NodeId> od{1, 2, 3}, on{4, 5, 6}, oh(3);
+      other->route_many(od, on, oh);
+      r->route_many(dests, cur, hops);
+      for (std::size_t i = 0; i < walks; ++i) {
+        ASSERT_EQ(hops[i], r->next_hop(dests[i], cur[i]))
+            << router_backend_name(r->backend()) << " cycle=" << cycle << " walk=" << i;
+        cur[i] = hops[i] == kInvalidNode ? dests[i] : hops[i];
+      }
+    }
+  }
+}
+
+TEST(RouteMany, HintedOverloadMatchesScalarAcrossWalks) {
+  // The caller-carried RouteHint overload must produce exactly the canonical
+  // hops whether a hint chains across the walk, is stale (left over from a
+  // different destination), or is blank — hints are an accelerator, never an
+  // oracle the result depends on.
+  const Graph gb = debruijn_graph({.base = 2, .digits = 10});
+  const Graph gs = shuffle_exchange_graph(10);
+  for (const Graph* g : {&gb, &gs}) {
+    const auto router = make_router(*g, auto_implicit());
+    ASSERT_EQ(router->backend(), RouterBackend::Implicit);
+    std::mt19937_64 rng(99);
+    const auto n = static_cast<NodeId>(router->num_nodes());
+    const std::size_t walks = 256;
+    std::vector<NodeId> dests(walks), cur(walks), hops(walks);
+    std::vector<RouteHint> hints(walks);  // value-initialized: blank first cycle
+    for (std::size_t i = 0; i < walks; ++i) {
+      dests[i] = static_cast<NodeId>(rng() % n);
+      cur[i] = static_cast<NodeId>(rng() % n);
+    }
+    for (int cycle = 0; cycle < 20; ++cycle) {
+      router->route_many(dests, cur, hops, hints);
+      for (std::size_t i = 0; i < walks; ++i) {
+        ASSERT_EQ(hops[i], router->next_hop(dests[i], cur[i])) << "cycle=" << cycle;
+        cur[i] = hops[i] == kInvalidNode ? dests[i] : hops[i];
+        if (cur[i] == dests[i]) {
+          // Re-aim the finished walk but deliberately keep the old hint —
+          // it is now stale and must be ignored, not trusted.
+          dests[i] = static_cast<NodeId>(rng() % n);
+        }
+      }
+    }
+  }
+}
+
+TEST(RouteMany, ImplicitPathMatchesScalarWalkAtScale) {
+  // The witness-chained path() override against the generic scalar walk,
+  // where a full table is impossible (N = 2^14).
+  const Graph g = debruijn_base2(14);
+  const auto router = make_router(g);
+  ASSERT_EQ(router->backend(), RouterBackend::Implicit);
+  std::mt19937_64 rng(7);
+  const auto n = static_cast<NodeId>(router->num_nodes());
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto src = static_cast<NodeId>(rng() % n);
+    const auto dst = static_cast<NodeId>(rng() % n);
+    const std::vector<NodeId> fast = router->path(src, dst);
+    std::vector<NodeId> slow{src};
+    for (NodeId cur = src; cur != dst;) {
+      cur = router->next_hop(dst, cur);
+      slow.push_back(cur);
+    }
+    ASSERT_EQ(fast, slow) << src << "->" << dst;
   }
 }
 

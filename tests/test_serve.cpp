@@ -117,6 +117,47 @@ TEST(Serve, FreshServiceServesHealthyRoutes) {
   EXPECT_EQ(s.journal_records, 0u);  // volatile service
 }
 
+TEST(Serve, BatchedNextHopsMatchScalarAcrossMutations) {
+  // next_hops is the wave-forwarding shape of next_hop: one epoch pin, one
+  // route_many. It must agree with the scalar surface element-for-element
+  // through the whole fault/repair lifecycle (identity phi, shifted phi,
+  // and back).
+  ReconfigurationService service(db_config(4, 2));
+  auto reader = service.reader();
+  const NodeId n = static_cast<NodeId>(service.num_logical_nodes());
+
+  const auto check_all_pairs = [&] {
+    std::vector<NodeId> dests, nodes;
+    for (NodeId from = 0; from < n; ++from) {
+      for (NodeId dest = 0; dest < n; ++dest) {
+        if (from == dest) continue;
+        dests.push_back(dest);
+        nodes.push_back(from);
+      }
+    }
+    std::vector<NodeId> hops(dests.size());
+    reader.next_hops(dests, nodes, hops);
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+      ASSERT_EQ(hops[i], reader.next_hop(dests[i], nodes[i]))
+          << nodes[i] << "->" << dests[i];
+    }
+  };
+
+  check_all_pairs();
+  ASSERT_EQ(service.fault({FaultKind::kNode, 5, 0}), MutationStatus::kAccepted);
+  check_all_pairs();
+  ASSERT_EQ(service.fault({FaultKind::kNode, 11, 0}), MutationStatus::kAccepted);
+  check_all_pairs();
+  ASSERT_EQ(service.repair(5), MutationStatus::kRepaired);
+  check_all_pairs();
+
+  // Contract checks: mismatched spans and out-of-range ids fail loudly.
+  std::vector<NodeId> d{1, 2}, s{0}, h(2);
+  EXPECT_THROW(reader.next_hops(d, s, h), std::invalid_argument);
+  std::vector<NodeId> bad_d{n}, one_s{0}, one_h(1);
+  EXPECT_THROW(reader.next_hops(bad_d, one_s, one_h), std::out_of_range);
+}
+
 TEST(Serve, FaultShiftsEmbeddingAndPatchesBareRouter) {
   ReconfigurationService service(db_config(4, 2));
   auto reader = service.reader();

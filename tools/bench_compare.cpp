@@ -104,6 +104,12 @@ std::vector<Sample> samples(const JsonValue& doc, const std::string& stat,
   return out;
 }
 
+/// Timing-valued metrics (per-hop / per-step nanosecond rates) vary with the
+/// machine exactly like wall_seconds does, so holding them to the exact-match
+/// drift bar would flag every run. They get their own section, gated by the
+/// same --threshold ratio as the wall clock.
+bool is_timing_metric(const std::string& key) { return key.rfind("ns_per_", 0) == 0; }
+
 const double* find_metric(const Sample& s, const std::string& key) {
   for (const auto& [k, v] : s.metrics) {
     if (k == key) return &v;
@@ -135,6 +141,7 @@ std::size_t report_metric_drift(const std::vector<Sample>& base,
                                  [&](const Sample& s) { return s.name == b.name; });
     if (it == fresh.end() || !b.ok || !it->ok) continue;
     for (const auto& [key, bv] : b.metrics) {
+      if (is_timing_metric(key)) continue;  // gated by --threshold, not exactness
       const double* nv = find_metric(*it, key);
       if (nv == nullptr) {
         rows.push_back({b.name, key, fmt_g17(bv), "-", "removed"});
@@ -147,6 +154,7 @@ std::size_t report_metric_drift(const std::vector<Sample>& base,
       }
     }
     for (const auto& [key, nv] : it->metrics) {
+      if (is_timing_metric(key)) continue;
       if (find_metric(b, key) == nullptr) {
         rows.push_back({b.name, key, "-", fmt_g17(nv), "new"});
       }
@@ -181,6 +189,50 @@ std::string fmt_ratio(double r) {
   o.precision(2);
   o << r << "x";
   return o.str();
+}
+
+/// Compares the timing-valued metrics (ns_per_*) of shared ok/ok pairs under
+/// the same ratio gate as wall_seconds. Returns the number of regressions.
+std::size_t report_timing_metrics(const std::vector<Sample>& base,
+                                  const std::vector<Sample>& fresh, double threshold) {
+  struct Row {
+    std::string bench, metric;
+    double base_v, new_v;
+    bool regressed;
+  };
+  std::vector<Row> rows;
+  for (const Sample& b : base) {
+    const auto it = std::find_if(fresh.begin(), fresh.end(),
+                                 [&](const Sample& s) { return s.name == b.name; });
+    if (it == fresh.end() || !b.ok || !it->ok) continue;
+    for (const auto& [key, bv] : b.metrics) {
+      if (!is_timing_metric(key)) continue;
+      const double* nv = find_metric(*it, key);
+      if (nv == nullptr) continue;
+      rows.push_back({b.name, key, bv, *nv, *nv > threshold * bv});
+    }
+  }
+  if (rows.empty()) return 0;
+  std::size_t regressions = 0;
+  std::cout << "\n## timing metrics (ns, threshold " << threshold << "x)\n\n"
+            << "| benchmark | metric | base | new | speedup | status |\n"
+            << "|---|---|---|---|---|---|\n";
+  for (const Row& r : rows) {
+    if (r.regressed) ++regressions;
+    const double speedup = r.new_v > 0.0 ? r.base_v / r.new_v : 0.0;
+    std::ostringstream bo, no;
+    bo.setf(std::ios::fixed);
+    bo.precision(2);
+    bo << r.base_v;
+    no.setf(std::ios::fixed);
+    no.precision(2);
+    no << r.new_v;
+    std::cout << "| " << r.bench << " | " << r.metric << " | " << bo.str() << " | "
+              << no.str() << " | "
+              << (speedup > 0.0 ? fmt_ratio(speedup) : std::string("-")) << " | "
+              << (r.regressed ? "REGRESSION" : "ok") << " |\n";
+  }
+  return regressions;
 }
 
 /// --validate: each file must be a well-formed ftdb-bench-v1 document whose
@@ -338,6 +390,7 @@ int main(int argc, char** argv) {
             << fmt_ratio(geomean) << " (threshold " << opt.threshold << "x, "
             << regressions << " regression" << (regressions == 1 ? "" : "s") << ")\n";
 
+  regressions += report_timing_metrics(base, fresh, opt.threshold);
   const std::size_t drift = report_metric_drift(base, fresh, opt.metric_threshold);
   if (regressions > 0) return 1;
   if (opt.fail_on_drift && drift > 0) return 1;

@@ -1,0 +1,71 @@
+// PERF12: the skewed-traffic generators and their end-to-end cost through
+// the packet engine. The campaign's traffic metric regenerates a workload
+// every trial, so generator throughput multiplies directly into campaign
+// wall time; the engine runs put a number on how much a skewed destination
+// law costs in delivered cycles compared to uniform load.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/bench_registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "sim/traffic.hpp"
+#include "topology/debruijn.hpp"
+
+namespace {
+
+using ftdb::analysis::BenchContext;
+
+constexpr std::size_t kNodes = 64;       // B_{2,6}
+constexpr std::size_t kGenPackets = 200'000;
+
+FTDB_BENCH(traffic_gen_zipf, "perf_traffic/generate_zipf_200k") {
+  const auto packets = ftdb::sim::zipf_traffic(kNodes, kGenPackets, 1.2, 7);
+  ctx.report("packets", static_cast<double>(packets.size()));
+  ctx.report("head_share",
+             static_cast<double>(std::count_if(packets.begin(), packets.end(),
+                                               [](const ftdb::sim::Packet& p) {
+                                                 return p.dst == 0;
+                                               })) /
+                 static_cast<double>(packets.size()));
+}
+
+FTDB_BENCH(traffic_gen_burst, "perf_traffic/generate_hotspot_burst_200k") {
+  const std::vector<ftdb::NodeId> hot = {3, 17, 42};
+  const auto packets =
+      ftdb::sim::hotspot_burst_traffic(kNodes, kGenPackets, hot, 0.5, 8, 7);
+  ctx.report("packets", static_cast<double>(packets.size()));
+}
+
+FTDB_BENCH(traffic_gen_trace_roundtrip, "perf_traffic/trace_format_parse_50k") {
+  const auto packets = ftdb::sim::uniform_traffic(kNodes, 50'000, 4, 7);
+  const std::string text = ftdb::sim::format_trace(packets);
+  const auto replayed = ftdb::sim::trace_traffic(text, kNodes);
+  ctx.report("packets", static_cast<double>(replayed.size()));
+  ctx.report("bytes", static_cast<double>(text.size()));
+}
+
+void run_engine(BenchContext& ctx, std::vector<ftdb::sim::Packet> packets) {
+  const ftdb::Graph target = ftdb::debruijn_base2(6);
+  const ftdb::sim::Machine machine = ftdb::sim::Machine::direct(target);
+  const auto stats = ftdb::sim::run_packets(machine, target, packets);
+  ctx.report("delivered_fraction", stats.delivered_fraction());
+  ctx.report("cycles", static_cast<double>(stats.cycles));
+  ctx.report("max_queue_depth", static_cast<double>(stats.max_queue_depth));
+}
+
+FTDB_BENCH(traffic_engine_uniform, "perf_traffic/engine_b26_uniform_8k") {
+  run_engine(ctx, ftdb::sim::uniform_traffic(kNodes, 8192, 16, 7));
+}
+
+FTDB_BENCH(traffic_engine_zipf, "perf_traffic/engine_b26_zipf_8k") {
+  run_engine(ctx, ftdb::sim::zipf_traffic(kNodes, 8192, 1.2, 7, 16));
+}
+
+FTDB_BENCH(traffic_engine_burst, "perf_traffic/engine_b26_burst_8k") {
+  const std::vector<ftdb::NodeId> hot = {3, 17, 42};
+  run_engine(ctx, ftdb::sim::hotspot_burst_traffic(kNodes, 8192, hot, 0.5, 8, 7, 16));
+}
+
+}  // namespace

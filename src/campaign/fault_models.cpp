@@ -197,6 +197,101 @@ class BlockModel final : public FaultModel {
   std::uint64_t max_width_;
 };
 
+// In both the bus machine (node i drives bus i) and the point-to-point
+// degeneration, bus ids coincide with driver node ids, so a set of failed
+// buses *is* a set of silenced drivers.
+class BusIidModel final : public FaultModel {
+ public:
+  explicit BusIidModel(double p) : p_(p) {}
+
+  std::string name() const override { return "bus_iid"; }
+
+  FaultDraw draw(const Graph& fabric, unsigned spares, TrialRng& rng) const override {
+    const std::size_t n = fabric.num_nodes();  // one bus per driver node
+    FaultDraw out;
+    std::vector<NodeId> faulty;
+    std::vector<double> times(n);
+    for (std::size_t b = 0; b < n; ++b) {
+      const double u = rng.next_unit();
+      if (u < p_) {
+        out.bus_faults.push_back(static_cast<std::uint32_t>(b));
+        faulty.push_back(static_cast<NodeId>(b));
+      }
+      times[b] = geometric_step(u, p_);
+    }
+    out.faults = FaultSet(n, std::move(faulty));
+    out.spare_exhaustion_time = exhaustion_time(times, spares);
+    return out;
+  }
+
+ private:
+  double p_;
+};
+
+class BusClusteredModel final : public FaultModel {
+ public:
+  explicit BusClusteredModel(double p) : p_(p) {}
+
+  std::string name() const override { return "bus_clustered"; }
+
+  void prepare(const Graph& fabric, unsigned /*spares*/) override {
+    // Point-to-point degeneration: the bus of node v spans v's adjacency, so
+    // bus b is carried by (fails one step after) the buses of b's neighbors.
+    const std::size_t n = fabric.num_nodes();
+    carriers_.assign(n, {});
+    for (std::size_t b = 0; b < n; ++b) {
+      const auto nb = fabric.neighbors(static_cast<NodeId>(b));
+      carriers_[b].assign(nb.begin(), nb.end());
+    }
+  }
+
+  void prepare_bus(const BusGraph& bus, unsigned /*spares*/) override {
+    // True bus structure: bus a's members are the nodes listening on it, and
+    // each member m drives bus m — so a seed failure of a cascades to every
+    // bus driven by a member. carriers_[b] = buses whose member set holds b.
+    carriers_.assign(bus.num_buses(), {});
+    for (std::size_t a = 0; a < bus.num_buses(); ++a) {
+      for (NodeId m : bus.bus(a).members) {
+        if (m != bus.bus(a).driver) carriers_[m].push_back(static_cast<NodeId>(a));
+      }
+    }
+  }
+
+  FaultDraw draw(const Graph& fabric, unsigned spares, TrialRng& rng) const override {
+    const std::size_t n = fabric.num_nodes();
+    if (carriers_.size() != n) {
+      throw std::logic_error("BusClusteredModel: draw() before prepare()");
+    }
+    // Seed clock per bus; a seed firing at time t takes the buses it carries
+    // down at t + 1 (mirrors ClusteredModel on nodes).
+    std::vector<double> seed_time(n);
+    for (std::size_t b = 0; b < n; ++b) seed_time[b] = geometric_step(rng.next_unit(), p_);
+    std::vector<double> times(n);
+    FaultDraw out;
+    std::vector<NodeId> faulty;
+    for (std::size_t b = 0; b < n; ++b) {
+      double t = seed_time[b];
+      bool carrier_seed_now = false;
+      for (const NodeId a : carriers_[b]) {
+        t = std::min(t, seed_time[a] + 1.0);
+        carrier_seed_now = carrier_seed_now || seed_time[a] == 1.0;
+      }
+      times[b] = t;
+      if (seed_time[b] == 1.0 || carrier_seed_now) {
+        out.bus_faults.push_back(static_cast<std::uint32_t>(b));
+        faulty.push_back(static_cast<NodeId>(b));
+      }
+    }
+    out.faults = FaultSet(n, std::move(faulty));
+    out.spare_exhaustion_time = exhaustion_time(times, spares);
+    return out;
+  }
+
+ private:
+  double p_;
+  std::vector<std::vector<NodeId>> carriers_;  // carriers_[b]: buses that take b down
+};
+
 }  // namespace
 
 std::unique_ptr<FaultModel> make_fault_model(const FaultModelSpec& spec) {
@@ -211,6 +306,10 @@ std::unique_ptr<FaultModel> make_fault_model(const FaultModelSpec& spec) {
       return std::make_unique<AdversarialModel>(spec.p);
     case FaultModelKind::Block:
       return std::make_unique<BlockModel>(spec.p, spec.width);
+    case FaultModelKind::BusIid:
+      return std::make_unique<BusIidModel>(spec.p);
+    case FaultModelKind::BusClustered:
+      return std::make_unique<BusClusteredModel>(spec.p);
   }
   throw std::runtime_error("make_fault_model: unknown kind");
 }

@@ -28,6 +28,23 @@
 //                 offset-bounded label shifts — a contiguous block is the
 //                 most benign placement of its mass, the antithesis of the
 //                 adversarial model.
+//
+// Two further models fail *buses* rather than nodes (Section V of the paper:
+// in the bus realization node i drives bus i, so a failed bus silences its
+// driver). On bus-family cells they act on the realized BusGraph and the
+// runner routes the draw through ft::resolve_bus_faults; on point-to-point
+// cells the "bus of node v" degenerates to v's adjacency, so bus_iid is
+// statistically the iid node model and bus_clustered cascades along fabric
+// edges:
+//
+//  * bus_iid       — every bus fails independently with probability p; the
+//                    fault set is the failed buses' drivers, and the clock is
+//                    the (k+1)-st driver failure (same binomial tail as iid).
+//  * bus_clustered — seed buses drawn with probability p; a seed bus failing
+//                    at time t takes down the buses driven by its member
+//                    nodes at t + 1 (a shorted bus stresses every transceiver
+//                    hanging on it). The snapshot is the step-1 seeds plus
+//                    their member-driven buses.
 #pragma once
 
 #include <memory>
@@ -36,6 +53,7 @@
 #include "campaign/rng.hpp"
 #include "campaign/scenario.hpp"
 #include "ft/reconfigure.hpp"
+#include "graph/bus_graph.hpp"
 #include "graph/graph.hpp"
 
 namespace ftdb::campaign {
@@ -48,6 +66,10 @@ struct FaultDraw {
   /// (possible under the adversarial model); such trials are reported as
   /// censored rather than averaged.
   double spare_exhaustion_time = 0.0;
+  /// Failed bus ids, sorted ascending; empty for node-fault models. On
+  /// bus-family cells the runner feeds these through ft::resolve_bus_faults
+  /// so the drawn buses are merged with node faults on the realized graph.
+  std::vector<std::uint32_t> bus_faults;
 };
 
 class FaultModel {
@@ -61,6 +83,14 @@ class FaultModel {
   /// draw() may afterwards run concurrently from many threads.
   virtual void prepare(const Graph& fabric, unsigned spares) {
     (void)fabric;
+    (void)spares;
+  }
+
+  /// Called after prepare() on bus-family cells, single-threaded, with the
+  /// realized bus machine. Bus-fault models refine their member structure
+  /// from the true buses here; node-fault models ignore it.
+  virtual void prepare_bus(const BusGraph& bus, unsigned spares) {
+    (void)bus;
     (void)spares;
   }
 

@@ -136,7 +136,8 @@ std::string campaign_report_csv(const CampaignResult& result) {
          "degraded_disconnected,route_stretch_max,mttf_mean,analytic_mttf,mttf_censored,"
          "collective_rounds,collective_baseline_cycles,collective_slowdown_mean,"
          "collective_unreachable,collective_hop_cycles_mean,collective_congestion_max,"
-         "slowdown_by_faults\n";
+         "bus_fault_mean,traffic_delivered_mean,traffic_latency_mean,"
+         "traffic_congestion_max,traffic_timed_out,slowdown_by_faults\n";
   for (const ScenarioResult& r : result.scenarios) {
     const WilsonInterval ci = r.success_ci();
     // The slowdown-vs-fault-count curve as one cell: "f:mean" pairs joined
@@ -163,7 +164,11 @@ std::string campaign_report_csv(const CampaignResult& result) {
         << r.collective_unreachable << ','
         << (r.collective_hop_cycles.count ? csv_num(r.collective_hop_cycles.mean) : "") << ','
         << (r.collective_congestion.count ? csv_num(r.collective_congestion.max) : "") << ','
-        << csv_quote(curve) << '\n';
+        << (r.bus_fault_count.count ? csv_num(r.bus_fault_count.mean) : "") << ','
+        << (r.traffic_delivered.count ? csv_num(r.traffic_delivered.mean) : "") << ','
+        << (r.traffic_latency.count ? csv_num(r.traffic_latency.mean) : "") << ','
+        << (r.traffic_congestion.count ? csv_num(r.traffic_congestion.max) : "") << ','
+        << r.traffic_timed_out << ',' << csv_quote(curve) << '\n';
   }
   return out.str();
 }
@@ -174,7 +179,7 @@ std::string campaign_report_markdown(const CampaignResult& result) {
       << "seed " << result.spec.seed << ", " << result.spec.trials
       << " trials per scenario, " << result.scenarios.size() << " scenarios\n\n";
   analysis::Table t({"scenario", "trials", "ok", "rate", "wilson 95%", "analytic",
-                     "E[faults]", "diam", "mttf", "analytic mttf", "slowdown"});
+                     "E[faults]", "diam", "mttf", "analytic mttf", "slowdown", "delivered"});
   for (const ScenarioResult& r : result.scenarios) {
     const WilsonInterval ci = r.success_ci();
     t.add_row({r.label, analysis::fmt_u64(r.trials), analysis::fmt_u64(r.reconfig_success),
@@ -182,7 +187,8 @@ std::string campaign_report_markdown(const CampaignResult& result) {
                "[" + fmt(ci.lo) + ", " + fmt(ci.hi) + "]",
                fmt(r.analytic_survival), fmt_mean(r.fault_count),
                fmt_mean(r.reconfigured_diameter), fmt_mean(r.mttf, 1),
-               fmt(r.analytic_mttf, 1), fmt_mean(r.collective_slowdown, 4)});
+               fmt(r.analytic_mttf, 1), fmt_mean(r.collective_slowdown, 4),
+               fmt_mean(r.traffic_delivered, 4)});
   }
   out << t.render();
   // Survival curves: only scenarios where the curve has more than one point
@@ -264,6 +270,15 @@ std::size_t validate_campaign_report(const std::string& json_text) {
     }
     if (coll_unreachable != r.collective_unreachable) {
       throw std::runtime_error("slowdown curve unreachable count does not match the total");
+    }
+    if (r.bus_fault_count.count > r.trials) {
+      throw std::runtime_error("bus fault stats cover more trials than the scenario ran");
+    }
+    if (r.traffic_delivered.count > r.trials) {
+      throw std::runtime_error("traffic stats cover more trials than the scenario ran");
+    }
+    if (r.traffic_latency.count > r.traffic_delivered.count) {
+      throw std::runtime_error("traffic latency samples exceed the trials that ran traffic");
     }
   }
   return scenarios.array.size();

@@ -29,9 +29,11 @@
 #include "graph/algorithms.hpp"
 #include "graph/bus_graph.hpp"
 #include "graph/subgraph.hpp"
+#include "sim/engine.hpp"
 #include "sim/network.hpp"
 #include "sim/reconfigured_routing.hpp"
 #include "sim/schedule.hpp"
+#include "sim/traffic.hpp"
 #include "topology/debruijn.hpp"
 #include "topology/shuffle_exchange.hpp"
 
@@ -109,6 +111,11 @@ void ScenarioResult::merge(const ScenarioResult& other) {
   collective_hop_cycles.merge(other.collective_hop_cycles);
   collective_congestion.merge(other.collective_congestion);
   collective_unreachable += other.collective_unreachable;
+  bus_fault_count.merge(other.bus_fault_count);
+  traffic_delivered.merge(other.traffic_delivered);
+  traffic_latency.merge(other.traffic_latency);
+  traffic_congestion.merge(other.traffic_congestion);
+  traffic_timed_out += other.traffic_timed_out;
   // Merge the sorted sparse slowdown curves (the runner merges blocks in
   // order, so the slowdown_sum additions happen in a fixed order and the
   // doubles come out bit-identical for any thread count or shard split).
@@ -182,6 +189,19 @@ struct ScenarioContext {
   std::vector<NodeId> identity_ranks;
   std::uint64_t collective_baseline_cycles = 0;
   std::optional<sim::Machine> healthy_machine;
+
+  // bus-fault models: the cell draws bus faults that must be resolved onto
+  // the realized graph (bus-family cells) before the survival check.
+  bool bus_model = false;
+
+  // traffic metric (point-to-point families only): the trace is parsed once
+  // per cell, the per-trial packet count is fixed by the spec, and the cycle
+  // cap is a deterministic function of the workload (so a saturated hotspot
+  // counts as timed_out instead of stalling the trial loop).
+  bool traffic = false;
+  std::vector<sim::Packet> trace_packets;
+  std::uint64_t traffic_packets = 0;
+  std::uint64_t traffic_max_cycles = 0;
 };
 
 ScenarioContext build_context(const ScenarioSpec& spec, const ScenarioCase& cell) {
@@ -213,6 +233,11 @@ ScenarioContext build_context(const ScenarioSpec& spec, const ScenarioCase& cell
   }
   ctx.model = make_fault_model(cell.fault_model);
   ctx.model->prepare(ctx.fabric, k);
+  // Bus-family cells additionally expose the bus structure: clustered bus
+  // correlation follows shared-membership, not just realized adjacency.
+  if (ctx.bus) ctx.model->prepare_bus(*ctx.bus, k);
+  ctx.bus_model = cell.fault_model.kind == FaultModelKind::BusIid ||
+                  cell.fault_model.kind == FaultModelKind::BusClustered;
   ctx.target_diameter = diameter(ctx.target);
   if (spec.metrics.collective && cell.topology.family != TopologyFamily::Bus) {
     // Compile the schedule once per cell and price the healthy machine — the
@@ -227,6 +252,27 @@ ScenarioContext build_context(const ScenarioSpec& spec, const ScenarioCase& cell
     const sim::ScheduleRunResult healthy = sim::execute_schedule(
         *ctx.healthy_machine, ctx.target, *ctx.schedule, ctx.identity_ranks);
     ctx.collective_baseline_cycles = healthy.total_cycles;
+  }
+  if (spec.metrics.traffic && cell.topology.family != TopologyFamily::Bus) {
+    ctx.traffic = true;
+    const TrafficSpec& ts = spec.metrics.traffic_spec;
+    std::uint64_t horizon = 0;
+    if (ts.pattern == "trace") {
+      // Parsed once per cell; endpoints are range-checked against this cell's
+      // target (the spec parser only checked the grid's largest family).
+      ctx.trace_packets = sim::trace_traffic(ts.trace, ctx.target.num_nodes());
+      ctx.traffic_packets = ctx.trace_packets.size();
+      for (const sim::Packet& p : ctx.trace_packets) {
+        horizon = std::max(horizon, p.inject_cycle);
+      }
+    } else {
+      ctx.traffic_packets = ts.packets_per_node * ctx.target.num_nodes();
+    }
+    // Generous but bounded: even a single-sink hotspot drains at >= 1
+    // packet/cycle once the queues form, so 4x the packet count past the
+    // injection horizon only triggers on genuinely wedged (disconnected)
+    // flows, which run_packets already classifies as undeliverable.
+    ctx.traffic_max_cycles = horizon + 4 * ctx.traffic_packets + 1024;
   }
   return ctx;
 }
@@ -253,13 +299,25 @@ void run_trial(const ScenarioContext& ctx, std::uint64_t trial_idx, ScenarioResu
   const std::uint64_t faults = draw.faults.count();
 
   const bool within_budget = faults <= ctx.cell.spares;
-  const bool success =
-      within_budget &&
-      (ctx.bus ? bus_monotone_embedding_survives(ctx.target, *ctx.bus, draw.faults)
-               : monotone_embedding_survives(ctx.target, ctx.fabric, draw.faults));
+  bool success = false;
+  if (within_budget) {
+    if (ctx.bus && !draw.bus_faults.empty()) {
+      // Section V discipline: bus faults resolve to driver-node faults on the
+      // realized graph, and the merged set must still fit the spare budget.
+      const std::optional<FaultSet> resolved = resolve_bus_faults(
+          *ctx.bus, ctx.cell.spares, draw.faults.nodes(), draw.bus_faults);
+      success = resolved.has_value() &&
+                bus_monotone_embedding_survives(ctx.target, *ctx.bus, *resolved);
+    } else if (ctx.bus) {
+      success = bus_monotone_embedding_survives(ctx.target, *ctx.bus, draw.faults);
+    } else {
+      success = monotone_embedding_survives(ctx.target, ctx.fabric, draw.faults);
+    }
+  }
 
   ++acc.trials;
   acc.fault_count.add(static_cast<double>(faults));
+  if (ctx.bus_model) acc.bus_fault_count.add(static_cast<double>(draw.bus_faults.size()));
   if (!within_budget) ++acc.over_budget;
   if (success) ++acc.reconfig_success;
 
@@ -279,7 +337,7 @@ void run_trial(const ScenarioContext& ctx, std::uint64_t trial_idx, ScenarioResu
       (ctx.cell.topology.family == TopologyFamily::DeBruijn || se_family);
   const bool want_collective = ctx.schedule.has_value();
   std::optional<sim::Machine> reconfigured;
-  if (success && ((ctx.metrics.diameter) || want_stretch || want_collective)) {
+  if (success && ((ctx.metrics.diameter) || want_stretch || want_collective || ctx.traffic)) {
     // One reconfigured machine serves all post-fault metrics (Machine copies
     // the fabric CSR, so building it repeatedly per trial would multiply the
     // cost of the hot loop).
@@ -391,6 +449,58 @@ void run_trial(const ScenarioContext& ctx, std::uint64_t trial_idx, ScenarioResu
     }
   }
 
+  if (ctx.traffic) {
+    // The workload seed is drawn unconditionally (traces ignore it), so the
+    // per-trial stream layout does not depend on the pattern and stays a
+    // fixed function of the spec — the byte-identity invariant.
+    const std::uint64_t traffic_seed = rng.next_u64();
+    const TrafficSpec& ts = ctx.metrics.traffic_spec;
+    const std::uint64_t n_nodes = ctx.target.num_nodes();
+    std::vector<sim::Packet> packets;
+    if (ts.pattern == "trace") {
+      packets = ctx.trace_packets;
+    } else if (ts.pattern == "zipf") {
+      packets = sim::zipf_traffic(n_nodes, ctx.traffic_packets, ts.theta, traffic_seed);
+    } else if (ts.pattern == "hotspot_burst") {
+      // Hot nodes are re-drawn each trial (with replacement) from the trial's
+      // own stream — exactly `hotspots` draws, keeping consumption constant.
+      std::vector<NodeId> hot;
+      hot.reserve(ts.hotspots);
+      for (std::uint64_t i = 0; i < ts.hotspots; ++i) {
+        hot.push_back(static_cast<NodeId>(rng.next_u64() % n_nodes));
+      }
+      packets = sim::hotspot_burst_traffic(n_nodes, ctx.traffic_packets, hot, ts.fraction_hot,
+                                           ts.burst_cycles, traffic_seed);
+    } else {
+      packets = sim::uniform_traffic(n_nodes, ctx.traffic_packets, 0, traffic_seed);
+    }
+    std::optional<sim::SimStats> stats;
+    if (success) {
+      stats = sim::run_packets(*reconfigured, ctx.target, packets,
+                               {.max_cycles = ctx.traffic_max_cycles});
+    } else {
+      std::vector<NodeId> hit;
+      for (const NodeId f : draw.faults.nodes()) {
+        if (f < n_nodes) hit.push_back(f);
+      }
+      if (hit.size() < n_nodes) {
+        const sim::Machine degraded = sim::Machine::direct_with_faults(
+            ctx.target, FaultSet(n_nodes, std::move(hit)));
+        stats = sim::run_packets(degraded, ctx.target, packets,
+                                 {.max_cycles = ctx.traffic_max_cycles});
+      }
+      // else: every target node dead — nothing can inject; scored below.
+    }
+    if (stats) {
+      acc.traffic_delivered.add(stats->delivered_fraction());
+      if (stats->delivered > 0) acc.traffic_latency.add(stats->average_latency());
+      acc.traffic_congestion.add(static_cast<double>(stats->max_queue_depth));
+      acc.traffic_timed_out += stats->timed_out;
+    } else {
+      acc.traffic_delivered.add(0.0);
+    }
+  }
+
   if (ctx.metrics.mttf) {
     if (std::isfinite(draw.spare_exhaustion_time)) {
       acc.mttf.add(draw.spare_exhaustion_time);
@@ -471,6 +581,13 @@ void finalize_result(const ScenarioContext& ctx, const ScenarioCase& cell, Scena
   }
   const FaultModelSpec& model = cell.fault_model;
   if (model.kind == FaultModelKind::IidBernoulli) {
+    r.analytic_survival = static_cast<double>(survival_probability(
+        r.target_nodes, cell.spares, static_cast<long double>(model.p)));
+    r.analytic_mttf = exact_iid_mttf(r.fabric_nodes, cell.spares, model.p);
+  } else if (model.kind == FaultModelKind::BusIid) {
+    // One bus per fabric node, each driver's clock an iid geometric(p) — the
+    // node-model closed forms apply verbatim (Section V: a bus fault is its
+    // driver's fault).
     r.analytic_survival = static_cast<double>(survival_probability(
         r.target_nodes, cell.spares, static_cast<long double>(model.p)));
     r.analytic_mttf = exact_iid_mttf(r.fabric_nodes, cell.spares, model.p);
@@ -588,6 +705,16 @@ void write_scenario_result(JsonWriter& w, const ScenarioResult& r) {
   write_stats(w, r.collective_congestion);
   w.key("collective_unreachable");
   w.value(r.collective_unreachable);
+  w.key("bus_fault_count");
+  write_stats(w, r.bus_fault_count);
+  w.key("traffic_delivered");
+  write_stats(w, r.traffic_delivered);
+  w.key("traffic_latency");
+  write_stats(w, r.traffic_latency);
+  w.key("traffic_congestion");
+  write_stats(w, r.traffic_congestion);
+  w.key("traffic_timed_out");
+  w.value(r.traffic_timed_out);
   w.key("survival_curve");
   w.begin_array();
   for (const SurvivalPoint& p : r.survival_curve) {
@@ -667,6 +794,16 @@ ScenarioResult parse_scenario_result(const JsonValue& obj) {
   }
   if (const JsonValue* v = obj.find("collective_unreachable")) {
     r.collective_unreachable = static_cast<std::uint64_t>(v->number);
+  }
+  // Likewise lenient: pre-PR-10 documents carry neither bus nor traffic stats.
+  if (const JsonValue* v = obj.find("bus_fault_count")) r.bus_fault_count = parse_stats(*v);
+  if (const JsonValue* v = obj.find("traffic_delivered")) r.traffic_delivered = parse_stats(*v);
+  if (const JsonValue* v = obj.find("traffic_latency")) r.traffic_latency = parse_stats(*v);
+  if (const JsonValue* v = obj.find("traffic_congestion")) {
+    r.traffic_congestion = parse_stats(*v);
+  }
+  if (const JsonValue* v = obj.find("traffic_timed_out")) {
+    r.traffic_timed_out = static_cast<std::uint64_t>(v->number);
   }
   for (const JsonValue& p : obj.at("survival_curve").array) {
     r.survival_curve.push_back({uint_of(p, "faults"), uint_of(p, "trials"),

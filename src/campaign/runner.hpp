@@ -165,6 +165,24 @@ struct ScenarioResult {
   /// disconnected or all participants dead).
   std::uint64_t collective_unreachable = 0;
 
+  // bus-fault models (bus_iid / bus_clustered) ------------------------------
+  /// Buses drawn faulty per trial. Only populated for bus-fault-model cells;
+  /// on bus-family cells these draws are resolved onto the realized graph
+  /// through ft::resolve_bus_faults.
+  StreamingStats bus_fault_count;
+
+  // traffic metric (point-to-point families only) ---------------------------
+  /// Fraction of injected packets delivered per trial (successful trials run
+  /// on the reconfigured machine, failed ones on the degraded bare target).
+  StreamingStats traffic_delivered;
+  /// Mean in-network latency of the delivered packets, per trial.
+  StreamingStats traffic_latency;
+  /// Peak queue depth across nodes, per trial — the congestion the skewed
+  /// destination distributions exist to create.
+  StreamingStats traffic_congestion;
+  /// Total packets that timed out in flight across all trials.
+  std::uint64_t traffic_timed_out = 0;
+
   /// Empirical survival curve by drawn fault count (sorted by faults).
   std::vector<SurvivalPoint> survival_curve;
   /// Collective slowdown by drawn fault count (sorted by faults; empty unless

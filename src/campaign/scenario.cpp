@@ -1,5 +1,6 @@
 #include "campaign/scenario.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
@@ -7,6 +8,7 @@
 #include "analysis/bench_json.hpp"
 #include "campaign/rng.hpp"
 #include "sim/schedule.hpp"
+#include "sim/traffic.hpp"
 
 namespace ftdb::campaign {
 
@@ -82,8 +84,11 @@ FaultModelKind parse_kind(const std::string& s) {
   if (s == "weibull") return FaultModelKind::Weibull;
   if (s == "adversarial") return FaultModelKind::Adversarial;
   if (s == "block") return FaultModelKind::Block;
+  if (s == "bus_iid") return FaultModelKind::BusIid;
+  if (s == "bus_clustered") return FaultModelKind::BusClustered;
   bad_spec("unknown fault model \"" + s +
-           "\" (expected iid, clustered, weibull, adversarial or block)");
+           "\" (expected iid, clustered, weibull, adversarial, block, bus_iid or "
+           "bus_clustered)");
 }
 
 void check_probability(double p, const std::string& context) {
@@ -108,6 +113,8 @@ const char* fault_model_kind_name(FaultModelKind kind) {
     case FaultModelKind::Weibull: return "weibull";
     case FaultModelKind::Adversarial: return "adversarial";
     case FaultModelKind::Block: return "block";
+    case FaultModelKind::BusIid: return "bus_iid";
+    case FaultModelKind::BusClustered: return "bus_clustered";
   }
   return "?";
 }
@@ -139,6 +146,8 @@ std::string FaultModelSpec::label() const {
     case FaultModelKind::Adversarial: return "adversarial(p=" + fmt_g(p) + ")";
     case FaultModelKind::Block:
       return "block(p=" + fmt_g(p) + ",w=" + std::to_string(width) + ")";
+    case FaultModelKind::BusIid: return "bus_iid(p=" + fmt_g(p) + ")";
+    case FaultModelKind::BusClustered: return "bus_clustered(p=" + fmt_g(p) + ")";
   }
   return "?";
 }
@@ -183,6 +192,11 @@ double predicted_cell_cost(const ScenarioSpec& spec, const ScenarioCase& cell) {
   if (spec.metrics.collective && cell.topology.family != TopologyFamily::Bus) {
     // Packet engine: rounds ~ log N, each moving O(N) packets a few hops.
     per_trial += 8.0 * n * (1.0 + std::log2(n > 1.0 ? n : 2.0));
+  }
+  if (spec.metrics.traffic && cell.topology.family != TopologyFamily::Bus) {
+    // Packet engine again: packets_per_node x N packets, a few hops each.
+    per_trial +=
+        8.0 * static_cast<double>(spec.metrics.traffic_spec.packets_per_node) * n;
   }
   return per_trial * static_cast<double>(spec.trials);
 }
@@ -285,9 +299,11 @@ ScenarioSpec parse_scenario_spec(const std::string& json_text) {
         spec.metrics.mttf = true;
       } else if (m.string == "collective") {
         spec.metrics.collective = true;
+      } else if (m.string == "traffic") {
+        spec.metrics.traffic = true;
       } else {
         bad_spec("unknown metric \"" + m.string +
-                 "\" (expected diameter, stretch, mttf or collective)");
+                 "\" (expected diameter, stretch, mttf, collective or traffic)");
       }
     }
   }
@@ -302,6 +318,61 @@ ScenarioSpec parse_scenario_spec(const std::string& json_text) {
       bad_spec(e.what());
     }
     spec.metrics.collective_schedule = sched->string;
+  }
+  if (const JsonValue* t = doc.find("traffic")) {
+    if (t->kind != JsonValue::Kind::Object) bad_spec("\"traffic\" must be an object");
+    TrafficSpec& ts = spec.metrics.traffic_spec;
+    if (const JsonValue* pat = t->find("pattern")) {
+      if (pat->kind != JsonValue::Kind::String) bad_spec("traffic: \"pattern\" must be a string");
+      ts.pattern = pat->string;
+    }
+    if (ts.pattern != "uniform" && ts.pattern != "zipf" && ts.pattern != "hotspot_burst" &&
+        ts.pattern != "trace") {
+      bad_spec("traffic: unknown pattern \"" + ts.pattern +
+               "\" (expected uniform, zipf, hotspot_burst or trace)");
+    }
+    ts.theta = number_field(*t, "theta", ts.theta);
+    if (!(ts.theta >= 0.0) || !std::isfinite(ts.theta)) {
+      bad_spec("traffic: theta must be finite and >= 0");
+    }
+    ts.hotspots = uint_field(*t, "hotspots", ts.hotspots);
+    if (ts.hotspots < 1 || ts.hotspots > 4096) bad_spec("traffic: hotspots must be in [1, 4096]");
+    ts.fraction_hot = number_field(*t, "fraction_hot", ts.fraction_hot);
+    if (!(ts.fraction_hot >= 0.0 && ts.fraction_hot <= 1.0)) {
+      bad_spec("traffic: fraction_hot must be in [0, 1]");
+    }
+    ts.burst_cycles = uint_field(*t, "burst_cycles", ts.burst_cycles);
+    if (ts.burst_cycles < 1) bad_spec("traffic: burst_cycles must be >= 1");
+    ts.packets_per_node = uint_field(*t, "packets_per_node", ts.packets_per_node);
+    if (ts.packets_per_node < 1 || ts.packets_per_node > 4096) {
+      bad_spec("traffic: packets_per_node must be in [1, 4096]");
+    }
+    if (const JsonValue* trace = t->find("trace")) {
+      if (trace->kind != JsonValue::Kind::String) bad_spec("traffic: \"trace\" must be a string");
+      ts.trace = trace->string;
+    }
+    if (ts.pattern == "trace") {
+      // Format- and range-check the trace now so a bad spec fails at parse
+      // time, not mid-campaign inside a worker thread.
+      std::vector<sim::Packet> parsed;
+      try {
+        parsed = sim::trace_traffic(ts.trace, 0);
+      } catch (const std::exception& e) {
+        bad_spec(std::string("traffic: ") + e.what());
+      }
+      if (parsed.empty()) bad_spec("traffic: trace pattern needs a non-empty \"trace\"");
+      NodeId max_endpoint = 0;
+      for (const sim::Packet& p : parsed) {
+        max_endpoint = std::max({max_endpoint, p.src, p.dst});
+      }
+      for (const TopologySpec& topo : spec.topologies) {
+        if (topo.family == TopologyFamily::Bus) continue;
+        if (max_endpoint >= topo.target_nodes()) {
+          bad_spec("traffic: trace endpoint " + std::to_string(max_endpoint) +
+                   " out of range for topology " + topo.label());
+        }
+      }
+    }
   }
   return spec;
 }
@@ -369,6 +440,7 @@ void write_scenario_spec(JsonWriter& w, const ScenarioSpec& spec) {
   if (spec.metrics.stretch) w.value("stretch");
   if (spec.metrics.mttf) w.value("mttf");
   if (spec.metrics.collective) w.value("collective");
+  if (spec.metrics.traffic) w.value("traffic");
   w.end_array();
   // Only a set knob enters the canonical form, so pre-knob specs keep their
   // fingerprints (and checkpoints) unchanged.
@@ -379,6 +451,34 @@ void write_scenario_spec(JsonWriter& w, const ScenarioSpec& spec) {
   if (spec.metrics.collective) {
     w.key("collective_schedule");
     w.value(spec.metrics.collective_schedule);
+  }
+  if (spec.metrics.traffic) {
+    const TrafficSpec& ts = spec.metrics.traffic_spec;
+    w.key("traffic");
+    w.begin_object();
+    w.key("pattern");
+    w.value(ts.pattern);
+    // Pattern-irrelevant knobs stay out of the canonical form so they cannot
+    // silently change a fingerprint.
+    if (ts.pattern == "zipf") {
+      w.key("theta");
+      w.value(ts.theta);
+    }
+    if (ts.pattern == "hotspot_burst") {
+      w.key("hotspots");
+      w.value(ts.hotspots);
+      w.key("fraction_hot");
+      w.value(ts.fraction_hot);
+      w.key("burst_cycles");
+      w.value(ts.burst_cycles);
+    }
+    w.key("packets_per_node");
+    w.value(ts.packets_per_node);
+    if (ts.pattern == "trace") {
+      w.key("trace");
+      w.value(ts.trace);
+    }
+    w.end_object();
   }
   w.end_object();
 }
@@ -434,6 +534,46 @@ std::string example_spec_json() {
     {"kind": "block", "p": 0.05, "width": 3}
   ],
   "metrics": ["diameter", "mttf"]
+}
+)";
+}
+
+std::string full_example_spec_json() {
+  // Every key the parser understands appears once. The "theta" and "trace"
+  // knobs are inert under the hotspot_burst pattern (the canonical form drops
+  // them), but they still exercise the parse path — which is the point: this
+  // document is the executable companion of docs/SCENARIOS.md.
+  return R"({
+  "name": "full-example",
+  "seed": 2026,
+  "trials": 64,
+  "topologies": [
+    {"family": "debruijn", "base": [2, 3], "digits": 3},
+    {"family": "shuffle_exchange", "digits": [3, 4]},
+    {"family": "bus", "digits": 3}
+  ],
+  "spares": [0, 2],
+  "fault_models": [
+    {"kind": "iid", "p": 0.05},
+    {"kind": "clustered", "p": 0.02},
+    {"kind": "weibull", "shape": 1.5, "scale": 400.0, "horizon": 60.0},
+    {"kind": "adversarial", "p": 0.05},
+    {"kind": "block", "p": 0.05, "width": 3},
+    {"kind": "bus_iid", "p": 0.04},
+    {"kind": "bus_clustered", "p": 0.02}
+  ],
+  "metrics": ["diameter", "stretch", "mttf", "collective", "traffic"],
+  "stretch_sample_pairs": 8,
+  "collective_schedule": "all_to_all_bruck",
+  "traffic": {
+    "pattern": "hotspot_burst",
+    "theta": 0.9,
+    "hotspots": 2,
+    "fraction_hot": 0.5,
+    "burst_cycles": 4,
+    "packets_per_node": 2,
+    "trace": "# replayed only under the trace pattern\n0 0 1\n1 2 3\n"
+  }
 }
 )";
 }

@@ -33,7 +33,15 @@ struct TopologySpec {
   std::string label() const;
 };
 
-enum class FaultModelKind { IidBernoulli, Clustered, Weibull, Adversarial, Block };
+enum class FaultModelKind {
+  IidBernoulli,
+  Clustered,
+  Weibull,
+  Adversarial,
+  Block,
+  BusIid,
+  BusClustered,
+};
 
 const char* fault_model_kind_name(FaultModelKind kind);
 
@@ -46,6 +54,29 @@ struct FaultModelSpec {
   double horizon = 1.0;   // Weibull observation window: faults = {T_v <= horizon}
   std::uint64_t width = 4;  // block model: maximum block width (>= 1)
   std::string label() const;
+};
+
+/// Destination-skewed packet workload for the `traffic` metric. Which fields
+/// are meaningful depends on `pattern`:
+///   "uniform"       — no extra fields;
+///   "zipf"          — `theta` (destination rank r drawn ∝ 1/(r+1)^theta);
+///   "hotspot_burst" — `hotspots` hot nodes drawn per trial, taking turns
+///                     being hot every `burst_cycles` cycles, each packet
+///                     targeting the active one with probability
+///                     `fraction_hot`;
+///   "trace"         — `trace` holds inline "inject_cycle src dst" lines
+///                     (sim::trace_traffic format) replayed verbatim.
+/// Packet count per trial is `packets_per_node` x target nodes (traces bring
+/// their own). Random draws are counter-based off the trial's own RNG stream,
+/// so reports stay byte-identical across threads, shards and resume.
+struct TrafficSpec {
+  std::string pattern = "uniform";
+  double theta = 1.0;
+  std::uint64_t hotspots = 1;
+  double fraction_hot = 0.5;
+  std::uint64_t burst_cycles = 8;
+  std::uint64_t packets_per_node = 4;
+  std::string trace;
 };
 
 /// Which per-trial metrics to evaluate beyond reconfiguration success (which
@@ -69,6 +100,14 @@ struct MetricSet {
   bool collective = false;
   /// Which schedule the collective metric runs (a schedule_kind_name).
   std::string collective_schedule = "all_to_all_bruck";
+  /// Run a packet workload (see TrafficSpec) through the engine every trial —
+  /// on the reconfigured machine when the embedding survived, on the degraded
+  /// bare target otherwise — surfacing delivered fraction, latency and queue
+  /// congestion. Point-to-point families only (skipped for the bus machine).
+  bool traffic = false;
+  /// Workload shape for the traffic metric (only enters the canonical spec
+  /// JSON when `traffic` is enabled).
+  TrafficSpec traffic_spec;
 };
 
 /// The full campaign: the cartesian grid topologies x spares x fault_models,
@@ -151,5 +190,12 @@ std::uint64_t spec_fingerprint(const ScenarioSpec& spec);
 /// A small ready-to-run example spec (also used by the CI smoke job): two
 /// topology families x three spare levels x four fault models.
 std::string example_spec_json();
+
+/// A kitchen-sink spec exercising every key the parser accepts: all three
+/// topology families (with list-valued base/digits), all seven fault models,
+/// every metric, and every traffic knob. `ftdb_campaign example-spec --full`
+/// emits it and the docs-check CI job round-trips it through `validate-spec`,
+/// so a key added to the parser without documentation coverage fails CI.
+std::string full_example_spec_json();
 
 }  // namespace ftdb::campaign

@@ -1,5 +1,8 @@
 #include "sim/traffic.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 #include "topology/labels.hpp"
@@ -67,10 +70,13 @@ std::vector<NodeId> shuffle_permutation(unsigned h) {
 }
 
 std::vector<Packet> hotspot_traffic(std::size_t logical_nodes, std::size_t count,
-                                    NodeId hot_node, double fraction_hot, std::uint64_t seed,
-                                    std::uint64_t packets_per_cycle) {
+                                    const std::vector<NodeId>& hot_nodes, double fraction_hot,
+                                    std::uint64_t seed, std::uint64_t packets_per_cycle) {
   if (logical_nodes == 0) throw std::invalid_argument("hotspot_traffic: empty machine");
-  if (hot_node >= logical_nodes) throw std::out_of_range("hotspot_traffic: hot node out of range");
+  if (hot_nodes.empty()) throw std::invalid_argument("hotspot_traffic: no hot nodes");
+  for (NodeId hot : hot_nodes) {
+    if (hot >= logical_nodes) throw std::out_of_range("hotspot_traffic: hot node out of range");
+  }
   // Negated comparison so NaN is rejected too.
   if (!(fraction_hot >= 0.0 && fraction_hot <= 1.0)) {
     throw std::invalid_argument("hotspot_traffic: fraction_hot must be in [0, 1]");
@@ -81,14 +87,174 @@ std::vector<Packet> hotspot_traffic(std::size_t logical_nodes, std::size_t count
   std::mt19937_64 rng(seed);
   std::uniform_int_distribution<NodeId> pick(0, static_cast<NodeId>(logical_nodes - 1));
   std::bernoulli_distribution hot(fraction_hot);
+  // The hot-index draw happens only for >1 hot node, so the single-node path
+  // consumes the exact historical RNG stream.
+  std::uniform_int_distribution<std::size_t> hot_pick(0, hot_nodes.size() - 1);
   std::vector<Packet> packets(count);
   for (std::size_t i = 0; i < count; ++i) {
     packets[i].id = i;
     packets[i].src = pick(rng);
-    packets[i].dst = hot(rng) ? hot_node : pick(rng);
+    if (hot(rng)) {
+      packets[i].dst = hot_nodes.size() == 1 ? hot_nodes[0] : hot_nodes[hot_pick(rng)];
+    } else {
+      packets[i].dst = pick(rng);
+    }
     packets[i].inject_cycle = i / packets_per_cycle;
   }
   return packets;
+}
+
+std::vector<Packet> hotspot_traffic(std::size_t logical_nodes, std::size_t count,
+                                    NodeId hot_node, double fraction_hot, std::uint64_t seed,
+                                    std::uint64_t packets_per_cycle) {
+  return hotspot_traffic(logical_nodes, count, std::vector<NodeId>{hot_node}, fraction_hot,
+                         seed, packets_per_cycle);
+}
+
+namespace {
+
+// Local splitmix64 so the skewed generators are bit-identical across
+// platforms (std::uniform_int_distribution's draw algorithm is
+// implementation-defined). Matches the campaign's counter-based discipline
+// without introducing a sim -> campaign dependency.
+struct SplitMix {
+  std::uint64_t state;
+
+  std::uint64_t next() {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1), 53 bits of precision.
+  double next_unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, bound) via 128-bit multiply (no modulo bias worth
+  /// caring about at these bounds, and exactly one draw per call).
+  std::uint64_t next_below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+};
+
+}  // namespace
+
+std::vector<Packet> zipf_traffic(std::size_t logical_nodes, std::size_t count, double theta,
+                                 std::uint64_t seed, std::uint64_t packets_per_cycle) {
+  if (logical_nodes == 0) throw std::invalid_argument("zipf_traffic: empty machine");
+  if (!(theta >= 0.0) || !std::isfinite(theta)) {
+    throw std::invalid_argument("zipf_traffic: theta must be finite and >= 0");
+  }
+  if (packets_per_cycle == 0) packets_per_cycle = 1;
+
+  // Cumulative weights of the truncated Zipf law; destinations are found by
+  // binary search on a unit draw.
+  std::vector<double> cumulative(logical_nodes);
+  double total = 0.0;
+  for (std::size_t r = 0; r < logical_nodes; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -theta);
+    cumulative[r] = total;
+  }
+
+  SplitMix rng{seed};
+  std::vector<Packet> packets(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    packets[i].id = i;
+    packets[i].src = static_cast<NodeId>(rng.next_below(logical_nodes));
+    const double u = rng.next_unit() * total;
+    const auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
+    const std::size_t rank =
+        std::min<std::size_t>(static_cast<std::size_t>(it - cumulative.begin()),
+                              logical_nodes - 1);
+    packets[i].dst = static_cast<NodeId>(rank);
+    packets[i].inject_cycle = i / packets_per_cycle;
+  }
+  return packets;
+}
+
+std::vector<Packet> hotspot_burst_traffic(std::size_t logical_nodes, std::size_t count,
+                                          const std::vector<NodeId>& hot_nodes,
+                                          double fraction_hot, std::uint64_t burst_cycles,
+                                          std::uint64_t seed,
+                                          std::uint64_t packets_per_cycle) {
+  if (logical_nodes == 0) throw std::invalid_argument("hotspot_burst_traffic: empty machine");
+  if (hot_nodes.empty()) throw std::invalid_argument("hotspot_burst_traffic: no hot nodes");
+  for (NodeId hot : hot_nodes) {
+    if (hot >= logical_nodes) {
+      throw std::out_of_range("hotspot_burst_traffic: hot node out of range");
+    }
+  }
+  if (!(fraction_hot >= 0.0 && fraction_hot <= 1.0)) {
+    throw std::invalid_argument("hotspot_burst_traffic: fraction_hot must be in [0, 1]");
+  }
+  if (burst_cycles == 0) {
+    throw std::invalid_argument("hotspot_burst_traffic: burst_cycles must be >= 1");
+  }
+  if (packets_per_cycle == 0) {
+    packets_per_cycle = std::max<std::uint64_t>(logical_nodes / 4, 1);
+  }
+
+  SplitMix rng{seed};
+  std::vector<Packet> packets(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    packets[i].id = i;
+    packets[i].src = static_cast<NodeId>(rng.next_below(logical_nodes));
+    packets[i].inject_cycle = i / packets_per_cycle;
+    const std::uint64_t window = packets[i].inject_cycle / burst_cycles;
+    const NodeId active = hot_nodes[window % hot_nodes.size()];
+    if (rng.next_unit() < fraction_hot) {
+      packets[i].dst = active;
+    } else {
+      packets[i].dst = static_cast<NodeId>(rng.next_below(logical_nodes));
+    }
+  }
+  return packets;
+}
+
+std::vector<Packet> trace_traffic(const std::string& text, std::size_t logical_nodes) {
+  std::vector<Packet> packets;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::uint64_t cycle = 0;
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    if (!(fields >> cycle)) continue;  // blank / comment-only line
+    if (!(fields >> src >> dst)) {
+      throw std::invalid_argument("trace_traffic: malformed line " + std::to_string(line_no) +
+                                  " (want: inject_cycle src dst)");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      throw std::invalid_argument("trace_traffic: trailing tokens on line " +
+                                  std::to_string(line_no));
+    }
+    if (logical_nodes != 0 && (src >= logical_nodes || dst >= logical_nodes)) {
+      throw std::out_of_range("trace_traffic: endpoint out of range on line " +
+                              std::to_string(line_no));
+    }
+    Packet p;
+    p.id = packets.size();
+    p.src = static_cast<NodeId>(src);
+    p.dst = static_cast<NodeId>(dst);
+    p.inject_cycle = cycle;
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+std::string format_trace(const std::vector<Packet>& packets) {
+  std::ostringstream out;
+  for (const Packet& p : packets) {
+    out << p.inject_cycle << ' ' << p.src << ' ' << p.dst << '\n';
+  }
+  return out.str();
 }
 
 }  // namespace ftdb::sim

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -29,12 +30,50 @@ std::vector<NodeId> transpose_permutation(unsigned h);
 /// Perfect-shuffle permutation (rotate left one bit).
 std::vector<NodeId> shuffle_permutation(unsigned h);
 
-/// Uniform traffic where `fraction_hot` of packets target a single hot node.
-/// `fraction_hot` must lie in [0, 1] (it seeds a bernoulli_distribution, which
-/// is UB outside that range). `packets_per_cycle` controls the injection rate;
-/// 0 keeps the historical default of max(logical_nodes / 4, 1).
+/// Uniform traffic where `fraction_hot` of packets target a hot node drawn
+/// uniformly from `hot_nodes`. `fraction_hot` must lie in [0, 1] (it seeds a
+/// bernoulli_distribution, which is UB outside that range).
+/// `packets_per_cycle` controls the injection rate; 0 keeps the historical
+/// default of max(logical_nodes / 4, 1). With a single hot node the generated
+/// stream is byte-identical to the historical single-node overload below.
+std::vector<Packet> hotspot_traffic(std::size_t logical_nodes, std::size_t count,
+                                    const std::vector<NodeId>& hot_nodes, double fraction_hot,
+                                    std::uint64_t seed, std::uint64_t packets_per_cycle = 0);
+
+/// Single-hot-node compatibility overload; forwards to the vector form.
 std::vector<Packet> hotspot_traffic(std::size_t logical_nodes, std::size_t count,
                                     NodeId hot_node, double fraction_hot, std::uint64_t seed,
                                     std::uint64_t packets_per_cycle = 0);
+
+/// Zipf-skewed traffic: sources are uniform, destination ranks follow a
+/// Zipf(theta) law with node id r drawn with probability proportional to
+/// 1 / (r + 1)^theta (node 0 hottest; theta = 0 degenerates to uniform).
+/// Unlike the std::mt19937_64-based generators above, draws come from an
+/// explicit splitmix64 stream, so the packet vector is bit-identical across
+/// platforms and standard libraries. `packets_per_cycle` = 0 means 1.
+std::vector<Packet> zipf_traffic(std::size_t logical_nodes, std::size_t count, double theta,
+                                 std::uint64_t seed, std::uint64_t packets_per_cycle = 0);
+
+/// Multi-hotspot burst trains: hotspots take turns being hot. A packet
+/// injected in burst window w (cycles [w*burst_cycles, (w+1)*burst_cycles))
+/// targets hot_nodes[w % hot_nodes.size()] with probability `fraction_hot`,
+/// otherwise a uniform destination. Sources are uniform. splitmix64-based and
+/// platform-stable, like zipf_traffic. `packets_per_cycle` = 0 keeps the
+/// hotspot default of max(logical_nodes / 4, 1).
+std::vector<Packet> hotspot_burst_traffic(std::size_t logical_nodes, std::size_t count,
+                                          const std::vector<NodeId>& hot_nodes,
+                                          double fraction_hot, std::uint64_t burst_cycles,
+                                          std::uint64_t seed,
+                                          std::uint64_t packets_per_cycle = 0);
+
+/// Parses a packet trace: one packet per line, "inject_cycle src dst"
+/// (whitespace separated); '#' starts a comment; blank lines are ignored.
+/// Packet ids are assigned in line order. Throws std::invalid_argument on
+/// malformed lines, and std::out_of_range when an endpoint is >=
+/// `logical_nodes` (pass 0 to skip the range check).
+std::vector<Packet> trace_traffic(const std::string& text, std::size_t logical_nodes);
+
+/// Formats packets into the trace format accepted by trace_traffic.
+std::string format_trace(const std::vector<Packet>& packets);
 
 }  // namespace ftdb::sim

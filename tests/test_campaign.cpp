@@ -14,6 +14,7 @@
 #include "campaign/rng.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/scenario.hpp"
+#include "ft/bus_ft.hpp"
 #include "ft/ft_debruijn.hpp"
 #include "ft/spares.hpp"
 #include "topology/debruijn.hpp"
@@ -920,6 +921,318 @@ TEST(CampaignReport, CsvQuotesLabelsAndHasHeader) {
   EXPECT_EQ(csv.rfind("scenario_index,label,", 0), 0u);
   // Labels contain commas, so every data row must carry quoted labels.
   EXPECT_NE(csv.find("\"debruijn(m=2,h=4) k=0 iid(p=0.05)\""), std::string::npos);
+}
+
+// --- bus-fault models --------------------------------------------------------
+
+/// Bus-machine cells under both bus-fault processes; multi-block (600 trials
+/// = 3 blocks) so the identity drills exercise steals, checkpoints and shard
+/// merges on the bus code path.
+ScenarioSpec bus_fault_spec() {
+  ScenarioSpec spec;
+  spec.name = "bus-faults";
+  spec.seed = 31;
+  spec.trials = 600;
+  spec.topologies = {{TopologyFamily::Bus, 2, 3}};
+  spec.spares = {0, 2};
+  spec.fault_models = {{FaultModelKind::BusIid, 0.04, 1.0, 100.0, 1.0},
+                       {FaultModelKind::BusClustered, 0.02, 1.0, 100.0, 1.0}};
+  spec.metrics = {true, false, true};
+  return spec;
+}
+
+TEST(BusFaults, SpecParsesRoundTripsAndFingerprints) {
+  const ScenarioSpec spec = parse_scenario_spec(R"({
+    "topologies": [{"family": "bus", "digits": 3}],
+    "spares": [1],
+    "fault_models": [{"kind": "bus_iid", "p": 0.04}, {"kind": "bus_clustered", "p": 0.02}]
+  })");
+  ASSERT_EQ(spec.fault_models.size(), 2u);
+  EXPECT_EQ(spec.fault_models[0].kind, FaultModelKind::BusIid);
+  EXPECT_EQ(spec.fault_models[1].kind, FaultModelKind::BusClustered);
+  EXPECT_NE(spec.fault_models[0].label().find("bus_iid"), std::string::npos);
+  const std::string canon = scenario_spec_to_json(spec);
+  EXPECT_EQ(canon, scenario_spec_to_json(parse_scenario_spec(canon)));
+  // The failure probability is part of the spec identity.
+  ScenarioSpec other = spec;
+  other.fault_models[0].p = 0.05;
+  EXPECT_NE(spec_fingerprint(spec), spec_fingerprint(other));
+}
+
+TEST(FaultModels, BusModelsDrawSortedBusesWhoseDriversAreFaulty) {
+  const BusGraph bus = bus_ft_debruijn_base2(3, 2);
+  const Graph fabric = bus.realized_graph();
+  for (const FaultModelKind kind : {FaultModelKind::BusIid, FaultModelKind::BusClustered}) {
+    const auto model = make_fault_model({kind, 0.15, 1.0, 100.0, 1.0});
+    model->prepare(fabric, 2);
+    model->prepare_bus(bus, 2);
+    bool saw_bus_fault = false;
+    for (std::uint64_t trial = 0; trial < 50; ++trial) {
+      TrialRng rng = TrialRng::for_trial(9, 0, trial);
+      TrialRng replay = TrialRng::for_trial(9, 0, trial);
+      const FaultDraw a = model->draw(fabric, 2, rng);
+      const FaultDraw b = model->draw(fabric, 2, replay);
+      EXPECT_EQ(a.faults.nodes(), b.faults.nodes());
+      EXPECT_EQ(a.bus_faults, b.bus_faults);
+      EXPECT_TRUE(std::is_sorted(a.bus_faults.begin(), a.bus_faults.end()));
+      EXPECT_TRUE(std::adjacent_find(a.bus_faults.begin(), a.bus_faults.end()) ==
+                  a.bus_faults.end());
+      saw_bus_fault = saw_bus_fault || !a.bus_faults.empty();
+      for (const std::uint32_t b_id : a.bus_faults) {
+        ASSERT_LT(b_id, bus.num_buses());
+        // Section V discipline: a failed bus silences its driver.
+        EXPECT_TRUE(a.faults.is_faulty(bus.bus(b_id).driver)) << "bus " << b_id;
+      }
+    }
+    EXPECT_TRUE(saw_bus_fault) << "p=0.15 over 50 trials drew no bus faults";
+  }
+}
+
+TEST(BusFaults, BusIidAnalyticColumnsMatchTheIidClosedForms) {
+  // bus_iid fails each bus independently and each bus silences one driver, so
+  // its analytic companions are the node-iid closed forms at the same p.
+  ScenarioSpec spec = bus_fault_spec();
+  spec.trials = 200;
+  spec.spares = {2};
+  spec.fault_models = {{FaultModelKind::BusIid, 0.04, 1.0, 100.0, 1.0}};
+  ScenarioSpec iid = spec;
+  iid.fault_models = {{FaultModelKind::IidBernoulli, 0.04, 1.0, 100.0, 1.0}};
+  const ScenarioResult rb = run_campaign(spec, {.threads = 1}).scenarios.front();
+  const ScenarioResult ri = run_campaign(iid, {.threads = 1}).scenarios.front();
+  ASSERT_FALSE(std::isnan(rb.analytic_survival));
+  ASSERT_FALSE(std::isnan(rb.analytic_mttf));
+  EXPECT_EQ(rb.analytic_survival, ri.analytic_survival);
+  EXPECT_EQ(rb.analytic_mttf, ri.analytic_mttf);
+  EXPECT_NEAR(rb.analytic_survival,
+              static_cast<double>(survival_probability(rb.target_nodes, 2, 0.04L)), 1e-12);
+  // Every trial reports how many buses it lost.
+  EXPECT_EQ(rb.bus_fault_count.count, rb.trials);
+  EXPECT_GT(rb.bus_fault_count.mean, 0.0);
+  // The clustered bus model has no closed form.
+  ScenarioSpec clustered = spec;
+  clustered.fault_models = {{FaultModelKind::BusClustered, 0.04, 1.0, 100.0, 1.0}};
+  const ScenarioResult rc = run_campaign(clustered, {.threads = 1}).scenarios.front();
+  EXPECT_TRUE(std::isnan(rc.analytic_survival));
+  EXPECT_EQ(rc.bus_fault_count.count, rc.trials);
+}
+
+TEST(BusFaults, BusModelsDegenerateGracefullyOnPointToPointFamilies) {
+  // On a point-to-point fabric the "bus of node v" is v's adjacency, so the
+  // models still draw and the runner scores the plain monotone embedding.
+  ScenarioSpec spec = bus_fault_spec();
+  spec.trials = 200;
+  spec.topologies = {{TopologyFamily::DeBruijn, 2, 4}, {TopologyFamily::ShuffleExchange, 2, 3}};
+  const CampaignResult result = run_campaign(spec, {.threads = 2});
+  ASSERT_EQ(result.scenarios.size(), 8u);
+  for (const ScenarioResult& r : result.scenarios) {
+    EXPECT_EQ(r.trials, 200u);
+    EXPECT_EQ(r.bus_fault_count.count, 200u);
+    EXPECT_GT(r.reconfig_success, 0u);
+  }
+  EXPECT_EQ(validate_campaign_report(campaign_report_json(result)), 8u);
+}
+
+TEST(BusFaults, ReportIsByteIdenticalAcrossThreadsResumeAndShards) {
+  const ScenarioSpec spec = bus_fault_spec();
+  const std::string serial = campaign_report_json(run_campaign(spec, {.threads = 1}));
+  EXPECT_EQ(serial, campaign_report_json(run_campaign(spec, {.threads = 3})));
+
+  // Crash after two blocks, resume: same bytes.
+  CampaignOptions crash;
+  crash.threads = 1;
+  crash.checkpoint_path = ::testing::TempDir() + "/ftdb_bus.ckpt";
+  crash.stop_after_blocks = 2;
+  EXPECT_THROW(run_campaign(spec, crash), CampaignAborted);
+  CampaignOptions resume = crash;
+  resume.threads = 2;
+  resume.stop_after_blocks = 0;
+  resume.resume = true;
+  const CampaignResult resumed = run_campaign(spec, resume);
+  EXPECT_GE(resumed.resumed_blocks, 2u);
+  EXPECT_EQ(campaign_report_json(resumed), serial);
+
+  // Two shards merged: same bytes again, and the validator accepts them.
+  const Checkpoint s0 = run_shard(spec, {0, 2}, 2, "bus0");
+  const Checkpoint s1 = run_shard(spec, {1, 2}, 3, "bus1");
+  EXPECT_EQ(campaign_report_json(merge_checkpoints(spec, {s0, s1})), serial);
+  EXPECT_EQ(validate_campaign_report(serial), 4u);
+}
+
+// --- traffic metric ----------------------------------------------------------
+
+/// Point-to-point cells with the traffic metric on, multi-block like
+/// collective_spec() so skewed-workload determinism is exercised across
+/// steals, checkpoints and shards.
+ScenarioSpec traffic_campaign(const std::string& pattern) {
+  ScenarioSpec spec;
+  spec.name = "traffic";
+  spec.seed = 23;
+  spec.trials = 600;
+  spec.topologies = {{TopologyFamily::DeBruijn, 2, 4}, {TopologyFamily::ShuffleExchange, 2, 3}};
+  spec.spares = {0, 2};
+  spec.fault_models = {{FaultModelKind::IidBernoulli, 0.05, 1.0, 100.0, 1.0}};
+  spec.metrics.diameter = false;
+  spec.metrics.mttf = false;
+  spec.metrics.traffic = true;
+  spec.metrics.traffic_spec.pattern = pattern;
+  spec.metrics.traffic_spec.packets_per_node = 2;
+  return spec;
+}
+
+TEST(Traffic, SpecParsesRoundTripsAndFingerprints) {
+  const ScenarioSpec spec = parse_scenario_spec(R"({
+    "topologies": [{"family": "debruijn", "digits": 4}],
+    "spares": [2],
+    "fault_models": [{"kind": "iid", "p": 0.05}],
+    "metrics": ["traffic"],
+    "traffic": {"pattern": "zipf", "theta": 1.2, "packets_per_node": 2}
+  })");
+  EXPECT_TRUE(spec.metrics.traffic);
+  EXPECT_EQ(spec.metrics.traffic_spec.pattern, "zipf");
+  EXPECT_EQ(spec.metrics.traffic_spec.theta, 1.2);
+  EXPECT_EQ(spec.metrics.traffic_spec.packets_per_node, 2u);
+  const std::string canon = scenario_spec_to_json(spec);
+  EXPECT_EQ(canon, scenario_spec_to_json(parse_scenario_spec(canon)));
+
+  // The workload shape is part of the spec identity.
+  ScenarioSpec other = spec;
+  other.metrics.traffic_spec.theta = 0.8;
+  EXPECT_NE(spec_fingerprint(spec), spec_fingerprint(other));
+
+  // An unknown pattern is rejected up front, not at trial time.
+  EXPECT_THROW(parse_scenario_spec(R"({
+    "topologies": [{"family": "debruijn", "digits": 4}],
+    "spares": [2],
+    "fault_models": [{"kind": "iid", "p": 0.05}],
+    "metrics": ["traffic"],
+    "traffic": {"pattern": "fractal"}
+  })"),
+               std::runtime_error);
+
+  // Specs without the metric keep their pre-traffic canonical form (and so
+  // their fingerprints): the key only appears when the metric is on.
+  EXPECT_EQ(scenario_spec_to_json(small_spec()).find("\"traffic\""), std::string::npos);
+}
+
+TEST(Traffic, StatsArePopulatedAndBounded) {
+  ScenarioSpec spec = traffic_campaign("zipf");
+  spec.trials = 200;
+  spec.metrics.traffic_spec.theta = 1.1;
+  const CampaignResult result = run_campaign(spec, {.threads = 2});
+  ASSERT_EQ(result.scenarios.size(), 4u);
+  for (const ScenarioResult& r : result.scenarios) {
+    // Every trial runs the workload — on the reconfigured machine after a
+    // successful trial, on the degraded bare target otherwise.
+    EXPECT_EQ(r.traffic_delivered.count, r.trials);
+    EXPECT_GE(r.traffic_delivered.min, 0.0);
+    EXPECT_LE(r.traffic_delivered.max, 1.0);
+    EXPECT_GT(r.traffic_delivered.mean, 0.5) << r.label;
+    // Latency is only defined on trials that delivered something.
+    EXPECT_LE(r.traffic_latency.count, r.traffic_delivered.count);
+    EXPECT_GT(r.traffic_latency.count, 0u);
+    EXPECT_GE(r.traffic_latency.min, 0.0);
+    EXPECT_GT(r.traffic_congestion.count, 0u);
+    EXPECT_GE(r.traffic_congestion.min, 0.0);
+    EXPECT_GT(r.traffic_congestion.max, 0.0) << r.label;
+    EXPECT_LE(r.traffic_timed_out, r.trials);
+  }
+  EXPECT_EQ(validate_campaign_report(campaign_report_json(result)), 4u);
+}
+
+TEST(Traffic, ReportIsByteIdenticalAcrossThreadsResumeAndShards) {
+  // hotspot_burst is the pattern that draws per-trial randomness (the hot
+  // nodes) from the trial's own stream — the riskiest path for scheduling
+  // determinism, so it gets the full drill.
+  ScenarioSpec spec = traffic_campaign("hotspot_burst");
+  spec.metrics.traffic_spec.hotspots = 2;
+  spec.metrics.traffic_spec.fraction_hot = 0.5;
+  spec.metrics.traffic_spec.burst_cycles = 4;
+  const std::string serial = campaign_report_json(run_campaign(spec, {.threads = 1}));
+  EXPECT_EQ(serial, campaign_report_json(run_campaign(spec, {.threads = 3})));
+
+  CampaignOptions crash;
+  crash.threads = 1;
+  crash.checkpoint_path = ::testing::TempDir() + "/ftdb_traffic.ckpt";
+  crash.stop_after_blocks = 2;
+  EXPECT_THROW(run_campaign(spec, crash), CampaignAborted);
+  CampaignOptions resume = crash;
+  resume.threads = 2;
+  resume.stop_after_blocks = 0;
+  resume.resume = true;
+  const CampaignResult resumed = run_campaign(spec, resume);
+  EXPECT_GE(resumed.resumed_blocks, 2u);
+  EXPECT_EQ(campaign_report_json(resumed), serial);
+
+  const Checkpoint s0 = run_shard(spec, {0, 2}, 2, "traf0");
+  const Checkpoint s1 = run_shard(spec, {1, 2}, 3, "traf1");
+  EXPECT_EQ(campaign_report_json(merge_checkpoints(spec, {s0, s1})), serial);
+  EXPECT_EQ(validate_campaign_report(serial), 4u);
+}
+
+TEST(Traffic, ZipfAndTraceAreThreadCountInvariant) {
+  ScenarioSpec zipf = traffic_campaign("zipf");
+  zipf.trials = 200;
+  EXPECT_EQ(campaign_report_json(run_campaign(zipf, {.threads = 1})),
+            campaign_report_json(run_campaign(zipf, {.threads = 3})));
+
+  // A trace brings its own packets; endpoints must be valid on the smallest
+  // target in the grid (SE_3 has 8 nodes).
+  ScenarioSpec trace = traffic_campaign("trace");
+  trace.trials = 200;
+  trace.metrics.traffic_spec.trace = "# three-packet replay\n0 0 7\n0 5 2\n1 3 0\n";
+  const CampaignResult a = run_campaign(trace, {.threads = 1});
+  EXPECT_EQ(campaign_report_json(a), campaign_report_json(run_campaign(trace, {.threads = 3})));
+  for (const ScenarioResult& r : a.scenarios) {
+    EXPECT_EQ(r.traffic_delivered.count, r.trials);
+  }
+
+  // A trace endpoint out of range for some cell's target fails fast at
+  // campaign start, not mid-trial.
+  ScenarioSpec bad = trace;
+  bad.metrics.traffic_spec.trace = "0 0 12\n";  // valid on B_{2,4}, not on SE_3
+  EXPECT_THROW(run_campaign(bad, {.threads = 1}), std::out_of_range);
+}
+
+TEST(Traffic, BusFamilySkipsTheMetricGracefully) {
+  ScenarioSpec spec = traffic_campaign("zipf");
+  spec.trials = 100;
+  spec.topologies = {{TopologyFamily::Bus, 2, 3}};
+  spec.spares = {1};
+  const CampaignResult result = run_campaign(spec, {.threads = 1});
+  ASSERT_EQ(result.scenarios.size(), 1u);
+  const ScenarioResult& r = result.scenarios.front();
+  EXPECT_EQ(r.trials, 100u);
+  EXPECT_EQ(r.traffic_delivered.count, 0u);
+  EXPECT_EQ(r.traffic_latency.count, 0u);
+  EXPECT_EQ(validate_campaign_report(campaign_report_json(result)), 1u);
+}
+
+TEST(Traffic, CsvAndMarkdownCarryTheTrafficColumns) {
+  ScenarioSpec spec = traffic_campaign("zipf");
+  spec.trials = 200;
+  const CampaignResult result = run_campaign(spec, {.threads = 2});
+  const std::string csv = campaign_report_csv(result);
+  EXPECT_NE(csv.find("bus_fault_mean"), std::string::npos);
+  EXPECT_NE(csv.find("traffic_delivered_mean"), std::string::npos);
+  EXPECT_NE(csv.find("traffic_congestion_max"), std::string::npos);
+  const std::string md = campaign_report_markdown(result);
+  EXPECT_NE(md.find("delivered"), std::string::npos);
+}
+
+TEST(ScenarioSpec, FullExampleCoversEveryFamilyModelAndMetric) {
+  const ScenarioSpec spec = parse_scenario_spec(full_example_spec_json());
+  EXPECT_EQ(spec.name, "full-example");
+  EXPECT_EQ(spec.topologies.size(), 5u);  // 2 de Bruijn + 2 SE + 1 bus
+  EXPECT_EQ(spec.fault_models.size(), 7u);
+  EXPECT_EQ(expand_grid(spec).size(), 70u);
+  EXPECT_TRUE(spec.metrics.collective);
+  EXPECT_TRUE(spec.metrics.traffic);
+  EXPECT_EQ(spec.metrics.traffic_spec.pattern, "hotspot_burst");
+  // Canonical form is a fixed point — what `ftdb_campaign validate-spec`
+  // asserts for the CI round-trip of `example-spec --full`.
+  const std::string canon = scenario_spec_to_json(spec);
+  EXPECT_EQ(canon, scenario_spec_to_json(parse_scenario_spec(canon)));
+  EXPECT_EQ(spec_fingerprint(spec), spec_fingerprint(parse_scenario_spec(canon)));
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "sim/traffic.hpp"
 
@@ -127,6 +128,136 @@ TEST(HotspotTraffic, CustomInjectionRateHonored) {
   for (std::size_t i = 0; i < packets.size(); ++i) {
     EXPECT_EQ(packets[i].inject_cycle, i / 2);
   }
+}
+
+TEST(HotspotTraffic, VectorWithOneHotNodeMatchesTheLegacyStream) {
+  // The vector form must consume the RNG stream exactly like the historical
+  // single-node overload when only one hot node is given — campaign reports
+  // produced before the multi-hotspot extension stay byte-identical.
+  const auto legacy = hotspot_traffic(64, 500, NodeId{3}, 0.5, 9);
+  const auto vec = hotspot_traffic(64, 500, std::vector<NodeId>{3}, 0.5, 9);
+  ASSERT_EQ(legacy.size(), vec.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].src, vec[i].src);
+    EXPECT_EQ(legacy[i].dst, vec[i].dst);
+    EXPECT_EQ(legacy[i].inject_cycle, vec[i].inject_cycle);
+  }
+}
+
+TEST(HotspotTraffic, EveryHotNodeReceivesTraffic) {
+  const std::vector<NodeId> hot = {1, 10, 40};
+  const auto packets = hotspot_traffic(64, 3000, hot, 1.0, 7);
+  std::size_t hits[3] = {0, 0, 0};
+  for (const Packet& p : packets) {
+    // fraction_hot = 1: every destination is one of the hot nodes.
+    const auto it = std::find(hot.begin(), hot.end(), p.dst);
+    ASSERT_NE(it, hot.end()) << "dst " << p.dst;
+    ++hits[it - hot.begin()];
+  }
+  for (const std::size_t h : hits) EXPECT_GT(h, packets.size() / 6);
+}
+
+TEST(HotspotTraffic, EmptyHotSetThrows) {
+  EXPECT_THROW(hotspot_traffic(8, 10, std::vector<NodeId>{}, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(hotspot_traffic(8, 10, std::vector<NodeId>{3, 8}, 0.5, 1), std::out_of_range);
+}
+
+TEST(ZipfTraffic, DeterministicAndInRange) {
+  const auto a = zipf_traffic(32, 400, 1.2, 11);
+  const auto b = zipf_traffic(32, 400, 1.2, 11);
+  ASSERT_EQ(a.size(), 400u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+    EXPECT_LT(a[i].src, 32u);
+    EXPECT_LT(a[i].dst, 32u);
+    EXPECT_EQ(a[i].inject_cycle, i);  // packets_per_cycle defaults to 1
+  }
+}
+
+TEST(ZipfTraffic, SkewConcentratesOnLowRanks) {
+  const auto packets = zipf_traffic(64, 4000, 1.5, 3);
+  std::vector<std::size_t> hits(64, 0);
+  for (const Packet& p : packets) ++hits[p.dst];
+  // Node 0 is the hottest rank; the tail node is orders of magnitude colder.
+  EXPECT_GT(hits[0], packets.size() / 5);
+  EXPECT_LT(hits[63], hits[0] / 10);
+  // theta = 0 degenerates to uniform: the head holds no special mass.
+  const auto flat = zipf_traffic(64, 4000, 0.0, 3);
+  std::size_t head = 0;
+  for (const Packet& p : flat) head += (p.dst == 0);
+  EXPECT_LT(head, flat.size() / 16);
+}
+
+TEST(ZipfTraffic, RejectsBadTheta) {
+  EXPECT_THROW(zipf_traffic(8, 10, -0.5, 1), std::invalid_argument);
+  EXPECT_THROW(zipf_traffic(8, 10, std::nan(""), 1), std::invalid_argument);
+  EXPECT_THROW(zipf_traffic(8, 10, std::numeric_limits<double>::infinity(), 1),
+               std::invalid_argument);
+  EXPECT_THROW(zipf_traffic(0, 10, 1.0, 1), std::invalid_argument);
+}
+
+TEST(HotspotBurstTraffic, RotatesTheActiveHotspot) {
+  // fraction_hot = 1 pins every packet to the window's active hot node, so
+  // the rotation schedule is directly observable: windows of `burst_cycles`
+  // cycles take turns across the hot list.
+  const std::vector<NodeId> hot = {2, 5};
+  const auto packets = hotspot_burst_traffic(8, 24, hot, 1.0, 3, 13, 1);
+  ASSERT_EQ(packets.size(), 24u);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].inject_cycle, i);
+    EXPECT_EQ(packets[i].dst, hot[(i / 3) % 2]) << "packet " << i;
+  }
+}
+
+TEST(HotspotBurstTraffic, DeterministicWithBackgroundTraffic) {
+  const std::vector<NodeId> hot = {0, 3, 6};
+  const auto a = hotspot_burst_traffic(16, 300, hot, 0.6, 4, 21);
+  const auto b = hotspot_burst_traffic(16, 300, hot, 0.6, 4, 21);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+    // Default injection rate matches the hotspot generators: n/4 per cycle.
+    EXPECT_EQ(a[i].inject_cycle, i / 4);
+  }
+}
+
+TEST(HotspotBurstTraffic, ValidationRejectsBadArguments) {
+  const std::vector<NodeId> hot = {1};
+  EXPECT_THROW(hotspot_burst_traffic(0, 10, hot, 0.5, 4, 1), std::invalid_argument);
+  EXPECT_THROW(hotspot_burst_traffic(8, 10, {}, 0.5, 4, 1), std::invalid_argument);
+  EXPECT_THROW(hotspot_burst_traffic(8, 10, {9}, 0.5, 4, 1), std::out_of_range);
+  EXPECT_THROW(hotspot_burst_traffic(8, 10, hot, 1.5, 4, 1), std::invalid_argument);
+  EXPECT_THROW(hotspot_burst_traffic(8, 10, hot, std::nan(""), 4, 1), std::invalid_argument);
+  EXPECT_THROW(hotspot_burst_traffic(8, 10, hot, 0.5, 0, 1), std::invalid_argument);
+}
+
+TEST(TraceTraffic, ParsesCommentsBlanksAndRoundTrips) {
+  const std::string text =
+      "# demo trace\n"
+      "0 0 7   # first packet\n"
+      "\n"
+      "0 5 2\n"
+      "3 1 6\n";
+  const auto packets = trace_traffic(text, 8);
+  ASSERT_EQ(packets.size(), 3u);
+  EXPECT_EQ(packets[0].src, 0u);
+  EXPECT_EQ(packets[0].dst, 7u);
+  EXPECT_EQ(packets[2].inject_cycle, 3u);
+  // Ids are assigned in line order.
+  for (std::size_t i = 0; i < packets.size(); ++i) EXPECT_EQ(packets[i].id, i);
+  // format_trace emits exactly what trace_traffic accepts (fixed point after
+  // one normalization pass).
+  const std::string canon = format_trace(packets);
+  EXPECT_EQ(canon, format_trace(trace_traffic(canon, 8)));
+}
+
+TEST(TraceTraffic, RejectsMalformedAndOutOfRangeLines) {
+  EXPECT_THROW(trace_traffic("0 1\n", 8), std::invalid_argument);       // missing dst
+  EXPECT_THROW(trace_traffic("0 1 2 3\n", 8), std::invalid_argument);   // trailing token
+  EXPECT_THROW(trace_traffic("0 9 0\n", 8), std::out_of_range);         // src >= n
+  EXPECT_EQ(trace_traffic("0 9 0\n", 0).size(), 1u);                    // n = 0 skips the check
 }
 
 }  // namespace

@@ -45,7 +45,8 @@ int usage() {
          "  ftdb_campaign run --spec FILE [options]\n"
          "  ftdb_campaign merge --spec FILE --out FILE [--csv FILE] [--md FILE] CKPT...\n"
          "  ftdb_campaign merge --elastic DIR [--partial] [--out FILE] [--csv FILE] [--md FILE]\n"
-         "  ftdb_campaign example-spec\n"
+         "  ftdb_campaign example-spec [--full]\n"
+         "  ftdb_campaign validate-spec SPEC.json\n"
          "  ftdb_campaign validate REPORT.json\n"
          "\n"
          "run options:\n"
@@ -401,6 +402,38 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "example-spec" && args.empty()) {
       std::cout << ftdb::campaign::example_spec_json();
+      return 0;
+    }
+    if (cmd == "example-spec" && args.size() == 1 && args[0] == "--full") {
+      // The kitchen-sink spec: every family, fault model, metric and traffic
+      // knob (see docs/SCENARIOS.md). CI round-trips it through validate-spec.
+      std::cout << ftdb::campaign::full_example_spec_json();
+      return 0;
+    }
+    if (cmd == "validate-spec" && args.size() == 1) {
+      const auto text = read_file(args[0]);
+      if (!text) {
+        std::cerr << "ftdb_campaign: cannot read " << args[0] << "\n";
+        return 2;
+      }
+      using namespace ftdb::campaign;
+      const ScenarioSpec spec = parse_scenario_spec(*text);
+      // The canonical form must be a fixed point: parse -> write -> parse ->
+      // write yields the same bytes (and hence the same fingerprint), or
+      // checkpoints and sharded merges could never agree on the stamp.
+      const std::string canon = scenario_spec_to_json(spec);
+      const ScenarioSpec again = parse_scenario_spec(canon);
+      if (scenario_spec_to_json(again) != canon) {
+        std::cerr << "ftdb_campaign: " << args[0]
+                  << ": canonical spec form is not a round-trip fixed point\n";
+        return 1;
+      }
+      const std::size_t cells = expand_grid(spec).size();
+      char fp[32];
+      std::snprintf(fp, sizeof fp, "%016llx",
+                    static_cast<unsigned long long>(spec_fingerprint(spec)));
+      std::cout << args[0] << ": valid campaign spec \"" << spec.name << "\", " << cells
+                << " cells x " << spec.trials << " trials, fingerprint " << fp << "\n";
       return 0;
     }
     if (cmd == "validate" && args.size() == 1) {
